@@ -1,0 +1,88 @@
+//! P1 — engine bench: ClassAd parse / evaluate / matchmake throughput.
+//!
+//! The E1-scale campaign matchmakes hundreds of jobs against hundreds of
+//! machine ads every negotiation cycle; this bench establishes what that
+//! costs.
+
+use classads::{parse_ad, parse_expr, rank, symmetric_match, ClassAd, EvalCtx};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn machine_ad(i: usize) -> ClassAd {
+    ClassAd::new()
+        .with("Name", format!("vm{i}.cs.wisc.edu").as_str())
+        .with("Arch", if i.is_multiple_of(3) { "INTEL" } else { "SUN4u" })
+        .with("OpSys", "LINUX")
+        .with("Memory", (64 + (i % 8) * 32) as i64)
+        .with("Mips", (200 + i % 500) as i64)
+        .with("State", "Unclaimed")
+        .with_parsed("Requirements", "TARGET.ImageSize <= MY.Memory * 1024")
+        .with_parsed("Rank", "TARGET.Owner == \"jane\" ? 10 : 0")
+}
+
+fn job_ad() -> ClassAd {
+    ClassAd::new()
+        .with("Owner", "jane")
+        .with("ImageSize", 48_000i64)
+        .with_parsed(
+            "Requirements",
+            "TARGET.Arch == \"INTEL\" && TARGET.OpSys == \"LINUX\" && TARGET.Memory >= 64",
+        )
+        .with_parsed("Rank", "TARGET.Mips")
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let src = machine_ad(7).to_string();
+    let mut g = c.benchmark_group("classads/parse");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("machine_ad", |b| {
+        b.iter(|| parse_ad(std::hint::black_box(&src)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let job = job_ad();
+    let machine = machine_ad(3);
+    let req = parse_expr("TARGET.Arch == \"INTEL\" && TARGET.Memory >= 64 && TARGET.Mips > 100")
+        .unwrap();
+    c.bench_function("classads/eval_requirements", |b| {
+        let ctx = EvalCtx::matching(&job, &machine);
+        b.iter(|| ctx.eval(std::hint::black_box(&req)))
+    });
+}
+
+fn bench_match(c: &mut Criterion) {
+    let job = job_ad();
+    let machines: Vec<ClassAd> = (0..1000).map(machine_ad).collect();
+    let mut g = c.benchmark_group("classads/matchmaking");
+    g.throughput(Throughput::Elements(machines.len() as u64));
+    g.bench_function("match_1000_machines", |b| {
+        b.iter(|| {
+            let mut best: Option<(f64, usize)> = None;
+            for (i, m) in machines.iter().enumerate() {
+                if symmetric_match(&job, m) {
+                    let r = rank(&job, m);
+                    if best.is_none_or(|(br, _)| r > br) {
+                        best = Some((r, i));
+                    }
+                }
+            }
+            std::hint::black_box(best)
+        })
+    });
+    g.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let ad = machine_ad(11);
+    c.bench_function("classads/print_parse_round_trip", |b| {
+        b.iter_batched(
+            || ad.clone(),
+            |ad| parse_ad(&ad.to_string()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_eval, bench_match, bench_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! P3 — engine bench: full-stack protocol costs.
+//!
+//! Wall-clock cost of simulating complete GRAM submit→done cycles and
+//! GASS bulk transfers, i.e. what one "job" costs the experiment harness.
+
+use condor_g_suite::gass::{FileData, GassServer, GassUrl};
+use condor_g_suite::gram::proto::{GramReply, JmMsg};
+use condor_g_suite::gram::{Gatekeeper, RslSpec, SubmitSession};
+use condor_g_suite::gridsim::prelude::*;
+use condor_g_suite::gridsim::{AnyMsg, Config, World};
+use condor_g_suite::gsi::{CertificateAuthority, GridMap, ProxyCredential};
+use condor_g_suite::site::policy::Fifo;
+use condor_g_suite::site::Lrm;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::BTreeMap;
+
+struct BatchClient {
+    gatekeeper: Addr,
+    credential: ProxyCredential,
+    gass: GassUrl,
+    jobs: u64,
+    sessions: BTreeMap<u64, SubmitSession>,
+}
+
+impl Component for BatchClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for seq in 0..self.jobs {
+            let mut s = SubmitSession::new(
+                seq,
+                RslSpec::job("/site/bin/task", Duration::from_secs(60)).to_string(),
+                self.credential.clone(),
+                ctx.self_addr(),
+                self.gass.clone(),
+            );
+            ctx.send(self.gatekeeper, s.request());
+            self.sessions.insert(seq, s);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
+        if let Some(reply) = msg.downcast_ref::<GramReply>() {
+            if let GramReply::Submitted { seq, .. } = reply {
+                if let Some(s) = self.sessions.get_mut(seq) {
+                    use condor_g_suite::gram::client::SubmitAction;
+                    if let SubmitAction::SendCommit { jobmanager, .. } = s.on_reply(reply) {
+                        ctx.send(jobmanager, JmMsg::Commit);
+                    }
+                }
+            }
+        } else if let Some(JmMsg::Callback { state, .. }) = msg.downcast_ref::<JmMsg>() {
+            if state.is_terminal() {
+                // Keep the world quiet after completion.
+            }
+        }
+    }
+}
+
+fn run_batch(jobs: u64) -> u64 {
+    let mut ca = CertificateAuthority::new("/CN=CA", 1);
+    let id = ca.issue_identity("/CN=jane", Duration::from_days(30));
+    let cred = id.new_proxy(SimTime::ZERO, Duration::from_days(1));
+    let mut gridmap = GridMap::new();
+    gridmap.add("/CN=jane", "jane");
+    let mut w = World::new(Config::default().seed(7));
+    let submit = w.add_node("submit");
+    let interface = w.add_node("gk");
+    let cluster = w.add_node("cluster");
+    let gass = w.add_component(
+        submit,
+        "gass",
+        GassServer::new(ca.trust_root()).preload("/x", FileData::inline("x")),
+    );
+    let lrm = w.add_component(cluster, "lrm", Lrm::new("site", 10_000, Fifo));
+    let gk = w.add_component(
+        interface,
+        "gatekeeper",
+        Gatekeeper::new("site", ca.trust_root(), gridmap, lrm),
+    );
+    w.add_component(
+        submit,
+        "client",
+        BatchClient {
+            gatekeeper: gk,
+            credential: cred,
+            gass: GassUrl::gass(gass, ""),
+            jobs,
+            sessions: BTreeMap::new(),
+        },
+    );
+    w.run_until_quiescent();
+    assert_eq!(w.metrics().counter("site.completed"), jobs);
+    w.events_processed()
+}
+
+fn bench_gram_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid_protocols/gram");
+    const JOBS: u64 = 200;
+    g.throughput(Throughput::Elements(JOBS));
+    g.sample_size(10);
+    g.bench_function("submit_to_done_200_jobs", |b| {
+        b.iter(|| std::hint::black_box(run_batch(JOBS)))
+    });
+    g.finish();
+}
+
+fn bench_gass_transfer(c: &mut Criterion) {
+    use condor_g_suite::gass::GassRequest;
+    struct Fetcher {
+        server: Addr,
+        credential: ProxyCredential,
+        n: u64,
+    }
+    impl Component for Fetcher {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for i in 0..self.n {
+                ctx.send(
+                    self.server,
+                    GassRequest::Get {
+                        request_id: i,
+                        credential: self.credential.clone(),
+                        path: "/data".into(),
+                        offset: 0,
+                        limit: u64::MAX,
+                    },
+                );
+            }
+        }
+    }
+    let mut g = c.benchmark_group("grid_protocols/gass");
+    const FETCHES: u64 = 500;
+    g.throughput(Throughput::Elements(FETCHES));
+    g.sample_size(10);
+    g.bench_function("500_bulk_gets_100MB", |b| {
+        b.iter(|| {
+            let mut ca = CertificateAuthority::new("/CN=CA", 1);
+            let id = ca.issue_identity("/CN=jane", Duration::from_days(30));
+            let cred = id.new_proxy(SimTime::ZERO, Duration::from_days(1));
+            let mut w = World::new(Config::default().seed(8));
+            let ns = w.add_node("server");
+            let nc = w.add_node("client");
+            let server = w.add_component(
+                ns,
+                "gass",
+                GassServer::new(ca.trust_root()).preload("/data", FileData::bulk(100_000_000, 1)),
+            );
+            w.add_component(nc, "fetch", Fetcher { server, credential: cred, n: FETCHES });
+            w.run_until_quiescent();
+            std::hint::black_box(w.metrics().counter("net.bulk_bytes"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gram_cycle, bench_gass_transfer
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! E1 — Experience 1: the record-setting QAP campaign.
+//!
+//! "A Condor-G agent managed a mix of desktop workstations, commodity
+//! clusters, and supercomputer processors at ten sites... over 95,000 CPU
+//! hours were delivered over a period of less than seven days, with an
+//! average of 653 processors being active at any one time \[and\] a maximum
+//! of 1007."
+//!
+//! Ten heterogeneous sites (eight Condor pools, one PBS cluster, one LSF
+//! supercomputer — the paper's mix), glideins everywhere, a Master–Worker
+//! campaign with an effectively unbounded task pool for seven simulated
+//! days. Absolute CPU-hours depend on the fleet we give the simulation;
+//! the *shape* to reproduce is: multi-hundred sustained concurrency across
+//! all ten sites for a week, a peak well above the average, zero lost or
+//! duplicated tasks despite churn at the desktop pools.
+
+use condor_g_suite::gridsim::prelude::*;
+use condor_g_suite::gridsim::rng::Dist;
+use condor_g_suite::harness::{build, TestbedConfig};
+use condor_g_suite::harness::paper_sites;
+use condor_g_suite::workloads::stats::Table;
+use condor_g_suite::workloads::{MwConfig, MwMaster};
+use condor_g_suite::condor_g::api::Universe;
+use condor_g_suite::condor_g::gridmanager::GmConfig;
+
+fn main() {
+    let sites = paper_sites();
+    let site_names: Vec<String> = sites.iter().map(|s| s.name.clone()).collect();
+    let total_cpus: u32 = sites.iter().map(|s| s.cpus).sum();
+    println!(
+        "E1 testbed: {} sites, {total_cpus} CPUs total (paper: 10 sites, >2,500 CPUs)",
+        sites.len()
+    );
+
+    // The campaign runs on a proxy outliving the week; the §4.3 refresh
+    // machinery (12-hour proxies + MyProxy) is demonstrated separately in
+    // exp_credentials — mixing both here would entangle the measurements.
+    let mut tb = build(TestbedConfig {
+        seed: 1001,
+        sites,
+        with_personal_pool: true,
+        proxy_lifetime: Duration::from_days(14),
+        gm: GmConfig::default(),
+        ..TestbedConfig::default()
+    });
+    tb.add_glidein_factory(105, Duration::from_hours(12));
+    let master = MwMaster::new(
+        tb.scheduler,
+        MwConfig {
+            target_outstanding: 1050,
+            total_tasks: None, // unbounded: branch-and-bound never starves
+            // LAP-batch service times: heavy-tailed, ~1.3h mean.
+            task_runtime: Dist::LogNormal { median: 3600.0, sigma: 0.7 },
+            universe: Universe::Pool,
+            io_interval_secs: Some(1800.0),
+            io_bytes: 64 * 1024,
+            stdout_size: 0,
+        },
+    );
+    let node = tb.submit;
+    tb.world.add_component(node, "mw-master", master);
+
+    println!("running the 7-day campaign...");
+    let week = Duration::from_days(7);
+    tb.world.run_until(SimTime::ZERO + week);
+    let end = tb.world.now();
+
+    let m = tb.world.metrics();
+    let busy = m.series("condor.busy_startds").expect("busy gauge");
+    let cpu_hours = busy.integral(SimTime::ZERO, end) / 3600.0;
+    let avg = busy.time_weighted_mean(SimTime::ZERO, end);
+    let peak = busy.max();
+    let tasks = MwMaster::completed(&tb.world, node);
+
+    println!();
+    let mut t = Table::new(&["metric", "measured", "paper"]);
+    t.row(&["duration (days)".into(), format!("{:.1}", end.as_secs_f64() / 86400.0), "<7".into()]);
+    t.row(&["CPU-hours delivered".into(), format!("{cpu_hours:.0}"), "95,000".into()]);
+    t.row(&["avg processors active".into(), format!("{avg:.0}"), "653".into()]);
+    t.row(&["peak processors active".into(), format!("{peak:.0}"), "1007".into()]);
+    t.row(&["worker tasks completed".into(), format!("{tasks}"), "(540e9 LAPs total)".into()]);
+    t.row(&["glideins started".into(), format!("{}", m.counter("glidein.started")), "-".into()]);
+    t.row(&[
+        "preemptions survived".into(),
+        format!("{}", m.counter("condor.vacated") + m.counter("site.vacated")),
+        "-".into(),
+    ]);
+    t.row(&["checkpoints".into(), format!("{}", m.counter("condor.checkpoints")), "-".into()]);
+    t.row(&[
+        "tasks lost or duplicated".into(),
+        format!(
+            "{}",
+            m.counter("mw.task_failures") // re-dispatched, not lost
+        ),
+        "0 lost".into(),
+    ]);
+    bench::report(
+        "E1: the QAP campaign, ten sites, seven days",
+        "95,000 CPU-hours in <7 days; avg 653 / max 1007 processors active",
+        &t,
+    );
+
+    println!("per-site delivered CPU (glidein allocations occupying site slots):");
+    let mut t = Table::new(&["site", "cpus", "avg busy", "utilization %"]);
+    for (name, spec_cpus) in site_names.iter().zip(
+        paper_sites().iter().map(|s| s.cpus),
+    ) {
+        let s = tb.world.metrics().series(&format!("site.{name}.busy"));
+        let avg = s.map(|s| s.time_weighted_mean(SimTime::ZERO, end)).unwrap_or(0.0);
+        t.row(&[
+            name.clone(),
+            format!("{spec_cpus}"),
+            format!("{avg:.0}"),
+            format!("{:.0}", 100.0 * avg / spec_cpus as f64),
+        ]);
+    }
+    println!("{}", t.render());
+}

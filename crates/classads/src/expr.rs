@@ -1,0 +1,274 @@
+//! Expression AST and pretty-printing.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Attribute reference scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// Unqualified: resolved in the evaluating ad, then in the target ad.
+    Unqualified,
+    /// `MY.x` — only the evaluating ad.
+    My,
+    /// `TARGET.x` — only the candidate ad.
+    Target,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical negation `!`.
+    Not,
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Unary plus (identity on numbers, error otherwise).
+    Plus,
+}
+
+/// Binary operators, in ClassAd syntax order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==` (loose, case-insensitive on strings)
+    Eq,
+    /// `!=`
+    Ne,
+    /// `=?=` (identity; never UNDEFINED/ERROR)
+    MetaEq,
+    /// `=!=`
+    MetaNe,
+    /// `&&` (three-valued)
+    And,
+    /// `||` (three-valued)
+    Or,
+}
+
+impl BinOp {
+    /// Parser/printer precedence; higher binds tighter.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::MetaEq | BinOp::MetaNe => 3,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 6,
+        }
+    }
+
+    /// The surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::MetaEq => "=?=",
+            BinOp::MetaNe => "=!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// A ClassAd expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// An attribute reference.
+    Attr(Scope, String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional `cond ? a : b`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Builtin function call.
+    Call(String, Vec<Expr>),
+    /// List constructor `{ a, b, c }`.
+    List(Vec<Expr>),
+}
+
+impl Expr {
+    /// Shorthand literal constructor.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Shorthand unqualified attribute reference.
+    pub fn attr(name: &str) -> Expr {
+        Expr::Attr(Scope::Unqualified, name.to_string())
+    }
+
+    /// Shorthand `TARGET.name` reference.
+    pub fn target(name: &str) -> Expr {
+        Expr::Attr(Scope::Target, name.to_string())
+    }
+
+    /// Shorthand `MY.name` reference.
+    pub fn my(name: &str) -> Expr {
+        Expr::Attr(Scope::My, name.to_string())
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        match self {
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Attr(Scope::Unqualified, name) => write!(f, "{name}"),
+            Expr::Attr(Scope::My, name) => write!(f, "MY.{name}"),
+            Expr::Attr(Scope::Target, name) => write!(f, "TARGET.{name}"),
+            Expr::Unary(op, e) => {
+                let sym = match op {
+                    UnOp::Not => "!",
+                    UnOp::Neg => "-",
+                    UnOp::Plus => "+",
+                };
+                write!(f, "{sym}")?;
+                e.fmt_prec(f, 7)
+            }
+            Expr::Binary(op, a, b) => {
+                let prec = op.precedence();
+                let need_parens = prec < parent;
+                if need_parens {
+                    write!(f, "(")?;
+                }
+                a.fmt_prec(f, prec)?;
+                write!(f, " {} ", op.symbol())?;
+                // Right operand printed at prec+1 so left-assoc chains
+                // re-parse identically.
+                b.fmt_prec(f, prec + 1)?;
+                if need_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Cond(c, a, b) => {
+                if parent > 0 {
+                    write!(f, "(")?;
+                }
+                c.fmt_prec(f, 1)?;
+                write!(f, " ? ")?;
+                a.fmt_prec(f, 0)?;
+                write!(f, " : ")?;
+                b.fmt_prec(f, 0)?;
+                if parent > 0 {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+            Expr::List(items) => {
+                write!(f, "{{")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    e.fmt_prec(f, 0)?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_respects_precedence() {
+        // (1 + 2) * 3 must keep its parentheses.
+        let e = Expr::Binary(
+            BinOp::Mul,
+            Box::new(Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::lit(1i64)),
+                Box::new(Expr::lit(2i64)),
+            )),
+            Box::new(Expr::lit(3i64)),
+        );
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+        // 1 + 2 * 3 must not gain parentheses.
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::lit(1i64)),
+            Box::new(Expr::Binary(
+                BinOp::Mul,
+                Box::new(Expr::lit(2i64)),
+                Box::new(Expr::lit(3i64)),
+            )),
+        );
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn display_right_assoc_subtraction_parenthesized() {
+        // 1 - (2 - 3): the right operand needs parens to re-parse.
+        let e = Expr::Binary(
+            BinOp::Sub,
+            Box::new(Expr::lit(1i64)),
+            Box::new(Expr::Binary(
+                BinOp::Sub,
+                Box::new(Expr::lit(2i64)),
+                Box::new(Expr::lit(3i64)),
+            )),
+        );
+        assert_eq!(e.to_string(), "1 - (2 - 3)");
+    }
+
+    #[test]
+    fn display_scopes_and_calls() {
+        let e = Expr::Binary(
+            BinOp::And,
+            Box::new(Expr::Binary(
+                BinOp::Ge,
+                Box::new(Expr::target("Memory")),
+                Box::new(Expr::my("ImageSize")),
+            )),
+            Box::new(Expr::Call("isUndefined".into(), vec![Expr::attr("Rank")])),
+        );
+        assert_eq!(
+            e.to_string(),
+            "TARGET.Memory >= MY.ImageSize && isUndefined(Rank)"
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Builtin functions.
+//!
+//! The subset that real-world Condor policies of the paper's era leaned on:
+//! type predicates, string utilities, numeric rounding, and the
+//! `stringListMember` family used to express things like
+//! `stringListMember(TARGET.Arch, "INTEL,SUN4u")`.
+
+use crate::value::Value;
+
+/// Invoke builtin `name` on already-evaluated arguments. Unknown functions
+/// return `ERROR`; wrong arity or argument types return `ERROR` too, except
+/// for the `is*` predicates which never error.
+pub fn call(name: &str, args: &[Value]) -> Value {
+    let lower = name.to_ascii_lowercase();
+    match lower.as_str() {
+        // --- type predicates: total functions, never ERROR --------------
+        "isundefined" => arity1(args, |v| Value::Bool(v.is_undefined())),
+        "iserror" => arity1(args, |v| Value::Bool(v.is_error())),
+        "isstring" => arity1(args, |v| Value::Bool(matches!(v, Value::Str(_)))),
+        "isinteger" => arity1(args, |v| Value::Bool(matches!(v, Value::Int(_)))),
+        "isreal" => arity1(args, |v| Value::Bool(matches!(v, Value::Real(_)))),
+        "isboolean" => arity1(args, |v| Value::Bool(matches!(v, Value::Bool(_)))),
+        "islist" => arity1(args, |v| Value::Bool(matches!(v, Value::List(_)))),
+
+        // --- conversions --------------------------------------------------
+        "int" => arity1(args, |v| match v {
+            Value::Int(i) => Value::Int(*i),
+            Value::Real(r) if r.is_finite() => Value::Int(*r as i64),
+            Value::Bool(b) => Value::Int(*b as i64),
+            Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Error),
+            _ => Value::Error,
+        }),
+        "real" => arity1(args, |v| match v {
+            Value::Int(i) => Value::Real(*i as f64),
+            Value::Real(r) => Value::Real(*r),
+            Value::Str(s) => s.trim().parse::<f64>().map(Value::Real).unwrap_or(Value::Error),
+            _ => Value::Error,
+        }),
+        "string" => arity1(args, |v| match v {
+            Value::Str(s) => Value::Str(s.clone()),
+            other => Value::Str(other.to_string()),
+        }),
+
+        // --- numerics ------------------------------------------------------
+        "floor" => num1(args, f64::floor),
+        "ceiling" => num1(args, f64::ceil),
+        "round" => num1(args, f64::round),
+        "abs" => arity1(args, |v| match v {
+            Value::Int(i) => Value::Int(i.wrapping_abs()),
+            Value::Real(r) => Value::Real(r.abs()),
+            _ => Value::Error,
+        }),
+        "min" => fold_numeric(args, f64::min),
+        "max" => fold_numeric(args, f64::max),
+        "pow" => {
+            let [a, b] = args else { return Value::Error };
+            match (a.as_number(), b.as_number()) {
+                (Some(x), Some(y)) => Value::Real(x.powf(y)),
+                _ => Value::Error,
+            }
+        }
+
+        // --- strings --------------------------------------------------------
+        "strcat" => {
+            let mut out = String::new();
+            for a in args {
+                match a {
+                    Value::Str(s) => out.push_str(s),
+                    Value::Int(_) | Value::Real(_) | Value::Bool(_) => {
+                        out.push_str(&a.to_string())
+                    }
+                    _ => return Value::Error,
+                }
+            }
+            Value::Str(out)
+        }
+        "size" | "length" => arity1(args, |v| match v {
+            Value::Str(s) => Value::Int(s.chars().count() as i64),
+            Value::List(l) => Value::Int(l.len() as i64),
+            _ => Value::Error,
+        }),
+        "tolower" => str1(args, |s| s.to_ascii_lowercase()),
+        "toupper" => str1(args, |s| s.to_ascii_uppercase()),
+        "substr" => {
+            // substr(s, offset [, length]); negative offset counts from end.
+            let s = match args.first() {
+                Some(Value::Str(s)) => s,
+                _ => return Value::Error,
+            };
+            let chars: Vec<char> = s.chars().collect();
+            let off = match args.get(1).and_then(Value::as_int) {
+                Some(o) => o,
+                None => return Value::Error,
+            };
+            let start = if off < 0 {
+                chars.len().saturating_sub((-off) as usize)
+            } else {
+                (off as usize).min(chars.len())
+            };
+            let len = match args.get(2) {
+                None => chars.len() - start,
+                Some(v) => match v.as_int() {
+                    Some(l) if l >= 0 => (l as usize).min(chars.len() - start),
+                    _ => return Value::Error,
+                },
+            };
+            Value::Str(chars[start..start + len].iter().collect())
+        }
+
+        // --- string lists -----------------------------------------------------
+        "stringlistmember" => {
+            // stringListMember(item, "a,b,c" [, delims])
+            let item = match args.first() {
+                Some(Value::Str(s)) => s,
+                _ => return Value::Error,
+            };
+            match split_list(args, 1) {
+                Some(items) => {
+                    Value::Bool(items.iter().any(|x| x.eq_ignore_ascii_case(item)))
+                }
+                None => Value::Error,
+            }
+        }
+        "stringlistsize" => match split_list(args, 0) {
+            Some(items) => Value::Int(items.len() as i64),
+            None => Value::Error,
+        },
+
+        // --- misc ------------------------------------------------------------
+        "ifthenelse" => {
+            let [c, a, b] = args else { return Value::Error };
+            match c {
+                Value::Bool(true) => a.clone(),
+                Value::Bool(false) => b.clone(),
+                Value::Undefined => Value::Undefined,
+                _ => Value::Error,
+            }
+        }
+        "member" => {
+            let [item, Value::List(list)] = args else { return Value::Error };
+            Value::Bool(list.iter().any(|x| x.loose_eq(item) == Some(true)))
+        }
+
+        _ => Value::Error,
+    }
+}
+
+fn arity1(args: &[Value], f: impl FnOnce(&Value) -> Value) -> Value {
+    match args {
+        [v] => f(v),
+        _ => Value::Error,
+    }
+}
+
+fn num1(args: &[Value], f: impl FnOnce(f64) -> f64) -> Value {
+    arity1(args, |v| match v {
+        Value::Int(i) => Value::Int(*i),
+        Value::Real(r) => Value::Int(f(*r) as i64),
+        _ => Value::Error,
+    })
+}
+
+fn str1(args: &[Value], f: impl FnOnce(&str) -> String) -> Value {
+    arity1(args, |v| match v {
+        Value::Str(s) => Value::Str(f(s)),
+        _ => Value::Error,
+    })
+}
+
+fn fold_numeric(args: &[Value], f: impl Fn(f64, f64) -> f64) -> Value {
+    if args.is_empty() {
+        return Value::Error;
+    }
+    let mut acc: Option<f64> = None;
+    let mut all_int = true;
+    for a in args {
+        match a.as_number() {
+            Some(n) => {
+                if !matches!(a, Value::Int(_)) {
+                    all_int = false;
+                }
+                acc = Some(match acc {
+                    None => n,
+                    Some(prev) => f(prev, n),
+                });
+            }
+            None => return Value::Error,
+        }
+    }
+    let v = acc.unwrap();
+    if all_int {
+        Value::Int(v as i64)
+    } else {
+        Value::Real(v)
+    }
+}
+
+fn split_list(args: &[Value], idx: usize) -> Option<Vec<String>> {
+    let list = match args.get(idx) {
+        Some(Value::Str(s)) => s,
+        _ => return None,
+    };
+    let delims = match args.get(idx + 1) {
+        None => " ,".to_string(),
+        Some(Value::Str(d)) => d.clone(),
+        _ => return None,
+    };
+    Some(
+        list.split(|c| delims.contains(c))
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &str) -> Value {
+        Value::Str(v.into())
+    }
+
+    #[test]
+    fn predicates() {
+        assert_eq!(call("isUndefined", &[Value::Undefined]), Value::Bool(true));
+        assert_eq!(call("isUndefined", &[Value::Int(0)]), Value::Bool(false));
+        assert_eq!(call("isError", &[Value::Error]), Value::Bool(true));
+        assert_eq!(call("isString", &[s("x")]), Value::Bool(true));
+        // Wrong arity is an error even for predicates.
+        assert_eq!(call("isUndefined", &[]), Value::Error);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(call("int", &[Value::Real(3.9)]), Value::Int(3));
+        assert_eq!(call("int", &[s(" 42 ")]), Value::Int(42));
+        assert_eq!(call("int", &[s("nope")]), Value::Error);
+        assert_eq!(call("real", &[Value::Int(2)]), Value::Real(2.0));
+        assert_eq!(call("string", &[Value::Int(7)]), s("7"));
+        assert_eq!(call("string", &[s("x")]), s("x"));
+    }
+
+    #[test]
+    fn numerics() {
+        assert_eq!(call("floor", &[Value::Real(2.7)]), Value::Int(2));
+        assert_eq!(call("ceiling", &[Value::Real(2.1)]), Value::Int(3));
+        assert_eq!(call("round", &[Value::Real(2.5)]), Value::Int(3));
+        assert_eq!(call("abs", &[Value::Int(-4)]), Value::Int(4));
+        assert_eq!(call("min", &[Value::Int(3), Value::Int(1), Value::Int(2)]), Value::Int(1));
+        assert_eq!(call("max", &[Value::Int(1), Value::Real(2.5)]), Value::Real(2.5));
+        assert_eq!(call("pow", &[Value::Int(2), Value::Int(10)]), Value::Real(1024.0));
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(call("strcat", &[s("a"), Value::Int(1), s("b")]), s("a1b"));
+        assert_eq!(call("size", &[s("hello")]), Value::Int(5));
+        assert_eq!(call("toUpper", &[s("pbs")]), s("PBS"));
+        assert_eq!(call("toLower", &[s("LSF")]), s("lsf"));
+        assert_eq!(call("substr", &[s("gatekeeper"), Value::Int(4)]), s("keeper"));
+        assert_eq!(
+            call("substr", &[s("gatekeeper"), Value::Int(0), Value::Int(4)]),
+            s("gate")
+        );
+        assert_eq!(call("substr", &[s("abc"), Value::Int(-2)]), s("bc"));
+        assert_eq!(call("substr", &[s("abc"), Value::Int(99)]), s(""));
+    }
+
+    #[test]
+    fn string_lists() {
+        assert_eq!(
+            call("stringListMember", &[s("INTEL"), s("intel,sun4u")]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            call("stringListMember", &[s("ALPHA"), s("intel,sun4u")]),
+            Value::Bool(false)
+        );
+        assert_eq!(call("stringListSize", &[s("a, b, c")]), Value::Int(3));
+        assert_eq!(
+            call("stringListSize", &[s("a|b"), s("|")]),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn misc() {
+        assert_eq!(
+            call("ifThenElse", &[Value::Bool(true), Value::Int(1), Value::Int(2)]),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call("ifThenElse", &[Value::Undefined, Value::Int(1), Value::Int(2)]),
+            Value::Undefined
+        );
+        let list = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(call("member", &[Value::Int(2), list.clone()]), Value::Bool(true));
+        assert_eq!(call("member", &[Value::Int(5), list]), Value::Bool(false));
+        assert_eq!(call("nosuchfunction", &[]), Value::Error);
+    }
+}

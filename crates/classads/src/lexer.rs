@@ -1,0 +1,424 @@
+//! Tokenizer for the classic ClassAd syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal (already unescaped).
+    Str(String),
+    /// Identifier or keyword (`true`, `false`, `undefined`, `error` are
+    /// recognized by the parser, case-insensitively).
+    Ident(String),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `=?=`
+    MetaEq,
+    /// `=!=`
+    MetaNe,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `!`
+    Not,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Real(r) => write!(f, "{r}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Assign => write!(f, "="),
+            Token::Eq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::MetaEq => write!(f, "=?="),
+            Token::MetaNe => write!(f, "=!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::And => write!(f, "&&"),
+            Token::Or => write!(f, "||"),
+            Token::Not => write!(f, "!"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Question => write!(f, "?"),
+            Token::Colon => write!(f, ":"),
+        }
+    }
+}
+
+/// A lexing failure with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the problem.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize ClassAd source. Comments (`// ...` and `/* ... */`) are skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError { pos: start, message: "unterminated comment".into() });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'[' => { out.push(Token::LBracket); i += 1; }
+            b']' => { out.push(Token::RBracket); i += 1; }
+            b'{' => { out.push(Token::LBrace); i += 1; }
+            b'}' => { out.push(Token::RBrace); i += 1; }
+            b'(' => { out.push(Token::LParen); i += 1; }
+            b')' => { out.push(Token::RParen); i += 1; }
+            b';' => { out.push(Token::Semi); i += 1; }
+            b',' => { out.push(Token::Comma); i += 1; }
+            b'.' if !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            b'+' => { out.push(Token::Plus); i += 1; }
+            b'-' => { out.push(Token::Minus); i += 1; }
+            b'*' => { out.push(Token::Star); i += 1; }
+            b'/' => { out.push(Token::Slash); i += 1; }
+            b'%' => { out.push(Token::Percent); i += 1; }
+            b'?' => { out.push(Token::Question); i += 1; }
+            b':' => { out.push(Token::Colon); i += 1; }
+            b'&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push(Token::And);
+                    i += 2;
+                } else {
+                    return Err(LexError { pos: i, message: "expected &&".into() });
+                }
+            }
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Token::Or);
+                    i += 2;
+                } else {
+                    return Err(LexError { pos: i, message: "expected ||".into() });
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Not);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Eq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'?') && bytes.get(i + 2) == Some(&b'=') {
+                    out.push(Token::MetaEq);
+                    i += 3;
+                } else if bytes.get(i + 1) == Some(&b'!') && bytes.get(i + 2) == Some(&b'=') {
+                    out.push(Token::MetaNe);
+                    i += 3;
+                } else {
+                    out.push(Token::Assign);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError { pos: start, message: "unterminated string".into() });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            let esc = bytes.get(i).copied().ok_or_else(|| LexError {
+                                pos: start,
+                                message: "unterminated escape".into(),
+                            })?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => {
+                                    return Err(LexError {
+                                        pos: i,
+                                        message: format!("bad escape \\{}", other as char),
+                                    })
+                                }
+                            });
+                            i += 1;
+                        }
+                        _ => {
+                            // Consume one full UTF-8 character.
+                            let ch_start = i;
+                            let rest = &src[ch_start..];
+                            let ch = rest.chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b'0'..=b'9'
+            | b'.' /* .5 style literal */ => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if !saw_dot && !saw_exp => {
+                            saw_dot = true;
+                            i += 1;
+                        }
+                        b'e' | b'E' if !saw_exp => {
+                            saw_exp = true;
+                            i += 1;
+                            if matches!(bytes.get(i), Some(b'+') | Some(b'-')) {
+                                i += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &src[start..i];
+                if saw_dot || saw_exp {
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        pos: start,
+                        message: format!("bad real literal {text}"),
+                    })?;
+                    out.push(Token::Real(v));
+                } else {
+                    let v: i64 = text.parse().map_err(|_| LexError {
+                        pos: start,
+                        message: format!("bad integer literal {text}"),
+                    })?;
+                    out.push(Token::Int(v));
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(src[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("[ a = 1; b = 2.5 ]").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LBracket,
+                Token::Ident("a".into()),
+                Token::Assign,
+                Token::Int(1),
+                Token::Semi,
+                Token::Ident("b".into()),
+                Token::Assign,
+                Token::Real(2.5),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("== != =?= =!= <= >= < > && || ! ? :").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::MetaEq,
+                Token::MetaNe,
+                Token::Le,
+                Token::Ge,
+                Token::Lt,
+                Token::Gt,
+                Token::And,
+                Token::Or,
+                Token::Not,
+                Token::Question,
+                Token::Colon,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = lex(r#""a\"b\\c\nd""#).unwrap();
+        assert_eq!(toks, vec![Token::Str("a\"b\\c\nd".into())]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("1 // line comment\n /* block */ 2").unwrap();
+        assert_eq!(toks, vec![Token::Int(1), Token::Int(2)]);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = lex("1e3 2.5E-2").unwrap();
+        assert_eq!(toks, vec![Token::Real(1000.0), Token::Real(0.025)]);
+    }
+
+    #[test]
+    fn dot_vs_real() {
+        let toks = lex("MY.Memory").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("MY".into()), Token::Dot, Token::Ident("Memory".into())]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("#").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = lex("\"héllo λ\"").unwrap();
+        assert_eq!(toks, vec![Token::Str("héllo λ".into())]);
+    }
+}

@@ -1,0 +1,391 @@
+//! Recursive-descent parser for ClassAd expressions and ads.
+
+use crate::ad::ClassAd;
+use crate::expr::{BinOp, Expr, Scope, UnOp};
+use crate::lexer::{lex, LexError, Token};
+use crate::value::Value;
+use std::fmt;
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { message: e.to_string() }
+    }
+}
+
+/// Parse a single expression (`TARGET.Memory >= 64 && Arch == "INTEL"`).
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+/// Parse a full ad (`[ a = 1; Requirements = ...; ]`).
+pub fn parse_ad(src: &str) -> Result<ClassAd, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let ad = p.ad()?;
+    p.expect_end()?;
+    Ok(ad)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), ParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(ParseError {
+                message: format!("expected {tok}, found {}", self.describe_here()),
+            })
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(ParseError {
+                message: format!("trailing input: {}", self.describe_here()),
+            })
+        }
+    }
+
+    fn describe_here(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("{t}"),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn ad(&mut self) -> Result<ClassAd, ParseError> {
+        self.expect(&Token::LBracket)?;
+        let mut ad = ClassAd::new();
+        loop {
+            if self.eat(&Token::RBracket) {
+                return Ok(ad);
+            }
+            let name = match self.next() {
+                Some(Token::Ident(name)) => name,
+                other => {
+                    return Err(ParseError {
+                        message: format!("expected attribute name, found {other:?}"),
+                    })
+                }
+            };
+            self.expect(&Token::Assign)?;
+            let value = self.expr()?;
+            ad.set_expr(&name, value);
+            // `;` separates; trailing `;` before `]` is allowed.
+            if !self.eat(&Token::Semi) {
+                self.expect(&Token::RBracket)?;
+                return Ok(ad);
+            }
+        }
+    }
+
+    /// expr := or_expr [ '?' expr ':' expr ]
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.binary(1)?;
+        if self.eat(&Token::Question) {
+            let a = self.expr()?;
+            self.expect(&Token::Colon)?;
+            let b = self.expr()?;
+            Ok(Expr::Cond(Box::new(cond), Box::new(a), Box::new(b)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Precedence-climbing over binary operators.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Or) => BinOp::Or,
+                Some(Token::And) => BinOp::And,
+                Some(Token::Eq) => BinOp::Eq,
+                Some(Token::Ne) => BinOp::Ne,
+                Some(Token::MetaEq) => BinOp::MetaEq,
+                Some(Token::MetaNe) => BinOp::MetaNe,
+                Some(Token::Lt) => BinOp::Lt,
+                Some(Token::Le) => BinOp::Le,
+                Some(Token::Gt) => BinOp::Gt,
+                Some(Token::Ge) => BinOp::Ge,
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            // Left-associative: parse the rhs at prec+1.
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Not) {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat(&Token::Minus) {
+            // Fold negation of numeric literals so `-1` is a literal and the
+            // printer/parser pair is a true round trip.
+            return Ok(match self.unary()? {
+                Expr::Lit(Value::Int(i)) => Expr::Lit(Value::Int(i.wrapping_neg())),
+                Expr::Lit(Value::Real(r)) => Expr::Lit(Value::Real(-r)),
+                other => Expr::Unary(UnOp::Neg, Box::new(other)),
+            });
+        }
+        if self.eat(&Token::Plus) {
+            return Ok(Expr::Unary(UnOp::Plus, Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Expr::Lit(Value::Int(i))),
+            Some(Token::Real(r)) => Ok(Expr::Lit(Value::Real(r))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(Value::Str(s))),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::LBrace) => {
+                let mut items = Vec::new();
+                if !self.eat(&Token::RBrace) {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.eat(&Token::RBrace) {
+                            break;
+                        }
+                        self.expect(&Token::Comma)?;
+                    }
+                }
+                Ok(Expr::List(items))
+            }
+            Some(Token::Ident(name)) => {
+                let lower = name.to_ascii_lowercase();
+                match lower.as_str() {
+                    "true" => return Ok(Expr::Lit(Value::Bool(true))),
+                    "false" => return Ok(Expr::Lit(Value::Bool(false))),
+                    "undefined" => return Ok(Expr::Lit(Value::Undefined)),
+                    "error" => return Ok(Expr::Lit(Value::Error)),
+                    _ => {}
+                }
+                // Scope qualifier?
+                if (lower == "my" || lower == "target") && self.eat(&Token::Dot) {
+                    let attr = match self.next() {
+                        Some(Token::Ident(a)) => a,
+                        other => {
+                            return Err(ParseError {
+                                message: format!("expected attribute after scope, found {other:?}"),
+                            })
+                        }
+                    };
+                    let scope = if lower == "my" { Scope::My } else { Scope::Target };
+                    return Ok(Expr::Attr(scope, attr));
+                }
+                // Function call?
+                if self.eat(&Token::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Token::RParen) {
+                                break;
+                            }
+                            self.expect(&Token::Comma)?;
+                        }
+                    }
+                    return Ok(Expr::Call(name, args));
+                }
+                Ok(Expr::Attr(Scope::Unqualified, name))
+            }
+            other => Err(ParseError { message: format!("unexpected token {other:?}") }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(src: &str) -> String {
+        parse_expr(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(rt("1 + 2 * 3"), "1 + 2 * 3");
+        assert_eq!(rt("(1 + 2) * 3"), "(1 + 2) * 3");
+        assert_eq!(rt("a && b || c && d"), "a && b || c && d");
+        assert_eq!(rt("a || b && c"), "a || b && c");
+        assert_eq!(rt("1 < 2 == true"), "1 < 2 == TRUE");
+    }
+
+    #[test]
+    fn left_associativity() {
+        // 10 - 3 - 2 parses as (10-3)-2.
+        let e = parse_expr("10 - 3 - 2").unwrap();
+        assert_eq!(
+            e,
+            Expr::Binary(
+                BinOp::Sub,
+                Box::new(Expr::Binary(
+                    BinOp::Sub,
+                    Box::new(Expr::lit(10i64)),
+                    Box::new(Expr::lit(3i64))
+                )),
+                Box::new(Expr::lit(2i64))
+            )
+        );
+    }
+
+    #[test]
+    fn scopes() {
+        assert_eq!(
+            parse_expr("MY.ImageSize").unwrap(),
+            Expr::Attr(Scope::My, "ImageSize".into())
+        );
+        assert_eq!(
+            parse_expr("target.Memory").unwrap(),
+            Expr::Attr(Scope::Target, "Memory".into())
+        );
+        // "my" alone is a plain attribute reference.
+        assert_eq!(
+            parse_expr("my").unwrap(),
+            Expr::Attr(Scope::Unqualified, "my".into())
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(parse_expr("TRUE").unwrap(), Expr::lit(true));
+        assert_eq!(parse_expr("False").unwrap(), Expr::lit(false));
+        assert_eq!(parse_expr("Undefined").unwrap(), Expr::Lit(Value::Undefined));
+        assert_eq!(parse_expr("ERROR").unwrap(), Expr::Lit(Value::Error));
+    }
+
+    #[test]
+    fn conditional_and_calls() {
+        assert_eq!(rt("a ? 1 : 2"), "a ? 1 : 2");
+        assert_eq!(rt("f()"), "f()");
+        assert_eq!(rt("strcat(\"a\", \"b\")"), "strcat(\"a\", \"b\")");
+        // Nested conditional round-trips (parens in the middle arm are
+        // redundant: `?:` binds the middle greedily).
+        let e1 = parse_expr("a ? (b ? 1 : 2) : 3").unwrap();
+        let e2 = parse_expr(&e1.to_string()).unwrap();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn lists() {
+        assert_eq!(rt("{1, 2, 3}"), "{1, 2, 3}");
+        assert_eq!(rt("{}"), "{}");
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(rt("!a"), "!a");
+        assert_eq!(rt("-5"), "-5");
+        assert_eq!(rt("!!a"), "!!a");
+    }
+
+    #[test]
+    fn meta_operators() {
+        assert_eq!(rt("x =?= UNDEFINED"), "x =?= UNDEFINED");
+        assert_eq!(rt("x =!= 3"), "x =!= 3");
+    }
+
+    #[test]
+    fn ad_parsing() {
+        let ad = parse_ad("[ A = 1; B = \"x\"; Requirements = TARGET.Y > A ]").unwrap();
+        assert_eq!(ad.len(), 3);
+        assert!(ad.get("a").is_some(), "attribute lookup is case-insensitive");
+        assert!(ad.get("REQUIREMENTS").is_some());
+    }
+
+    #[test]
+    fn ad_trailing_semicolon_and_empty() {
+        assert_eq!(parse_ad("[ A = 1; ]").unwrap().len(), 1);
+        assert_eq!(parse_ad("[]").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("(1").is_err());
+        assert!(parse_expr("1 2").is_err());
+        assert!(parse_ad("[ A = ]").is_err());
+        assert!(parse_ad("[ A 1 ]").is_err());
+        assert!(parse_expr("f(1,").is_err());
+    }
+
+    #[test]
+    fn expr_round_trip_through_display() {
+        for src in [
+            "TARGET.Arch == \"INTEL\" && TARGET.OpSys == \"LINUX\"",
+            "(a + b) * (c - d) % e",
+            "x =?= UNDEFINED || y =!= ERROR",
+            "f(a, g(b, c), {1, 2.5, \"s\"})",
+            "!a && -b < +c",
+            "cond ? val1 : val2 + 3",
+        ] {
+            let e1 = parse_expr(src).unwrap();
+            let printed = e1.to_string();
+            let e2 = parse_expr(&printed).unwrap();
+            assert_eq!(e1, e2, "round trip failed for {src} -> {printed}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the ClassAd language: arbitrary expressions
+//! round-trip through the printer, and the evaluator obeys its algebraic
+//! laws.
+
+use classads::{parse_expr, rank, symmetric_match, BinOp, ClassAd, Expr, Value};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary ClassAd values (no lists here — lists are covered
+/// separately since `Display` for reals inside lists is exercised the same
+/// way).
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Undefined),
+        Just(Value::Error),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite, display-stable reals.
+        (-1.0e12..1.0e12_f64).prop_map(Value::Real),
+        "[a-zA-Z0-9 _.,/:-]{0,16}".prop_map(Value::Str),
+    ]
+}
+
+/// Strategy for arbitrary expressions of bounded depth.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_value().prop_map(Expr::Lit),
+        "[a-zA-Z_][a-zA-Z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+            !matches!(
+                s.to_ascii_lowercase().as_str(),
+                "true" | "false" | "undefined" | "error" | "my" | "target"
+            )
+        })
+        .prop_map(|s| Expr::attr(&s)),
+        "[a-zA-Z_][a-zA-Z0-9_]{0,8}".prop_map(|s| Expr::my(&s)),
+        "[a-zA-Z_][a-zA-Z0-9_]{0,8}".prop_map(|s| Expr::target(&s)),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| {
+                Expr::Binary(op, Box::new(a), Box::new(b))
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, a, b)| {
+                Expr::Cond(Box::new(c), Box::new(a), Box::new(b))
+            }),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(classads::UnOp::Not, Box::new(e))),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::List),
+            (prop::sample::select(vec!["strcat", "min", "isUndefined"]),
+             prop::collection::vec(inner, 0..3))
+                .prop_map(|(name, args)| Expr::Call(name.to_string(), args)),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop::sample::select(vec![
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::MetaEq,
+        BinOp::MetaNe,
+        BinOp::And,
+        BinOp::Or,
+    ])
+}
+
+proptest! {
+    /// print ∘ parse ∘ print == print (the printer emits re-parseable syntax
+    /// with identical structure).
+    #[test]
+    fn expr_print_parse_round_trip(e in arb_expr()) {
+        let printed = e.to_string();
+        let parsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse `{printed}`: {err}"));
+        prop_assert_eq!(parsed, e);
+    }
+
+    /// Evaluation is deterministic and total: no panic, same value twice.
+    #[test]
+    fn eval_is_total_and_deterministic(e in arb_expr()) {
+        let my = ClassAd::new().with("Memory", 64i64).with("Arch", "INTEL");
+        let target = ClassAd::new().with("ImageSize", 32i64);
+        let ctx = classads::EvalCtx::matching(&my, &target);
+        let v1 = ctx.eval(&e);
+        let v2 = ctx.eval(&e);
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// Meta-equality is reflexive on every evaluable expression (a value is
+    /// always identical to itself), and `=?=`/`=!=` always produce booleans.
+    #[test]
+    fn meta_eq_reflexive(e in arb_expr()) {
+        let ad = ClassAd::new();
+        let ctx = classads::EvalCtx::solo(&ad);
+        let meta = Expr::Binary(BinOp::MetaEq, Box::new(e.clone()), Box::new(e));
+        // NaN never arises from our generator range, so reflexivity holds.
+        prop_assert_eq!(ctx.eval(&meta), Value::Bool(true));
+    }
+
+    /// Ads print-parse round-trip.
+    #[test]
+    fn ad_round_trip(
+        attrs in prop::collection::vec(("[a-zA-Z][a-zA-Z0-9_]{0,8}", arb_expr()), 0..6)
+    ) {
+        let mut ad = ClassAd::new();
+        for (name, e) in &attrs {
+            ad.set_expr(name, e.clone());
+        }
+        let printed = ad.to_string();
+        let back: ClassAd = printed.parse()
+            .unwrap_or_else(|err| panic!("failed to reparse ad `{printed}`: {err}"));
+        prop_assert_eq!(back, ad);
+    }
+
+    /// symmetric_match is symmetric by construction.
+    #[test]
+    fn match_is_symmetric(mem in 0i64..256, img in 0i64..256) {
+        let machine = ClassAd::new()
+            .with("Memory", mem)
+            .with_parsed("Requirements", "TARGET.ImageSize <= MY.Memory");
+        let job = ClassAd::new()
+            .with("ImageSize", img)
+            .with_parsed("Requirements", "TARGET.Memory >= MY.ImageSize");
+        prop_assert_eq!(
+            symmetric_match(&machine, &job),
+            symmetric_match(&job, &machine)
+        );
+        prop_assert_eq!(symmetric_match(&job, &machine), img <= mem);
+    }
+
+    /// Rank is always finite for finite attribute values.
+    #[test]
+    fn rank_is_finite(mips in 0i64..100_000) {
+        let job = ClassAd::new().with_parsed("Rank", "TARGET.Mips * 2");
+        let machine = ClassAd::new().with("Mips", mips);
+        let r = rank(&job, &machine);
+        prop_assert!(r.is_finite());
+        prop_assert_eq!(r, (mips * 2) as f64);
+    }
+}

@@ -1,0 +1,123 @@
+//! The checkpoint server (paper §5: jobs checkpoint "to another location
+//! (e.g., the originating location or a local checkpoint server)").
+
+use crate::proto::Checkpoint;
+use gridsim::prelude::*;
+use gridsim::AnyMsg;
+use std::collections::HashMap;
+
+/// Ask the server for the latest checkpoint of a job.
+#[derive(Debug)]
+pub struct FetchCkpt {
+    /// Correlation id.
+    pub request_id: u64,
+    /// Global job id.
+    pub global_id: String,
+}
+
+/// Fetch answer.
+#[derive(Debug)]
+pub struct CkptImage {
+    /// Correlation id.
+    pub request_id: u64,
+    /// The stored progress, if any checkpoint exists.
+    pub done_work: Option<Duration>,
+}
+
+/// A standalone checkpoint repository.
+#[derive(Default)]
+pub struct CkptServer {
+    images: HashMap<String, (Duration, u64)>, // global_id -> (work, bytes)
+}
+
+impl CkptServer {
+    /// An empty server.
+    pub fn new() -> CkptServer {
+        CkptServer::default()
+    }
+}
+
+impl Component for CkptServer {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
+        if let Some(ckpt) = msg.downcast_ref::<Checkpoint>() {
+            ctx.metrics().incr("ckpt.stored", 1);
+            ctx.metrics().incr("ckpt.bytes", ckpt.image_bytes);
+            // Keep only the freshest image per job.
+            let entry = self
+                .images
+                .entry(ckpt.global_id.clone())
+                .or_insert((Duration::ZERO, 0));
+            if ckpt.done_work >= entry.0 {
+                *entry = (ckpt.done_work, ckpt.image_bytes);
+            }
+            // Mirror count to stable storage for experiment assertions.
+            let n = self.images.len() as u64;
+            let node = ctx.node();
+            ctx.store().put(node, "ckpt/count", &n);
+            return;
+        }
+        if let Ok(fetch) = msg.downcast::<FetchCkpt>() {
+            let done_work = self.images.get(&fetch.global_id).map(|&(w, _)| w);
+            ctx.send(from, CkptImage { request_id: fetch.request_id, done_work });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::JobId;
+    use gridsim::{Config, World};
+
+    struct Driver {
+        server: Addr,
+    }
+
+    impl Component for Driver {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for (i, work) in [600u64, 1200, 900].into_iter().enumerate() {
+                ctx.send(
+                    self.server,
+                    Checkpoint {
+                        job: JobId(1),
+                        global_id: "schedd1#1".into(),
+                        done_work: Duration::from_secs(work),
+                        image_bytes: 1000 * (i as u64 + 1),
+                    },
+                );
+            }
+            ctx.set_timer(Duration::from_mins(1), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, _tag: u64) {
+            ctx.send(self.server, FetchCkpt { request_id: 9, global_id: "schedd1#1".into() });
+            ctx.send(self.server, FetchCkpt { request_id: 10, global_id: "nope".into() });
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
+            if let Ok(img) = msg.downcast::<CkptImage>() {
+                let node = ctx.node();
+                ctx.store().put(
+                    node,
+                    &format!("img/{}", img.request_id),
+                    &img.done_work.map(|d| d.micros()),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keeps_freshest_image_and_answers_fetches() {
+        let mut w = World::new(Config::default().seed(3));
+        let ns = w.add_node("ckpt");
+        let nd = w.add_node("exec");
+        let server = w.add_component(ns, "ckpt", CkptServer::new());
+        w.add_component(nd, "driver", Driver { server });
+        w.run_until_quiescent();
+        // Latest work is 1200s (the 900s checkpoint is stale and ignored).
+        assert_eq!(
+            w.store().get::<Option<u64>>(nd, "img/9").unwrap(),
+            Some(Duration::from_secs(1200).micros())
+        );
+        assert_eq!(w.store().get::<Option<u64>>(nd, "img/10").unwrap(), None);
+        assert_eq!(w.metrics().counter("ckpt.stored"), 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! The Collector: the pool's ad repository.
+
+use crate::proto::{AdKind, Advertise, CollectorAds, CollectorQuery, Invalidate};
+use classads::{ClassAd, EvalCtx, Value};
+use gridsim::prelude::*;
+use gridsim::AnyMsg;
+use std::collections::BTreeMap;
+
+struct Entry {
+    contact: Addr,
+    ad: ClassAd,
+    expires: SimTime,
+}
+
+/// The pool collector. Machines (startds) and submitters (schedds)
+/// advertise here; the negotiator and the Condor-G scheduler query it.
+/// GlideIn startds advertise to the *user's personal* collector, which is
+/// the whole trick of §5.
+#[derive(Default)]
+pub struct Collector {
+    tables: BTreeMap<(AdKind, String), Entry>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+}
+
+impl Component for Collector {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
+        if let Some(ad) = msg.downcast_ref::<Advertise>() {
+            ctx.metrics().incr("collector.advertisements", 1);
+            self.tables.insert(
+                (ad.kind, ad.name.clone()),
+                Entry { contact: ad.contact, ad: ad.ad.clone(), expires: ctx.now() + ad.ttl },
+            );
+            return;
+        }
+        if let Some(inv) = msg.downcast_ref::<Invalidate>() {
+            self.tables.remove(&(inv.kind, inv.name.clone()));
+            return;
+        }
+        let Ok(query) = msg.downcast::<CollectorQuery>() else { return };
+        let CollectorQuery { request_id, kind, constraint } = *query;
+        let now = ctx.now();
+        self.tables.retain(|_, e| e.expires > now);
+        let expr = match classads::parse_expr(&constraint) {
+            Ok(e) => e,
+            Err(_) => {
+                ctx.send(from, CollectorAds { request_id, ads: Vec::new() });
+                return;
+            }
+        };
+        let ads: Vec<(String, Addr, ClassAd)> = self
+            .tables
+            .iter()
+            .filter(|((k, _), _)| *k == kind)
+            .filter(|(_, e)| EvalCtx::solo(&e.ad).eval(&expr) == Value::Bool(true))
+            .map(|((_, name), e)| (name.clone(), e.contact, e.ad.clone()))
+            .collect();
+        ctx.metrics().incr("collector.queries", 1);
+        ctx.send(from, CollectorAds { request_id, ads });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsim::{Config, World};
+
+    struct Driver {
+        collector: Addr,
+        script: u32,
+    }
+
+    impl Component for Driver {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let me = ctx.self_addr();
+            ctx.send(
+                self.collector,
+                Advertise {
+                    kind: AdKind::Machine,
+                    name: "m1".into(),
+                    ad: ClassAd::new().with("State", "Unclaimed").with("Memory", 64i64),
+                    ttl: Duration::from_mins(5),
+                    contact: me,
+                },
+            );
+            ctx.send(
+                self.collector,
+                Advertise {
+                    kind: AdKind::Machine,
+                    name: "m2".into(),
+                    ad: ClassAd::new().with("State", "Claimed").with("Memory", 128i64),
+                    ttl: Duration::from_mins(5),
+                    contact: me,
+                },
+            );
+            ctx.send(
+                self.collector,
+                Advertise {
+                    kind: AdKind::Submitter,
+                    name: "schedd1".into(),
+                    ad: ClassAd::new().with("IdleJobs", 3i64),
+                    ttl: Duration::from_mins(5),
+                    contact: me,
+                },
+            );
+            match self.script {
+                0 => {
+                    ctx.set_timer(Duration::from_secs(1), 0);
+                }
+                1 => {
+                    // Query only after the TTL has lapsed.
+                    ctx.set_timer(Duration::from_mins(10), 0);
+                }
+                _ => {}
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, _tag: u64) {
+            ctx.send(
+                self.collector,
+                CollectorQuery {
+                    request_id: 1,
+                    kind: AdKind::Machine,
+                    constraint: "State == \"Unclaimed\"".into(),
+                },
+            );
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
+            if let Some(ads) = msg.downcast_ref::<CollectorAds>() {
+                let names: Vec<String> = ads.ads.iter().map(|(n, _, _)| n.clone()).collect();
+                let node = ctx.node();
+                ctx.store().put(node, "result", &names);
+            }
+        }
+    }
+
+    #[test]
+    fn constraint_queries_by_kind() {
+        let mut w = World::new(Config::default().seed(1));
+        let nc = w.add_node("central");
+        let nd = w.add_node("driver");
+        let collector = w.add_component(nc, "collector", Collector::new());
+        w.add_component(nd, "driver", Driver { collector, script: 0 });
+        w.run_until_quiescent();
+        let names: Vec<String> = w.store().get(nd, "result").unwrap();
+        assert_eq!(names, vec!["m1"]);
+    }
+
+    #[test]
+    fn ads_expire() {
+        let mut w = World::new(Config::default().seed(1));
+        let nc = w.add_node("central");
+        let nd = w.add_node("driver");
+        let collector = w.add_component(nc, "collector", Collector::new());
+        w.add_component(nd, "driver", Driver { collector, script: 1 });
+        w.run_until_quiescent();
+        let names: Vec<String> = w.store().get(nd, "result").unwrap();
+        assert!(names.is_empty(), "stale ads served: {names:?}");
+    }
+}

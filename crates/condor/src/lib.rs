@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! `condor` — the intra-domain Condor system (paper §2, §5, Figure 2).
+//!
+//! Condor-G takes its computation-management half from Condor, and the
+//! GlideIn mechanism (paper §5) *is* Condor: GRAM starts ordinary Condor
+//! daemons on remote grid resources, they report to the user's personal
+//! Collector, and from then on standard Condor machinery — matchmaking,
+//! claiming, the Shadow's remote system calls, checkpointing and migration
+//! — runs the user's jobs. This crate provides those daemons:
+//!
+//! * [`Collector`] — the ad repository; machines and schedds advertise
+//!   themselves with TTLs and anyone can query by ClassAd constraint.
+//! * [`Negotiator`] — the matchmaker; on a fixed cycle it gathers idle job
+//!   ads from each schedd and unclaimed machine ads from the collector,
+//!   runs `classads::symmetric_match` + Rank, and notifies both sides.
+//! * [`Schedd`] — the persistent job queue. Job state survives crashes via
+//!   stable storage (the paper's §4.2 requirement); matched jobs get a
+//!   [`Shadow`].
+//! * [`Startd`] — a machine's execution agent: advertises, accepts claims,
+//!   runs jobs with work-progress accounting, serves the owner-returns
+//!   preemption model, checkpoints periodically, and vacates gracefully.
+//! * [`Shadow`] — the job's home-side agent: serves remote system calls,
+//!   receives checkpoints, and turns a vacate into a reschedulable job
+//!   with its saved progress (migration conserves checkpointed work).
+//! * [`CkptServer`] — a standalone checkpoint repository (paper §5: jobs
+//!   checkpoint "to another location (e.g., the originating location or a
+//!   local checkpoint server)").
+
+pub mod ckpt;
+pub mod collector;
+pub mod negotiator;
+pub mod proto;
+pub mod schedd;
+pub mod shadow;
+pub mod startd;
+
+pub use ckpt::CkptServer;
+pub use collector::Collector;
+pub use negotiator::Negotiator;
+pub use proto::*;
+pub use schedd::Schedd;
+pub use shadow::Shadow;
+pub use startd::{OwnerModel, Startd};

@@ -1,0 +1,166 @@
+//! The Negotiator: the pool's matchmaker.
+//!
+//! On a fixed cycle it queries the collector for unclaimed machines and
+//! registered submitters, asks each schedd for its idle jobs, and pairs
+//! jobs with machines using the ClassAd symmetric match, ordering
+//! candidates by the job's `Rank` (Raman et al.'s matchmaking framework,
+//! the paper's \[25\]).
+
+use crate::proto::{
+    AdKind, CollectorAds, CollectorQuery, IdleJobs, MatchNotify, NegotiationRequest,
+};
+use classads::{rank, symmetric_match, ClassAd};
+use gridsim::prelude::*;
+use gridsim::AnyMsg;
+
+const TAG_CYCLE: u64 = 1;
+
+/// Where a cycle stands.
+enum Phase {
+    Idle,
+    /// Waiting for the two collector answers.
+    Collecting {
+        machines: Option<Vec<(String, Addr, ClassAd)>>,
+        submitters: Option<Vec<(String, Addr, ClassAd)>>,
+    },
+    /// Waiting for schedds' idle-job lists.
+    Negotiating {
+        machines: Vec<(String, Addr, ClassAd)>,
+        outstanding: usize,
+        jobs: Vec<(Addr, crate::proto::JobId, ClassAd)>,
+    },
+}
+
+/// The negotiator component.
+pub struct Negotiator {
+    collector: Addr,
+    period: Duration,
+    cycle: u64,
+    phase: Phase,
+}
+
+const REQ_MACHINES: u64 = 1;
+const REQ_SUBMITTERS: u64 = 2;
+
+impl Negotiator {
+    /// A matchmaker for the pool rooted at `collector`, cycling every
+    /// `period`.
+    pub fn new(collector: Addr, period: Duration) -> Negotiator {
+        Negotiator { collector, period, cycle: 0, phase: Phase::Idle }
+    }
+
+    fn start_cycle(&mut self, ctx: &mut Ctx<'_>) {
+        self.cycle += 1;
+        ctx.metrics().incr("negotiator.cycles", 1);
+        self.phase = Phase::Collecting { machines: None, submitters: None };
+        ctx.send(
+            self.collector,
+            CollectorQuery {
+                request_id: REQ_MACHINES,
+                kind: AdKind::Machine,
+                constraint: "State == \"Unclaimed\"".into(),
+            },
+        );
+        ctx.send(
+            self.collector,
+            CollectorQuery {
+                request_id: REQ_SUBMITTERS,
+                kind: AdKind::Submitter,
+                constraint: "TRUE".into(),
+            },
+        );
+        ctx.set_timer(self.period, TAG_CYCLE);
+    }
+
+    fn maybe_negotiate(&mut self, ctx: &mut Ctx<'_>) {
+        let Phase::Collecting { machines, submitters } = &mut self.phase else { return };
+        let (Some(_), Some(_)) = (machines.as_ref(), submitters.as_ref()) else { return };
+        let machines = machines.take().unwrap();
+        let submitters = submitters.take().unwrap();
+        if machines.is_empty() || submitters.is_empty() {
+            self.phase = Phase::Idle;
+            return;
+        }
+        let outstanding = submitters.len();
+        for (_, schedd, _) in &submitters {
+            ctx.send(*schedd, NegotiationRequest { cycle: self.cycle });
+        }
+        self.phase = Phase::Negotiating { machines, outstanding, jobs: Vec::new() };
+    }
+
+    fn finish_cycle(&mut self, ctx: &mut Ctx<'_>) {
+        let Phase::Negotiating { machines, jobs, .. } =
+            std::mem::replace(&mut self.phase, Phase::Idle)
+        else {
+            return;
+        };
+        // Greedy: jobs in arrival order, each taking its best-ranked
+        // compatible machine.
+        let mut free: Vec<(String, Addr, ClassAd)> = machines;
+        let mut matched = 0u64;
+        for (schedd, job, job_ad) in jobs {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, (_, _, machine_ad)) in free.iter().enumerate() {
+                if symmetric_match(&job_ad, machine_ad) {
+                    let r = rank(&job_ad, machine_ad);
+                    if best.is_none_or(|(_, br)| r > br) {
+                        best = Some((i, r));
+                    }
+                }
+            }
+            if let Some((i, _)) = best {
+                let (name, startd, machine_ad) = free.remove(i);
+                matched += 1;
+                ctx.trace("negotiator.match", format!("{job} -> {name}"));
+                ctx.send(schedd, MatchNotify { job, startd, machine_ad });
+            }
+        }
+        ctx.metrics().incr("negotiator.matches", matched);
+    }
+}
+
+impl Component for Negotiator {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.start_cycle(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, tag: u64) {
+        if tag == TAG_CYCLE {
+            // If the previous cycle is still mid-negotiation (a schedd
+            // never answered — crashed or partitioned), close it out first.
+            if matches!(self.phase, Phase::Negotiating { .. }) {
+                self.finish_cycle(ctx);
+            }
+            self.start_cycle(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
+        if msg.is::<CollectorAds>() {
+            let ads = msg.downcast::<CollectorAds>().expect("checked");
+            if let Phase::Collecting { machines, submitters } = &mut self.phase {
+                match ads.request_id {
+                    REQ_MACHINES => *machines = Some(ads.ads),
+                    REQ_SUBMITTERS => *submitters = Some(ads.ads),
+                    _ => {}
+                }
+                self.maybe_negotiate(ctx);
+            }
+            return;
+        }
+        if let Ok(idle) = msg.downcast::<IdleJobs>() {
+            if idle.cycle != self.cycle {
+                return; // stale answer from a previous cycle
+            }
+            if let Phase::Negotiating { outstanding, jobs, .. } = &mut self.phase {
+                for (id, ad) in idle.jobs {
+                    jobs.push((from, id, ad));
+                }
+                *outstanding -= 1;
+                if *outstanding == 0 {
+                    self.finish_cycle(ctx);
+                }
+            }
+        }
+    }
+}

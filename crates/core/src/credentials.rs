@@ -1,0 +1,120 @@
+//! Credential-lifetime policy helpers (§4.3).
+//!
+//! The live logic runs inside [`crate::GridManager`] (`check_credentials`
+//! / `adopt_credential`); this module holds the pure policy computation so
+//! it can be unit-tested and reused by the experiment harness.
+
+use gridsim::time::{Duration, SimTime};
+use gsi::ProxyCredential;
+
+/// What the periodic credential analysis decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CredentialAction {
+    /// Plenty of life left.
+    Nothing,
+    /// Send the alarm e-mail (once).
+    Warn,
+    /// Hold all jobs and e-mail the user.
+    Hold,
+    /// Ask MyProxy for a fresh delegation.
+    Refresh,
+}
+
+/// Evaluate the §4.3 policy for a credential at `now`.
+///
+/// Priority: a configured MyProxy refresh pre-empts holding (that is the
+/// point of the enhancement); otherwise expiry ⇒ hold; otherwise the alarm
+/// threshold ⇒ warn.
+pub fn analyze(
+    credential: &ProxyCredential,
+    now: SimTime,
+    warn_before: Duration,
+    hold_before: Duration,
+    myproxy_refresh_before: Option<Duration>,
+) -> CredentialAction {
+    let remaining = credential.time_remaining(now);
+    if let Some(refresh_before) = myproxy_refresh_before {
+        if remaining < refresh_before {
+            return CredentialAction::Refresh;
+        }
+    }
+    if remaining < hold_before {
+        return CredentialAction::Hold;
+    }
+    if remaining < warn_before {
+        return CredentialAction::Warn;
+    }
+    CredentialAction::Nothing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi::CertificateAuthority;
+
+    fn proxy(hours: u64) -> ProxyCredential {
+        let mut ca = CertificateAuthority::new("/CN=CA", 1);
+        let id = ca.issue_identity("/CN=u", Duration::from_days(365));
+        id.new_proxy(SimTime::ZERO, Duration::from_hours(hours))
+    }
+
+    fn at(hours: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_hours(hours)
+    }
+
+    #[test]
+    fn fresh_proxy_needs_nothing() {
+        let p = proxy(12);
+        assert_eq!(
+            analyze(&p, at(1), Duration::from_hours(2), Duration::from_mins(15), None),
+            CredentialAction::Nothing
+        );
+    }
+
+    #[test]
+    fn warn_then_hold() {
+        let p = proxy(12);
+        // 10.5 h in: 1.5 h remain < 2 h warn threshold.
+        assert_eq!(
+            analyze(
+                &p,
+                at(10) + Duration::from_mins(30),
+                Duration::from_hours(2),
+                Duration::from_mins(15),
+                None
+            ),
+            CredentialAction::Warn
+        );
+        // Past expiry: hold.
+        assert_eq!(
+            analyze(&p, at(13), Duration::from_hours(2), Duration::from_mins(15), None),
+            CredentialAction::Hold
+        );
+    }
+
+    #[test]
+    fn myproxy_refresh_preempts_hold() {
+        let p = proxy(12);
+        assert_eq!(
+            analyze(
+                &p,
+                at(13),
+                Duration::from_hours(2),
+                Duration::from_mins(15),
+                Some(Duration::from_hours(3)),
+            ),
+            CredentialAction::Refresh
+        );
+        // With lots of life left, MyProxy stays quiet too.
+        assert_eq!(
+            analyze(
+                &p,
+                at(1),
+                Duration::from_hours(2),
+                Duration::from_mins(15),
+                Some(Duration::from_hours(3)),
+            ),
+            CredentialAction::Nothing
+        );
+    }
+}

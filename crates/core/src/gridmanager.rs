@@ -1,0 +1,1081 @@
+//! The GridManager daemon (paper §4.2–§4.3).
+//!
+//! One GridManager serves all of one user's grid-universe jobs. For each
+//! job it drives the revised GRAM protocol — two-phase submit with
+//! retransmission, commit, status callbacks — and implements the paper's
+//! fault-tolerance algorithm verbatim:
+//!
+//! > "The GridManager detects remote failures by periodically probing the
+//! > JobManagers of all the jobs it manages. If a JobManager fails to
+//! > respond, the GridManager then probes the GateKeeper for that machine.
+//! > If the GateKeeper responds, then the GridManager knows that the
+//! > individual JobManager crashed... the GridManager attempts to start a
+//! > new JobManager to resume watching the job. Otherwise, the GridManager
+//! > waits until it can reestablish contact with the remote machine."
+//!
+//! It also owns credential management (§4.3): periodic proxy analysis,
+//! alarms, hold-and-email on expiry, automatic MyProxy refresh, and
+//! re-forwarding refreshed proxies to remote JobManagers.
+
+use crate::api::{GridJobId, GridJobSpec, JobStatus};
+use crate::broker::Broker;
+use crate::email::Email;
+use gass::GassUrl;
+use gram::proto::{GramJobState, GramReply, GramRequest, JmMsg, JobContact};
+use gram::{RslSpec, SubmitSession};
+use gridsim::prelude::*;
+use gridsim::AnyMsg;
+use gsi::{MyProxyReply, MyProxyRequest, ProxyCredential};
+use mds::{attr_to_addr, GripQuery, GripReply};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// MyProxy auto-refresh settings (§4.3's proposed enhancement).
+#[derive(Clone, Debug)]
+pub struct MyProxySettings {
+    /// The MyProxy server.
+    pub server: Addr,
+    /// Account name at the server.
+    pub account: String,
+    /// Retrieval passphrase.
+    pub passphrase: u64,
+    /// Lifetime to request for each short-lived proxy.
+    pub lifetime: Duration,
+    /// Refresh when less than this much life remains.
+    pub refresh_before: Duration,
+}
+
+/// GridManager tuning.
+#[derive(Clone, Debug)]
+pub struct GmConfig {
+    /// The user served.
+    pub user: String,
+    /// MDS index for the matchmaking broker (None = static broker only).
+    pub giis: Option<Addr>,
+    /// MyProxy auto-refresh (None = hold-and-email on expiry).
+    pub myproxy: Option<MyProxySettings>,
+    /// Mail spool for alarms and hold notices.
+    pub mailer: Option<Addr>,
+    /// JobManager probe period.
+    pub probe_interval: Duration,
+    /// Internal bookkeeping tick.
+    pub tick: Duration,
+    /// Submit retransmission period.
+    pub submit_retry: Duration,
+    /// Resubmission budget per job before it fails for good.
+    pub max_retries: u32,
+    /// E-mail an alarm when less than this much proxy life remains.
+    pub warn_before: Duration,
+    /// Hold jobs when less than this much proxy life remains.
+    pub hold_before: Duration,
+    /// MDS poll period.
+    pub mds_poll: Duration,
+    /// §4.4: migrate a job that has been *queued* at a site this long to
+    /// another candidate site ("Monitoring of actual queuing and execution
+    /// times allows... to migrate queued jobs"). `None` disables.
+    pub migrate_pending_after: Option<Duration>,
+    /// The §4.2 failure-detection machinery (probing, gatekeeper pings,
+    /// JobManager restarts). Disable for the fault-tolerance ablation.
+    pub recovery: bool,
+}
+
+impl Default for GmConfig {
+    fn default() -> GmConfig {
+        GmConfig {
+            user: "user".into(),
+            giis: None,
+            myproxy: None,
+            mailer: None,
+            probe_interval: Duration::from_mins(5),
+            tick: Duration::from_secs(30),
+            submit_retry: Duration::from_secs(30),
+            max_retries: 5,
+            warn_before: Duration::from_hours(2),
+            hold_before: Duration::from_mins(15),
+            mds_poll: Duration::from_mins(5),
+            migrate_pending_after: None,
+            recovery: true,
+        }
+    }
+}
+
+/// Scheduler → GridManager commands (same-node).
+#[derive(Debug)]
+pub enum GmCmd {
+    /// Take responsibility for a new job.
+    Manage {
+        /// Queue id.
+        job: GridJobId,
+        /// The job.
+        spec: GridJobSpec,
+    },
+    /// Re-attach to a job from persistent state after a restart.
+    Recover {
+        /// Queue id.
+        job: GridJobId,
+        /// The job.
+        spec: GridJobSpec,
+    },
+    /// Cancel a job.
+    Cancel {
+        /// Queue id.
+        job: GridJobId,
+    },
+    /// The user refreshed their proxy.
+    RefreshProxy {
+        /// The fresh credential.
+        credential: ProxyCredential,
+    },
+}
+
+/// GridManager → Scheduler status update.
+#[derive(Debug)]
+pub struct GmUpdate {
+    /// The job.
+    pub job: GridJobId,
+    /// New user-visible status.
+    pub status: JobStatus,
+}
+
+/// GridManager → Scheduler: all jobs terminal; the daemon exits and hands
+/// the broker back.
+pub struct GmExiting {
+    /// The broker, returned for reuse by a future GridManager.
+    pub broker: Box<dyn Broker>,
+}
+
+impl fmt::Debug for GmExiting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GmExiting")
+    }
+}
+
+/// Persisted per-job protocol state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct GmJobDisk {
+    spec: GridJobSpec,
+    attempts: u32,
+    seq: Option<u64>,
+    site: Option<String>,
+    gatekeeper: Option<Addr>,
+    contact: Option<u64>,
+    stdout_path: String,
+    excluded: Vec<String>,
+    terminal: bool,
+}
+
+enum Phase {
+    /// Waiting for the broker to name a site.
+    NeedSite,
+    /// Two-phase submit in flight (boxed: the session dwarfs the other
+    /// variants).
+    Submitting { session: Box<SubmitSession>, last_send: SimTime },
+    /// JobManager known and believed alive.
+    Live {
+        jm: Addr,
+        probe_sent: Option<SimTime>,
+        last_contact: SimTime,
+        missed: u32,
+        gram_state: GramJobState,
+        /// The commit has been acknowledged (stop retransmitting it).
+        commit_acked: bool,
+        /// When the job entered the site queue (for migration decisions).
+        pending_since: Option<SimTime>,
+    },
+    /// JobManager unresponsive: pinging the gatekeeper.
+    PingingGk { last_ping: SimTime },
+    /// Restart request sent; waiting for the new JobManager.
+    AwaitRestart { since: SimTime },
+    /// Nothing more to do.
+    Terminal,
+}
+
+struct GmJob {
+    spec: GridJobSpec,
+    attempts: u32,
+    seq: Option<u64>,
+    site: Option<String>,
+    gatekeeper: Option<Addr>,
+    contact: Option<JobContact>,
+    stdout_path: String,
+    excluded: Vec<String>,
+    phase: Phase,
+    reported: JobStatus,
+    /// A cancel is in flight because the job is being moved to a better
+    /// site; the Removed callback resubmits instead of finishing.
+    migrating: bool,
+}
+
+const TAG_TICK: u64 = 1;
+
+/// The GridManager component.
+pub struct GridManager {
+    config: GmConfig,
+    credential: ProxyCredential,
+    scheduler: Addr,
+    gass: Addr,
+    broker: Option<Box<dyn Broker>>,
+    jobs: BTreeMap<GridJobId, GmJob>,
+    next_seq: u64,
+    held: bool,
+    warned: bool,
+    myproxy_req: u64,
+    last_mds_poll: Option<SimTime>,
+    mds_req: u64,
+    recovering: bool,
+}
+
+impl GridManager {
+    /// A GridManager for `config.user`, reporting to `scheduler`, staging
+    /// through the GASS server at `gass`.
+    pub fn new(
+        config: GmConfig,
+        credential: ProxyCredential,
+        scheduler: Addr,
+        gass: Addr,
+        broker: Box<dyn Broker>,
+        recovering: bool,
+    ) -> GridManager {
+        GridManager {
+            config,
+            credential,
+            scheduler,
+            gass,
+            broker: Some(broker),
+            jobs: BTreeMap::new(),
+            next_seq: 0,
+            held: false,
+            warned: false,
+            myproxy_req: 0,
+            last_mds_poll: None,
+            mds_req: 0,
+            recovering,
+        }
+    }
+
+    fn job_key(&self, job: GridJobId) -> String {
+        format!("gm/{}/job/{}", self.config.user, job.0)
+    }
+
+    fn seq_key(&self) -> String {
+        format!("gm/{}/next_seq", self.config.user)
+    }
+
+    fn persist_job(&self, ctx: &mut Ctx<'_>, job: GridJobId) {
+        let Some(j) = self.jobs.get(&job) else { return };
+        let disk = GmJobDisk {
+            spec: j.spec.clone(),
+            attempts: j.attempts,
+            seq: j.seq,
+            site: j.site.clone(),
+            gatekeeper: j.gatekeeper,
+            contact: j.contact.map(|c| c.0),
+            stdout_path: j.stdout_path.clone(),
+            excluded: j.excluded.clone(),
+            terminal: matches!(j.phase, Phase::Terminal),
+        };
+        let key = self.job_key(job);
+        let node = ctx.node();
+        ctx.store().put(node, &key, &disk);
+    }
+
+    fn persist_seq(&self, ctx: &mut Ctx<'_>) {
+        let key = self.seq_key();
+        let node = ctx.node();
+        let seq = self.next_seq;
+        ctx.store().put(node, &key, &seq);
+    }
+
+    fn report(&mut self, ctx: &mut Ctx<'_>, job: GridJobId, status: JobStatus) {
+        let Some(j) = self.jobs.get_mut(&job) else { return };
+        if j.reported == status {
+            return;
+        }
+        j.reported = status.clone();
+        ctx.send_local(self.scheduler, GmUpdate { job, status });
+    }
+
+    fn rsl_for(&self, job: GridJobId, spec: &GridJobSpec) -> RslSpec {
+        let exe_url = GassUrl::gass(self.gass, &spec.executable);
+        let stdout_path = format!("/condor_g/out/{job}");
+        let mut rsl = RslSpec::job(&exe_url.to_string(), spec.runtime)
+            .with_count(spec.count);
+        rsl.arguments = spec.arguments.clone();
+        if spec.stdout_size > 0 {
+            let out_url = GassUrl::gass(self.gass, &stdout_path);
+            rsl = rsl.with_stdout(&out_url.to_string(), spec.stdout_size);
+        }
+        if let Some(mins) = spec.wall_minutes {
+            rsl = rsl.with_max_wall_minutes(mins);
+        }
+        if let Some(arch) = &spec.required_arch {
+            rsl.extra.insert("arch".into(), vec![arch.clone()]);
+        }
+        rsl
+    }
+
+    /// Start (or restart) the two-phase submission of a job.
+    fn begin_submit(&mut self, ctx: &mut Ctx<'_>, job: GridJobId) {
+        if self.held {
+            return;
+        }
+        let Some(j) = self.jobs.get(&job) else { return };
+        let spec = j.spec.clone();
+        let excluded = j.excluded.clone();
+        let Some(broker) = self.broker.as_mut() else { return };
+        let Some(target) = broker.select(&spec, &excluded) else {
+            // No resource available yet (e.g. MDS cache still empty).
+            return;
+        };
+        broker.note_submission(&target.site);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.persist_seq(ctx);
+        let rsl = self.rsl_for(job, &spec);
+        let me = ctx.self_addr();
+        let mut session = SubmitSession::new(
+            seq,
+            rsl.to_string(),
+            self.credential.clone(),
+            me,
+            GassUrl::gass(self.gass, ""),
+        );
+        ctx.metrics().incr("gm.submissions", 1);
+        ctx.trace("gm.submit", format!("{job} -> {} (seq {seq})", target.site));
+        ctx.send(target.addr, session.request());
+        let j = self.jobs.get_mut(&job).expect("job exists");
+        j.seq = Some(seq);
+        j.site = Some(target.site);
+        j.gatekeeper = Some(target.addr);
+        j.stdout_path = format!("/condor_g/out/{job}");
+        j.phase = Phase::Submitting { session: Box::new(session), last_send: ctx.now() };
+        self.persist_job(ctx, job);
+        self.report(ctx, job, JobStatus::Pending);
+    }
+
+    /// A remote attempt failed: exclude the site and resubmit elsewhere,
+    /// or give up after the retry budget.
+    fn attempt_failed(&mut self, ctx: &mut Ctx<'_>, job: GridJobId, why: &str) {
+        let max_retries = self.config.max_retries;
+        let Some(j) = self.jobs.get_mut(&job) else { return };
+        if matches!(j.phase, Phase::Terminal) {
+            return;
+        }
+        ctx.metrics().incr("gm.attempt_failures", 1);
+        ctx.trace("gm.attempt_failed", format!("{job}: {why}"));
+        j.attempts += 1;
+        if let Some(site) = j.site.take() {
+            if !j.excluded.contains(&site) {
+                j.excluded.push(site);
+            }
+        }
+        j.gatekeeper = None;
+        j.contact = None;
+        j.seq = None;
+        if j.attempts > max_retries {
+            j.phase = Phase::Terminal;
+            let reason = format!("{why} (after {} attempts)", j.attempts);
+            self.persist_job(ctx, job);
+            self.report(ctx, job, JobStatus::Failed(reason));
+        } else {
+            j.phase = Phase::NeedSite;
+            self.persist_job(ctx, job);
+            self.begin_submit(ctx, job);
+        }
+    }
+
+    fn job_by_seq(&mut self, seq: u64) -> Option<GridJobId> {
+        self.jobs
+            .iter()
+            .find(|(_, j)| j.seq == Some(seq))
+            .map(|(id, _)| *id)
+    }
+
+    fn job_by_contact(&mut self, contact: JobContact) -> Option<GridJobId> {
+        self.jobs
+            .iter()
+            .find(|(_, j)| j.contact == Some(contact))
+            .map(|(id, _)| *id)
+    }
+
+    /// Bytes of this job's stdout already present on the local GASS server
+    /// (used to resume output staging after a restart, §3.2).
+    fn stdout_have(&self, ctx: &mut Ctx<'_>, job: GridJobId) -> u64 {
+        let Some(j) = self.jobs.get(&job) else { return 0 };
+        let key = format!("gass/size{}", j.stdout_path);
+        ctx.store().get::<u64>(self.gass.node, &key).unwrap_or(0)
+    }
+
+    // ---- credential management (§4.3) ---------------------------------
+
+    fn check_credentials(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let remaining = self.credential.time_remaining(now);
+        // MyProxy auto-refresh path.
+        if let Some(mp) = self.config.myproxy.clone() {
+            if remaining < mp.refresh_before {
+                self.myproxy_req += 1;
+                ctx.metrics().incr("gm.myproxy_refresh_requests", 1);
+                ctx.send(
+                    mp.server,
+                    MyProxyRequest::Retrieve {
+                        user: mp.account.clone(),
+                        passphrase: mp.passphrase,
+                        lifetime: mp.lifetime,
+                        request_id: self.myproxy_req,
+                    },
+                );
+            }
+        }
+        // Alarm (§4.3: "it can be configured to e-mail a reminder when less
+        // than a specified time remains").
+        if remaining < self.config.warn_before && !self.warned && !remaining.is_zero() {
+            self.warned = true;
+            self.send_mail(
+                ctx,
+                "proxy credential expiring soon",
+                &format!("proxy expires in {remaining}; run grid-proxy-init"),
+            );
+        }
+        // Hold path.
+        if remaining < self.config.hold_before && !self.held {
+            self.held = true;
+            ctx.metrics().incr("gm.credential_holds", 1);
+            self.send_mail(
+                ctx,
+                "jobs held: credentials expired",
+                "your proxy has (nearly) expired; jobs cannot run again until \
+                 you refresh it with grid-proxy-init",
+            );
+            let jobs: Vec<GridJobId> = self
+                .jobs
+                .iter()
+                .filter(|(_, j)| !matches!(j.phase, Phase::Terminal))
+                .map(|(id, _)| *id)
+                .collect();
+            for job in jobs {
+                self.report(ctx, job, JobStatus::Held("credentials expired".into()));
+            }
+        }
+    }
+
+    fn adopt_credential(&mut self, ctx: &mut Ctx<'_>, credential: ProxyCredential) {
+        self.credential = credential;
+        self.warned = false;
+        ctx.metrics().incr("gm.credentials_adopted", 1);
+        // Re-forward to every live JobManager (§4.3: "it also needs to
+        // re-forward the refreshed proxy to the remote GRAM server").
+        let targets: Vec<(GridJobId, Addr)> = self
+            .jobs
+            .iter()
+            .filter_map(|(id, j)| match &j.phase {
+                Phase::Live { jm, .. } => Some((*id, *jm)),
+                _ => None,
+            })
+            .collect();
+        for (_, jm) in &targets {
+            ctx.send(*jm, JmMsg::RefreshCredential { credential: self.credential.clone() });
+        }
+        if self.held {
+            self.held = false;
+            // Un-hold: restore live statuses and resume queued submissions.
+            let jobs: Vec<GridJobId> = self.jobs.keys().copied().collect();
+            for job in jobs {
+                match self.jobs[&job].phase {
+                    Phase::NeedSite => {
+                        self.report(ctx, job, JobStatus::Unsubmitted);
+                        self.begin_submit(ctx, job);
+                    }
+                    Phase::Live { gram_state, .. } => {
+                        let status = gram_state_to_status(gram_state, true);
+                        self.report(ctx, job, status);
+                    }
+                    Phase::Submitting { .. }
+                    | Phase::PingingGk { .. }
+                    | Phase::AwaitRestart { .. } => {
+                        self.report(ctx, job, JobStatus::Pending);
+                    }
+                    Phase::Terminal => {}
+                }
+            }
+        }
+    }
+
+    fn send_mail(&self, ctx: &mut Ctx<'_>, subject: &str, body: &str) {
+        if let Some(mailer) = self.config.mailer {
+            ctx.send(
+                mailer,
+                Email {
+                    to: self.config.user.clone(),
+                    subject: format!("[condor-g] {subject}"),
+                    body: body.to_string(),
+                },
+            );
+        }
+    }
+
+    // ---- failure detection & recovery (§4.2) ---------------------------
+
+    fn tick_job(&mut self, ctx: &mut Ctx<'_>, job: GridJobId) {
+        let now = ctx.now();
+        let probe_interval = self.config.probe_interval;
+        let submit_retry = self.config.submit_retry;
+        let Some(j) = self.jobs.get_mut(&job) else { return };
+        match &mut j.phase {
+            Phase::NeedSite => {
+                if !self.held {
+                    self.begin_submit(ctx, job);
+                }
+            }
+            Phase::Submitting { session, last_send } => {
+                if session.awaiting_reply() && now - *last_send >= submit_retry {
+                    if session.attempts >= 40 {
+                        // The gatekeeper machine looks dead: try elsewhere.
+                        self.attempt_failed(ctx, job, "gatekeeper unreachable");
+                        return;
+                    }
+                    ctx.metrics().incr("gm.submit_retransmits", 1);
+                    let req = session.request();
+                    *last_send = now;
+                    let gk = j.gatekeeper.expect("submitting has a gatekeeper");
+                    ctx.send(gk, req);
+                }
+            }
+            Phase::Live {
+                jm,
+                probe_sent,
+                last_contact,
+                missed,
+                commit_acked,
+                gram_state,
+                pending_since,
+            } => {
+                // Retransmit the commit until the JobManager confirms it.
+                if !*commit_acked {
+                    ctx.send(*jm, JmMsg::Commit);
+                }
+                // §4.4 migration: a job stuck in a site queue moves if the
+                // broker can name an alternative.
+                if let Some(patience) = self.config.migrate_pending_after {
+                    let queued_long = matches!(
+                        gram_state,
+                        GramJobState::Pending | GramJobState::PendingCommit
+                    ) && pending_since.is_some_and(|t| now - t >= patience);
+                    if queued_long && !j.migrating {
+                        // Is there anywhere else to go?
+                        let mut avoid = j.excluded.clone();
+                        if let Some(site) = &j.site {
+                            avoid.push(site.clone());
+                        }
+                        let alternative = self
+                            .broker
+                            .as_mut()
+                            .and_then(|b| b.select(&j.spec, &avoid))
+                            .is_some();
+                        if alternative {
+                            ctx.metrics().incr("gm.migrations", 1);
+                            ctx.trace(
+                                "gm.migrate",
+                                format!("{job} stuck queued at {:?}", j.site),
+                            );
+                            j.migrating = true;
+                            ctx.send(*jm, JmMsg::Cancel);
+                        }
+                    }
+                }
+                if !self.config.recovery {
+                    return; // ablation: no probing, no failure detection
+                }
+                match probe_sent {
+                    Some(sent) if now - *sent >= probe_interval => {
+                        // Probe timed out unanswered.
+                        *missed += 1;
+                        *probe_sent = None;
+                        ctx.metrics().incr("gm.probes_missed", 1);
+                        if *missed >= 2 {
+                            // "the GridManager then probes the GateKeeper"
+                            ctx.trace("gm.jm_lost", format!("{job}"));
+                            let gk = j.gatekeeper.expect("live job has a gatekeeper");
+                            ctx.send(gk, GramRequest::Ping { nonce: job.0 });
+                            j.phase = Phase::PingingGk { last_ping: now };
+                        }
+                    }
+                    None if now - *last_contact >= probe_interval => {
+                        let nonce = now.micros();
+                        ctx.metrics().incr("gm.probes", 1);
+                        ctx.send(*jm, JmMsg::Probe { nonce });
+                        *probe_sent = Some(now);
+                    }
+                    _ => {}
+                }
+            }
+            Phase::PingingGk { last_ping } => {
+                if now - *last_ping >= probe_interval {
+                    // "the GridManager waits until it can reestablish
+                    // contact with the remote machine" — keep pinging.
+                    let gk = j.gatekeeper.expect("pinging job has a gatekeeper");
+                    ctx.send(gk, GramRequest::Ping { nonce: job.0 });
+                    *last_ping = now;
+                }
+            }
+            Phase::AwaitRestart { since } => {
+                if now - *since >= probe_interval * 2 {
+                    // The restart request was lost: ping again.
+                    let gk = j.gatekeeper.expect("job has a gatekeeper");
+                    ctx.send(gk, GramRequest::Ping { nonce: job.0 });
+                    j.phase = Phase::PingingGk { last_ping: now };
+                }
+            }
+            Phase::Terminal => {}
+        }
+    }
+
+    fn poll_mds(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(giis) = self.config.giis else { return };
+        let due = self
+            .last_mds_poll
+            .is_none_or(|t| ctx.now() - t >= self.config.mds_poll);
+        if !due {
+            return;
+        }
+        self.last_mds_poll = Some(ctx.now());
+        self.mds_req += 1;
+        ctx.send(
+            giis,
+            GripQuery {
+                request_id: self.mds_req,
+                credential: self.credential.clone(),
+                filter: "TotalCpus > 0".into(),
+            },
+        );
+    }
+
+    fn maybe_exit(&mut self, ctx: &mut Ctx<'_>) {
+        if self.jobs.is_empty()
+            || !self.jobs.values().all(|j| matches!(j.phase, Phase::Terminal))
+        {
+            return;
+        }
+        if let Some(broker) = self.broker.take() {
+            ctx.send_local(self.scheduler, GmExiting { broker });
+        }
+        ctx.trace("gm.exit", "all jobs complete".to_string());
+        ctx.kill(ctx.self_addr());
+    }
+}
+
+fn gram_state_to_status(state: GramJobState, exit_ok: bool) -> JobStatus {
+    match state {
+        GramJobState::PendingCommit | GramJobState::Pending => JobStatus::Pending,
+        GramJobState::StageIn | GramJobState::StageOut => JobStatus::Staging,
+        GramJobState::Active => JobStatus::Active,
+        GramJobState::Done => {
+            if exit_ok {
+                JobStatus::Done
+            } else {
+                JobStatus::Failed("job exited abnormally".into())
+            }
+        }
+        GramJobState::Failed => JobStatus::Failed("remote failure".into()),
+        GramJobState::Removed => JobStatus::Removed,
+    }
+}
+
+impl Component for GridManager {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.config.tick, TAG_TICK);
+        if self.recovering {
+            let node = ctx.node();
+            let key = self.seq_key();
+            if let Some(seq) = ctx.store().get::<u64>(node, &key) {
+                self.next_seq = seq;
+            }
+        }
+        self.poll_mds(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, tag: u64) {
+        if tag != TAG_TICK {
+            return;
+        }
+        self.check_credentials(ctx);
+        if !self.held {
+            self.poll_mds(ctx);
+            let jobs: Vec<GridJobId> = self.jobs.keys().copied().collect();
+            for job in jobs {
+                self.tick_job(ctx, job);
+            }
+        }
+        self.maybe_exit(ctx);
+        ctx.set_timer(self.config.tick, TAG_TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
+        if let Some(cmd) = msg.downcast_ref::<GmCmd>() {
+            match cmd {
+                GmCmd::Manage { job, spec } => {
+                    self.jobs.insert(
+                        *job,
+                        GmJob {
+                            spec: spec.clone(),
+                            attempts: 0,
+                            seq: None,
+                            site: None,
+                            gatekeeper: None,
+                            contact: None,
+                            stdout_path: format!("/condor_g/out/{job}"),
+                            excluded: Vec::new(),
+                            phase: Phase::NeedSite,
+                            reported: JobStatus::Unsubmitted,
+                            migrating: false,
+                        },
+                    );
+                    self.persist_job(ctx, *job);
+                    self.begin_submit(ctx, *job);
+                }
+                GmCmd::Recover { job, spec } => {
+                    let node = ctx.node();
+                    let key = self.job_key(*job);
+                    let disk = ctx.store().get::<GmJobDisk>(node, &key);
+                    let mut rec = GmJob {
+                        spec: spec.clone(),
+                        attempts: 0,
+                        seq: None,
+                        site: None,
+                        gatekeeper: None,
+                        contact: None,
+                        stdout_path: format!("/condor_g/out/{job}"),
+                        excluded: Vec::new(),
+                        phase: Phase::NeedSite,
+                        reported: JobStatus::Unsubmitted,
+                        migrating: false,
+                    };
+                    if let Some(d) = disk {
+                        rec.attempts = d.attempts;
+                        rec.seq = d.seq;
+                        rec.site = d.site;
+                        rec.gatekeeper = d.gatekeeper;
+                        rec.contact = d.contact.map(JobContact);
+                        rec.stdout_path = d.stdout_path;
+                        rec.excluded = d.excluded;
+                        if d.terminal {
+                            rec.phase = Phase::Terminal;
+                        }
+                    }
+                    // Re-establish contact: if we know the job's contact,
+                    // ping the gatekeeper and restart its JobManager; else
+                    // the submission never stuck, so submit afresh.
+                    match (rec.contact, rec.gatekeeper) {
+                        (Some(_), Some(gk)) if !matches!(rec.phase, Phase::Terminal) => {
+                            ctx.metrics().incr("gm.job_recoveries", 1);
+                            ctx.send(gk, GramRequest::Ping { nonce: job.0 });
+                            rec.phase = Phase::PingingGk { last_ping: ctx.now() };
+                            self.jobs.insert(*job, rec);
+                        }
+                        _ => {
+                            let terminal = matches!(rec.phase, Phase::Terminal);
+                            self.jobs.insert(*job, rec);
+                            if !terminal {
+                                self.begin_submit(ctx, *job);
+                            }
+                        }
+                    }
+                }
+                GmCmd::Cancel { job } => {
+                    let Some(j) = self.jobs.get_mut(job) else { return };
+                    match &j.phase {
+                        Phase::Live { jm, .. } => {
+                            ctx.send(*jm, JmMsg::Cancel);
+                        }
+                        Phase::Terminal => {}
+                        _ => {
+                            j.phase = Phase::Terminal;
+                            self.persist_job(ctx, *job);
+                            self.report(ctx, *job, JobStatus::Removed);
+                        }
+                    }
+                }
+                GmCmd::RefreshProxy { credential } => {
+                    self.adopt_credential(ctx, credential.clone());
+                }
+            }
+            return;
+        }
+        if let Some(reply) = msg.downcast_ref::<GramReply>() {
+            match reply {
+                GramReply::Submitted { seq, contact, jobmanager } => {
+                    let Some(job) = self.job_by_seq(*seq) else { return };
+                    let j = self.jobs.get_mut(&job).expect("job exists");
+                    if let Phase::Submitting { session, .. } = &mut j.phase {
+                        use gram::client::SubmitAction;
+                        match session.on_reply(reply) {
+                            SubmitAction::SendCommit { jobmanager, .. } => {
+                                ctx.send(jobmanager, JmMsg::Commit);
+                                j.contact = Some(*contact);
+                                j.phase = Phase::Live {
+                                    jm: jobmanager,
+                                    probe_sent: None,
+                                    last_contact: ctx.now(),
+                                    missed: 0,
+                                    gram_state: GramJobState::PendingCommit,
+                                    commit_acked: false,
+                                    pending_since: Some(ctx.now()),
+                                };
+                                self.persist_job(ctx, job);
+                            }
+                            SubmitAction::GiveUp(_) | SubmitAction::Ignore => {}
+                        }
+                    } else if matches!(j.phase, Phase::PingingGk { .. } | Phase::AwaitRestart { .. })
+                    {
+                        // A duplicate submit answer can double as recovery.
+                        j.contact = Some(*contact);
+                        j.phase = Phase::Live {
+                            jm: *jobmanager,
+                            probe_sent: None,
+                            last_contact: ctx.now(),
+                            missed: 0,
+                            gram_state: GramJobState::Pending,
+                            commit_acked: true,
+                            pending_since: Some(ctx.now()),
+                        };
+                        self.persist_job(ctx, job);
+                    }
+                }
+                GramReply::SubmitFailed { seq, error } => {
+                    let Some(job) = self.job_by_seq(*seq) else { return };
+                    self.attempt_failed(ctx, job, &format!("submit failed: {error}"));
+                }
+                GramReply::Pong { nonce } => {
+                    let job = GridJobId(*nonce);
+                    let Some(j) = self.jobs.get_mut(&job) else { return };
+                    if let Phase::PingingGk { .. } = j.phase {
+                        // "If the GateKeeper responds... attempts to start a
+                        // new JobManager to resume watching the job."
+                        let (Some(contact), Some(gk)) = (j.contact, j.gatekeeper) else {
+                            return;
+                        };
+                        let me = ctx.self_addr();
+                        let have = self.stdout_have(ctx, job);
+                        ctx.metrics().incr("gm.jm_restarts_requested", 1);
+                        ctx.send(
+                            gk,
+                            GramRequest::RestartJobManager {
+                                contact,
+                                credential: self.credential.clone(),
+                                callback: me,
+                                gass: GassUrl::gass(self.gass, ""),
+                                stdout_have: have,
+                                capability: None,
+                            },
+                        );
+                        let j = self.jobs.get_mut(&job).expect("job exists");
+                        j.phase = Phase::AwaitRestart { since: ctx.now() };
+                    }
+                }
+                GramReply::Restarted { contact, jobmanager } => {
+                    let Some(job) = self.job_by_contact(*contact) else { return };
+                    let have = self.stdout_have(ctx, job);
+                    // Re-point the JobManager at our (possibly new) GASS
+                    // server and re-forward the current credential.
+                    ctx.send(
+                        *jobmanager,
+                        JmMsg::UpdateGass {
+                            gass: GassUrl::gass(self.gass, ""),
+                            stdout_have: have,
+                        },
+                    );
+                    ctx.send(
+                        *jobmanager,
+                        JmMsg::RefreshCredential { credential: self.credential.clone() },
+                    );
+                    ctx.metrics().incr("gm.jm_restarted", 1);
+                    let j = self.jobs.get_mut(&job).expect("job exists");
+                    j.phase = Phase::Live {
+                        jm: *jobmanager,
+                        probe_sent: None,
+                        last_contact: ctx.now(),
+                        missed: 0,
+                        gram_state: GramJobState::Pending,
+                        commit_acked: true,
+                        pending_since: Some(ctx.now()),
+                    };
+                    self.persist_job(ctx, job);
+                }
+                GramReply::RestartFailed { contact, error } => {
+                    let Some(job) = self.job_by_contact(*contact) else { return };
+                    self.attempt_failed(ctx, job, &format!("restart failed: {error}"));
+                    let _ = error;
+                }
+            }
+            return;
+        }
+        if let Some(jm_msg) = msg.downcast_ref::<JmMsg>() {
+            match jm_msg {
+                JmMsg::Callback { contact, state, exit_ok, .. } => {
+                    let Some(job) = self.job_by_contact(*contact) else { return };
+                    let j = self.jobs.get_mut(&job).expect("job exists");
+                    if let Phase::Live {
+                        last_contact,
+                        gram_state,
+                        commit_acked,
+                        pending_since,
+                        ..
+                    } = &mut j.phase
+                    {
+                        *last_contact = ctx.now();
+                        *commit_acked = true; // progress implies the commit landed
+                        // Track time-in-queue for migration decisions.
+                        let was_queued = matches!(
+                            gram_state,
+                            GramJobState::Pending | GramJobState::PendingCommit
+                        );
+                        let is_queued = matches!(
+                            state,
+                            GramJobState::Pending | GramJobState::PendingCommit
+                        );
+                        if is_queued && !was_queued {
+                            *pending_since = Some(ctx.now());
+                        } else if !is_queued {
+                            *pending_since = None;
+                        }
+                        *gram_state = *state;
+                    }
+                    match state {
+                        GramJobState::Done if *exit_ok => {
+                            if let Phase::Live { jm, .. } = j.phase {
+                                ctx.send(jm, JmMsg::DoneAck);
+                            }
+                            j.phase = Phase::Terminal;
+                            self.persist_job(ctx, job);
+                            ctx.metrics().incr("gm.jobs_done", 1);
+                            self.report(ctx, job, JobStatus::Done);
+                        }
+                        GramJobState::Done | GramJobState::Failed => {
+                            if let Phase::Live { jm, .. } = j.phase {
+                                ctx.send(jm, JmMsg::DoneAck);
+                            }
+                            self.attempt_failed(ctx, job, "remote execution failed");
+                        }
+                        GramJobState::Removed if j.migrating => {
+                            // The cancel was ours: move the job.
+                            if let Phase::Live { jm, .. } = j.phase {
+                                ctx.send(jm, JmMsg::DoneAck);
+                            }
+                            j.migrating = false;
+                            if let Some(site) = j.site.take() {
+                                if !j.excluded.contains(&site) {
+                                    j.excluded.push(site);
+                                }
+                            }
+                            j.gatekeeper = None;
+                            j.contact = None;
+                            j.seq = None;
+                            j.phase = Phase::NeedSite;
+                            self.persist_job(ctx, job);
+                            self.begin_submit(ctx, job);
+                        }
+                        GramJobState::Removed => {
+                            if let Phase::Live { jm, .. } = j.phase {
+                                ctx.send(jm, JmMsg::DoneAck);
+                            }
+                            j.phase = Phase::Terminal;
+                            self.persist_job(ctx, job);
+                            self.report(ctx, job, JobStatus::Removed);
+                        }
+                        state => {
+                            if !self.held {
+                                let status = gram_state_to_status(*state, false);
+                                self.report(ctx, job, status);
+                            }
+                        }
+                    }
+                }
+                JmMsg::CommitAck { contact } => {
+                    let Some(job) = self.job_by_contact(*contact) else { return };
+                    let j = self.jobs.get_mut(&job).expect("job exists");
+                    if let Phase::Live { commit_acked, last_contact, .. } = &mut j.phase {
+                        *commit_acked = true;
+                        *last_contact = ctx.now();
+                    }
+                }
+                JmMsg::ProbeReply { contact, state, .. } => {
+                    let Some(job) = self.job_by_contact(*contact) else { return };
+                    let j = self.jobs.get_mut(&job).expect("job exists");
+                    if let Phase::Live { probe_sent, last_contact, missed, gram_state, .. } =
+                        &mut j.phase
+                    {
+                        *probe_sent = None;
+                        *missed = 0;
+                        *last_contact = ctx.now();
+                        *gram_state = *state;
+                    }
+                    // A terminal state learned via probe means the actual
+                    // callback was lost (e.g. to a partition): act on it.
+                    match state {
+                        GramJobState::Done => {
+                            // The JobManager's Done state implies a clean
+                            // exit (failures end in Failed).
+                            if let Phase::Live { jm, .. } = j.phase {
+                                ctx.send(jm, JmMsg::DoneAck);
+                            }
+                            j.phase = Phase::Terminal;
+                            self.persist_job(ctx, job);
+                            ctx.metrics().incr("gm.jobs_done", 1);
+                            self.report(ctx, job, JobStatus::Done);
+                        }
+                        GramJobState::Failed => {
+                            if let Phase::Live { jm, .. } = j.phase {
+                                ctx.send(jm, JmMsg::DoneAck);
+                            }
+                            self.attempt_failed(ctx, job, "remote execution failed");
+                        }
+                        GramJobState::Removed => {
+                            if let Phase::Live { jm, .. } = j.phase {
+                                ctx.send(jm, JmMsg::DoneAck);
+                            }
+                            j.phase = Phase::Terminal;
+                            self.persist_job(ctx, job);
+                            self.report(ctx, job, JobStatus::Removed);
+                        }
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+            return;
+        }
+        if let Some(reply) = msg.downcast_ref::<MyProxyReply>() {
+            if let MyProxyReply::Proxy { credential, .. } = reply {
+                ctx.metrics().incr("gm.myproxy_refreshes", 1);
+                self.adopt_credential(ctx, credential.clone());
+            }
+            return;
+        }
+        if msg.is::<GripReply>() {
+            let Ok(reply) = msg.downcast::<GripReply>() else { return };
+            if let GripReply::Ads { ads, .. } = *reply {
+                let parsed: Vec<(Addr, classads::ClassAd)> = ads
+                    .into_iter()
+                    .filter_map(|ad| {
+                        let gk = ad.get_str("Gatekeeper")?;
+                        Some((attr_to_addr(&gk)?, ad))
+                    })
+                    .collect();
+                if let Some(broker) = self.broker.as_mut() {
+                    broker.update_ads(parsed, ctx.now());
+                }
+                // Jobs stuck waiting for a site can move now.
+                let waiting: Vec<GridJobId> = self
+                    .jobs
+                    .iter()
+                    .filter(|(_, j)| matches!(j.phase, Phase::NeedSite))
+                    .map(|(id, _)| *id)
+                    .collect();
+                for job in waiting {
+                    self.begin_submit(ctx, job);
+                }
+            }
+        }
+    }
+}

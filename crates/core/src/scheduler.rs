@@ -1,0 +1,411 @@
+//! The Scheduler daemon: the user's single access point (Figure 1).
+//!
+//! It owns the persistent job queue, answers the user API, routes grid-
+//! universe jobs to the per-user [`crate::GridManager`] ("The Scheduler
+//! responds to a user request to submit jobs destined to run on Grid
+//! resources by creating a new GridManager daemon") and pool-universe jobs
+//! to the personal Condor schedd (the GlideIn path), writes the user log,
+//! and sends termination e-mails.
+
+use crate::api::{GridJobId, GridJobSpec, JobStatus, Universe, UserCmd, UserEvent};
+use crate::broker::Broker;
+use crate::email::Email;
+use crate::gridmanager::{GmCmd, GmConfig, GmUpdate, GridManager};
+use condor::{PoolJobEvent, PoolJobState, PoolRemove, PoolSubmit, PoolSubmitted};
+use classads::ClassAd;
+use gridsim::prelude::*;
+use gridsim::AnyMsg;
+use gsi::ProxyCredential;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Static configuration of a Scheduler.
+pub struct SchedulerConfig {
+    /// The user this agent serves.
+    pub user: String,
+    /// The user's proxy credential.
+    pub credential: ProxyCredential,
+    /// The submit machine's GASS server (stages executables/stdio).
+    pub gass: Addr,
+    /// Personal Condor schedd for pool-universe jobs (GlideIn path).
+    pub pool_schedd: Option<Addr>,
+    /// Mail spool for notifications.
+    pub mailer: Option<Addr>,
+    /// Where to push user events (the user's console component).
+    pub user_addr: Option<Addr>,
+    /// GridManager tuning.
+    pub gm: GmConfig,
+    /// Send an e-mail on every terminal job state.
+    pub email_on_termination: bool,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct JobRec {
+    spec: GridJobSpec,
+    status: JobStatus,
+    submitted_at: SimTime,
+    seen_active: bool,
+}
+
+/// The Scheduler component.
+pub struct Scheduler {
+    config: SchedulerConfig,
+    broker: Option<Box<dyn Broker>>,
+    jobs: BTreeMap<GridJobId, JobRec>,
+    /// pool JobId -> grid job id (pool-universe correlation).
+    pool_map: BTreeMap<u64, GridJobId>,
+    next_id: u64,
+    log: Vec<(SimTime, GridJobId, String)>,
+    gridmanager: Option<Addr>,
+    /// True when this instance was rebuilt from stable storage.
+    recovered: bool,
+}
+
+impl Scheduler {
+    /// A fresh Scheduler. `broker` decides where grid-universe jobs go.
+    pub fn new(config: SchedulerConfig, broker: Box<dyn Broker>) -> Scheduler {
+        Scheduler {
+            config,
+            broker: Some(broker),
+            jobs: BTreeMap::new(),
+            pool_map: BTreeMap::new(),
+            next_id: 0,
+            log: Vec::new(),
+            gridmanager: None,
+            recovered: false,
+        }
+    }
+
+    /// Rebuild from the persistent queue after a submit-machine crash
+    /// (§4.2: "When restarted, the GridManager reads the information and
+    /// reconnects...").
+    pub fn recover(
+        config: SchedulerConfig,
+        broker: Box<dyn Broker>,
+        store: &gridsim::store::StableStore,
+        node: NodeId,
+    ) -> Scheduler {
+        let mut s = Scheduler::new(config, broker);
+        s.recovered = true;
+        let prefix = s.job_key_prefix();
+        for key in store.keys_with_prefix(node, &prefix) {
+            let Some((id, rec)) = store.get::<(u64, JobRec)>(node, &key) else { continue };
+            s.next_id = s.next_id.max(id + 1);
+            s.jobs.insert(GridJobId(id), rec);
+        }
+        // The log is persisted in fixed-size chunks (appending to one big
+        // value would make every event O(total log)).
+        type LogChunk = Vec<(u64, u64, String)>;
+        let log_prefix = format!("condor_g/{}/log/", s.config.user);
+        let mut chunks: Vec<(u64, LogChunk)> = store
+            .keys_with_prefix(node, &log_prefix)
+            .into_iter()
+            .filter_map(|key| {
+                let idx: u64 = key[log_prefix.len()..].parse().ok()?;
+                Some((idx, store.get(node, &key)?))
+            })
+            .collect();
+        chunks.sort_by_key(|&(i, _)| i);
+        for (_, chunk) in chunks {
+            s.log.extend(
+                chunk.into_iter().map(|(t, j, m)| (SimTime(t), GridJobId(j), m)),
+            );
+        }
+        let pm_prefix = format!("condor_g/{}/pm/", s.config.user);
+        for key in store.keys_with_prefix(node, &pm_prefix) {
+            if let (Ok(pool_id), Some(grid)) =
+                (key[pm_prefix.len()..].parse::<u64>(), store.get::<u64>(node, &key))
+            {
+                s.pool_map.insert(pool_id, GridJobId(grid));
+            }
+        }
+        s
+    }
+
+    fn job_key_prefix(&self) -> String {
+        format!("condor_g/{}/job/", self.config.user)
+    }
+
+    /// Persist one job record (O(1) per event).
+    fn persist_job(&self, ctx: &mut Ctx<'_>, job: GridJobId) {
+        let Some(rec) = self.jobs.get(&job) else { return };
+        let key = format!("{}{:012}", self.job_key_prefix(), job.0);
+        let node = ctx.node();
+        ctx.store().put(node, &key, &(job.0, rec.clone()));
+        let next = self.next_id;
+        let nk = format!("condor_g/{}/next_id", self.config.user);
+        ctx.store().put(node, &nk, &next);
+    }
+
+    fn persist_pool_entry(&self, ctx: &mut Ctx<'_>, pool_id: u64, grid: GridJobId) {
+        let key = format!("condor_g/{}/pm/{pool_id}", self.config.user);
+        let node = ctx.node();
+        ctx.store().put(node, &key, &grid.0);
+    }
+
+    /// Entries per persisted log chunk.
+    const LOG_CHUNK: usize = 64;
+
+    fn log_event(&mut self, ctx: &mut Ctx<'_>, job: GridJobId, message: String) {
+        ctx.trace("condor_g.log", format!("{job}: {message}"));
+        self.log.push((ctx.now(), job, message));
+        // Rewrite only the current (last, partial) chunk.
+        let chunk_idx = (self.log.len() - 1) / Self::LOG_CHUNK;
+        let start = chunk_idx * Self::LOG_CHUNK;
+        let chunk: Vec<(u64, u64, String)> = self.log[start..]
+            .iter()
+            .map(|(t, j, m)| (t.micros(), j.0, m.clone()))
+            .collect();
+        let key = format!("condor_g/{}/log/{chunk_idx}", self.config.user);
+        let node = ctx.node();
+        ctx.store().put(node, &key, &chunk);
+    }
+
+    fn push_status(&mut self, ctx: &mut Ctx<'_>, job: GridJobId) {
+        let Some(rec) = self.jobs.get(&job) else { return };
+        let status = rec.status.clone();
+        let name = rec.spec.name.clone();
+        if let Some(user) = self.config.user_addr {
+            ctx.send(user, UserEvent::Status { job, status: status.clone(), at: ctx.now() });
+        }
+        if status.is_terminal() && self.config.email_on_termination {
+            if let Some(mailer) = self.config.mailer {
+                ctx.send(
+                    mailer,
+                    Email {
+                        to: self.config.user.clone(),
+                        subject: format!("[condor-g] {name} ({job}) {status:?}"),
+                        body: format!("job {job} reached {status:?}"),
+                    },
+                );
+            }
+        }
+    }
+
+    fn ensure_gridmanager(&mut self, ctx: &mut Ctx<'_>) -> Addr {
+        if let Some(gm) = self.gridmanager {
+            return gm;
+        }
+        // "creating a new GridManager daemon... One GridManager process
+        // handles all jobs for a single user."
+        let broker = self.broker.take().expect("broker available for a new GridManager");
+        let gm = GridManager::new(
+            self.config.gm.clone(),
+            self.config.credential.clone(),
+            ctx.self_addr(),
+            self.config.gass,
+            broker,
+            self.recovered,
+        );
+        let node = ctx.node();
+        let addr = ctx.spawn(node, "gridmanager", gm);
+        ctx.metrics().incr("condor_g.gridmanagers_spawned", 1);
+        self.gridmanager = Some(addr);
+        addr
+    }
+
+    fn route_submit(&mut self, ctx: &mut Ctx<'_>, job: GridJobId) {
+        let rec = self.jobs.get(&job).expect("routed job exists").clone();
+        match rec.spec.universe {
+            Universe::Grid => {
+                let gm = self.ensure_gridmanager(ctx);
+                ctx.send_local(gm, GmCmd::Manage { job, spec: rec.spec });
+            }
+            Universe::Pool => {
+                let Some(schedd) = self.config.pool_schedd else {
+                    self.jobs.get_mut(&job).unwrap().status =
+                        JobStatus::Failed("no personal pool configured".into());
+                    self.log_event(ctx, job, "no pool schedd; job failed".into());
+                    self.persist_job(ctx, job);
+                    self.push_status(ctx, job);
+                    return;
+                };
+                let mut ad = ClassAd::new()
+                    .with("Owner", self.config.user.as_str())
+                    .with("Cmd", rec.spec.executable.as_str())
+                    .with("TotalWork", rec.spec.runtime.as_secs_f64())
+                    .with("IoBytes", rec.spec.io_bytes as i64);
+                if let Some(io) = rec.spec.io_interval_secs {
+                    ad.set("IoIntervalSecs", io);
+                }
+                if let Some(req) = &rec.spec.requirements {
+                    ad.set_parsed("Requirements", req).ok();
+                } else if let Some(arch) = &rec.spec.required_arch {
+                    // A binary's architecture constrains matchmaking even
+                    // when the user wrote no explicit Requirements.
+                    ad.set_parsed(
+                        "Requirements",
+                        &format!("TARGET.Arch == \"{arch}\""),
+                    )
+                    .ok();
+                }
+                if let Some(rank) = &rec.spec.rank {
+                    ad.set_parsed("Rank", rank).ok();
+                }
+                ctx.send_local(schedd, PoolSubmit { client_id: job.0, ad });
+            }
+        }
+    }
+
+    fn set_status(&mut self, ctx: &mut Ctx<'_>, job: GridJobId, status: JobStatus) {
+        let now = ctx.now();
+        let Some(rec) = self.jobs.get_mut(&job) else { return };
+        if rec.status == status {
+            return;
+        }
+        rec.status = status.clone();
+        // Queueing-delay accounting: first time the job actually executes.
+        if status == JobStatus::Active && !rec.seen_active {
+            rec.seen_active = true;
+            let wait = now - rec.submitted_at;
+            ctx.metrics().observe_duration("condor_g.active_wait", wait);
+        }
+        if status == JobStatus::Done {
+            ctx.metrics().gauge_delta("condor_g.done_over_time", now, 1.0);
+        }
+        self.log_event(ctx, job, format!("status -> {status:?}"));
+        self.persist_job(ctx, job);
+        self.push_status(ctx, job);
+        if status.is_terminal() {
+            ctx.metrics().incr(
+                match status {
+                    JobStatus::Done => "condor_g.jobs_done",
+                    JobStatus::Removed => "condor_g.jobs_removed",
+                    _ => "condor_g.jobs_failed",
+                },
+                1,
+            );
+        }
+    }
+}
+
+impl Component for Scheduler {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.recovered {
+            // Re-manage every non-terminal grid job; resubmit pool jobs
+            // (the pool schedd has its own persistent queue and recovery —
+            // here we only re-establish our notification mapping).
+            let pending: Vec<GridJobId> = self
+                .jobs
+                .iter()
+                .filter(|(_, r)| !r.status.is_terminal())
+                .map(|(id, _)| *id)
+                .collect();
+            ctx.metrics().incr("condor_g.recoveries", 1);
+            for job in pending {
+                self.log_event(ctx, job, "recovered from persistent queue".into());
+                if self.jobs[&job].spec.universe == Universe::Grid {
+                    let gm = self.ensure_gridmanager(ctx);
+                    let spec = self.jobs[&job].spec.clone();
+                    ctx.send_local(gm, GmCmd::Recover { job, spec });
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
+        if let Some(cmd) = msg.downcast_ref::<UserCmd>() {
+            match cmd {
+                UserCmd::Submit { id, spec } => {
+                    let job = GridJobId(self.next_id);
+                    self.next_id += 1;
+                    // Remember the user's console for callbacks.
+                    if self.config.user_addr.is_none() {
+                        self.config.user_addr = Some(from);
+                    }
+                    ctx.metrics().incr("condor_g.submitted", 1);
+                    self.jobs.insert(
+                        job,
+                        JobRec {
+                            spec: spec.clone(),
+                            status: JobStatus::Unsubmitted,
+                            submitted_at: ctx.now(),
+                            seen_active: false,
+                        },
+                    );
+                    self.log_event(ctx, job, format!("submitted ({})", spec.name));
+                    self.persist_job(ctx, job);
+                    ctx.send(from, UserEvent::Submitted { id: *id, job });
+                    self.route_submit(ctx, job);
+                }
+                UserCmd::Query { job } => {
+                    let status = self
+                        .jobs
+                        .get(job)
+                        .map(|r| r.status.clone())
+                        .unwrap_or(JobStatus::Failed("unknown job".into()));
+                    ctx.send(from, UserEvent::Status { job: *job, status, at: ctx.now() });
+                }
+                UserCmd::Cancel { job } => {
+                    let Some(rec) = self.jobs.get(job) else { return };
+                    match rec.spec.universe {
+                        Universe::Grid => {
+                            if let Some(gm) = self.gridmanager {
+                                ctx.send_local(gm, GmCmd::Cancel { job: *job });
+                            } else {
+                                self.set_status(ctx, *job, JobStatus::Removed);
+                            }
+                        }
+                        Universe::Pool => {
+                            if let Some(schedd) = self.config.pool_schedd {
+                                if let Some((pool_id, _)) =
+                                    self.pool_map.iter().find(|(_, g)| **g == *job)
+                                {
+                                    ctx.send_local(
+                                        schedd,
+                                        PoolRemove { job: condor::JobId(*pool_id) },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                UserCmd::GetLog => {
+                    ctx.send(from, UserEvent::Log { entries: self.log.clone() });
+                }
+                UserCmd::RefreshProxy { credential } => {
+                    self.config.credential = credential.clone();
+                    ctx.metrics().incr("condor_g.proxy_refreshes", 1);
+                    if let Some(gm) = self.gridmanager {
+                        ctx.send_local(
+                            gm,
+                            GmCmd::RefreshProxy { credential: credential.clone() },
+                        );
+                    }
+                }
+            }
+            return;
+        }
+        if let Some(update) = msg.downcast_ref::<GmUpdate>() {
+            self.set_status(ctx, update.job, update.status.clone());
+            return;
+        }
+        if msg.is::<crate::gridmanager::GmExiting>() {
+            // "terminates once all jobs are complete" — the broker comes
+            // home so a future GridManager can inherit it.
+            if let Ok(exiting) = msg.downcast::<crate::gridmanager::GmExiting>() {
+                self.broker = Some(exiting.broker);
+            }
+            self.gridmanager = None;
+            return;
+        }
+        // Pool-universe plumbing.
+        if let Some(sub) = msg.downcast_ref::<PoolSubmitted>() {
+            let grid_job = GridJobId(sub.client_id);
+            self.pool_map.insert(sub.job.0, grid_job);
+            self.persist_pool_entry(ctx, sub.job.0, grid_job);
+            return;
+        }
+        if let Some(ev) = msg.downcast_ref::<PoolJobEvent>() {
+            let Some(&job) = self.pool_map.get(&ev.job.0) else { return };
+            let status = match ev.state {
+                PoolJobState::Idle => JobStatus::Pending,
+                PoolJobState::Running => JobStatus::Active,
+                PoolJobState::Completed => JobStatus::Done,
+                PoolJobState::Removed => JobStatus::Removed,
+                PoolJobState::Held => JobStatus::Held("held by pool schedd".into()),
+            };
+            self.set_status(ctx, job, status);
+        }
+    }
+}

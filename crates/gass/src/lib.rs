@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! `gass` — Global Access to Secondary Storage and GridFTP (paper §3.4).
+//!
+//! GASS is how Condor-G moves data: the GridManager runs a GASS server on
+//! the submit machine; each Globus JobManager connects back to it to pull
+//! the job's executable and standard input, and to stream standard
+//! output/error in real time. GridFTP is the bulk-transfer sibling used by
+//! GlideIn binary distribution and the CMS pipeline's event shipping.
+//!
+//! This crate provides:
+//!
+//! * [`FileStore`] — an in-memory filesystem for a node. Small files (the
+//!   executables and I/O the protocols actually inspect) carry real bytes;
+//!   bulk scientific data is represented by length + checksum, which is all
+//!   the transfer model needs.
+//! * [`GassServer`] — a gridsim component speaking a GET/PUT/APPEND
+//!   protocol with GSI authentication, range reads (crash-recovery restarts
+//!   ask for "everything after byte N", §3.2), and bandwidth-modelled
+//!   transfer times.
+//! * [`GassUrl`] — `gass://` / `gsiftp://` URLs naming a server component
+//!   and path. The paper's trick of repointing a job's I/O after a submit
+//!   machine restart ("a process environment variable points to a file
+//!   containing the URL of the listening GASS server") is reproduced by the
+//!   JobManager in the `gram` crate.
+//! * [`gcat::GCat`] — the GridGaussian G-Cat utility (§6): tails a growing
+//!   output file and ships partial chunks to a mass-storage server through
+//!   a local scratch buffer.
+
+pub mod file;
+pub mod gcat;
+pub mod proto;
+pub mod server;
+pub mod url;
+
+pub use file::{FileData, FileStore};
+pub use proto::{GassReply, GassRequest, TransferError};
+pub use server::GassServer;
+pub use url::{GassUrl, Scheme};

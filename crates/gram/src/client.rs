@@ -1,0 +1,265 @@
+//! Client-side GRAM protocol helpers.
+//!
+//! [`SubmitSession`] encapsulates the two-phase submit state machine for
+//! one job: build the request, retransmit it verbatim on timeout (same
+//! sequence number — that's what makes retries safe), and turn the reply
+//! into a commit. The Condor-G GridManager embeds one session per job;
+//! the protocol experiments drive sessions directly.
+
+use crate::proto::{GramError, GramReply, GramRequest, JmMsg, JobContact};
+use gass::GassUrl;
+use gridsim::Addr;
+use gsi::ProxyCredential;
+
+/// Where a submit session stands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionState {
+    /// Request built but no reply seen yet.
+    AwaitingReply,
+    /// Server acknowledged; commit sent; job is live.
+    Committed {
+        /// The job's contact id.
+        contact: JobContact,
+        /// Its JobManager.
+        jobmanager: Addr,
+        /// The JobManager confirmed the commit (stop retransmitting it).
+        acked: bool,
+    },
+    /// Server refused.
+    Failed(GramError),
+}
+
+/// What the caller should do after feeding a reply in.
+#[derive(Debug, PartialEq)]
+pub enum SubmitAction {
+    /// Send [`JmMsg::Commit`] to the JobManager (already reflected in
+    /// state; provided for the caller to perform the send).
+    SendCommit {
+        /// Target JobManager.
+        jobmanager: Addr,
+        /// The job.
+        contact: JobContact,
+    },
+    /// The submission failed for good.
+    GiveUp(GramError),
+    /// Reply was stale/duplicate; nothing to do.
+    Ignore,
+}
+
+/// One job's two-phase submit protocol state.
+#[derive(Clone, Debug)]
+pub struct SubmitSession {
+    /// The client sequence number (dedup key at the server).
+    pub seq: u64,
+    rsl: String,
+    credential: ProxyCredential,
+    callback: Addr,
+    gass: GassUrl,
+    capability: Option<gsi::Capability>,
+    /// Current protocol state.
+    pub state: SessionState,
+    /// Times the request has been (re)sent.
+    pub attempts: u32,
+}
+
+impl SubmitSession {
+    /// Start a session. The caller sends [`SubmitSession::request`] and
+    /// arms a retransmit timer.
+    pub fn new(
+        seq: u64,
+        rsl: String,
+        credential: ProxyCredential,
+        callback: Addr,
+        gass: GassUrl,
+    ) -> SubmitSession {
+        SubmitSession {
+            seq,
+            rsl,
+            credential,
+            callback,
+            gass,
+            capability: None,
+            state: SessionState::AwaitingReply,
+            attempts: 0,
+        }
+    }
+
+    /// Attach a capability (capability-based authorization, §3.2).
+    pub fn with_capability(mut self, capability: gsi::Capability) -> SubmitSession {
+        self.capability = Some(capability);
+        self
+    }
+
+    /// A session already past both phases (used when reconstructing state
+    /// for a job known to be committed). Nothing retransmits from it.
+    pub fn acknowledged(
+        seq: u64,
+        contact: JobContact,
+        credential: ProxyCredential,
+        callback: Addr,
+        gass: GassUrl,
+    ) -> SubmitSession {
+        let mut s = SubmitSession::new(seq, String::new(), credential, callback, gass);
+        s.state = SessionState::Committed {
+            contact,
+            // The JobManager address is not needed once acked.
+            jobmanager: callback,
+            acked: true,
+        };
+        s
+    }
+
+    /// Build the (re)transmittable request. Increments the attempt counter;
+    /// the sequence number never changes — exactly-once depends on that.
+    pub fn request(&mut self) -> GramRequest {
+        self.attempts += 1;
+        GramRequest::Submit {
+            seq: self.seq,
+            credential: self.credential.clone(),
+            rsl: self.rsl.clone(),
+            callback: self.callback,
+            gass: self.gass.clone(),
+            capability: self.capability.clone(),
+        }
+    }
+
+    /// True if a retransmit is still useful.
+    pub fn awaiting_reply(&self) -> bool {
+        self.state == SessionState::AwaitingReply
+    }
+
+    /// Feed a gatekeeper reply; returns what to do next.
+    pub fn on_reply(&mut self, reply: &GramReply) -> SubmitAction {
+        match reply {
+            GramReply::Submitted { seq, contact, jobmanager } if *seq == self.seq => {
+                if let SessionState::Committed { .. } = self.state {
+                    // Duplicate reply to a retransmission: already handled.
+                    return SubmitAction::Ignore;
+                }
+                self.state = SessionState::Committed {
+                    contact: *contact,
+                    jobmanager: *jobmanager,
+                    acked: false,
+                };
+                SubmitAction::SendCommit { jobmanager: *jobmanager, contact: *contact }
+            }
+            GramReply::SubmitFailed { seq, error } if *seq == self.seq => {
+                if matches!(self.state, SessionState::Committed { .. }) {
+                    return SubmitAction::Ignore;
+                }
+                self.state = SessionState::Failed(error.clone());
+                SubmitAction::GiveUp(error.clone())
+            }
+            _ => SubmitAction::Ignore,
+        }
+    }
+
+    /// The commit message for the acknowledged job.
+    pub fn commit_msg(&self) -> Option<(Addr, JmMsg)> {
+        match &self.state {
+            SessionState::Committed { jobmanager, .. } => Some((*jobmanager, JmMsg::Commit)),
+            _ => None,
+        }
+    }
+
+    /// Record the JobManager's [`JmMsg::CommitAck`].
+    pub fn on_commit_ack(&mut self) {
+        if let SessionState::Committed { acked, .. } = &mut self.state {
+            *acked = true;
+        }
+    }
+
+    /// If the commit has not been confirmed yet, the `(target, message)`
+    /// to retransmit.
+    pub fn commit_retry(&self) -> Option<(Addr, JmMsg)> {
+        match &self.state {
+            SessionState::Committed { jobmanager, acked: false, .. } => {
+                Some((*jobmanager, JmMsg::Commit))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod session_tests {
+    use super::*;
+    use gass::Scheme;
+    use gridsim::{CompId, NodeId};
+    use gsi::CertificateAuthority;
+    use gridsim::time::{Duration, SimTime};
+
+    fn addr(n: u32, c: u32) -> Addr {
+        Addr { node: NodeId(n), comp: CompId(c) }
+    }
+
+    fn session() -> SubmitSession {
+        let mut ca = CertificateAuthority::new("/CN=CA", 1);
+        let id = ca.issue_identity("/CN=u", Duration::from_days(1));
+        let cred = id.new_proxy(SimTime::ZERO, Duration::from_hours(12));
+        SubmitSession::new(
+            7,
+            "&(executable=/x)".into(),
+            cred,
+            addr(0, 0),
+            GassUrl { scheme: Scheme::Gass, server: addr(0, 1), path: "/".into() },
+        )
+    }
+
+    #[test]
+    fn retransmits_keep_the_sequence_number() {
+        let mut s = session();
+        for _ in 0..3 {
+            match s.request() {
+                GramRequest::Submit { seq, .. } => assert_eq!(seq, 7),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(s.attempts, 3);
+    }
+
+    #[test]
+    fn reply_drives_commit_exactly_once() {
+        let mut s = session();
+        let _ = s.request();
+        let reply = GramReply::Submitted {
+            seq: 7,
+            contact: JobContact(3),
+            jobmanager: addr(1, 9),
+        };
+        assert_eq!(
+            s.on_reply(&reply),
+            SubmitAction::SendCommit { jobmanager: addr(1, 9), contact: JobContact(3) }
+        );
+        // A duplicate reply (retransmission raced the first answer) is inert.
+        assert_eq!(s.on_reply(&reply), SubmitAction::Ignore);
+        assert!(!s.awaiting_reply());
+        assert!(s.commit_msg().is_some());
+        // Until the ack arrives, the commit stays retransmittable.
+        assert!(s.commit_retry().is_some());
+        s.on_commit_ack();
+        assert!(s.commit_retry().is_none());
+    }
+
+    #[test]
+    fn wrong_seq_ignored() {
+        let mut s = session();
+        let _ = s.request();
+        let reply = GramReply::Submitted {
+            seq: 99,
+            contact: JobContact(3),
+            jobmanager: addr(1, 9),
+        };
+        assert_eq!(s.on_reply(&reply), SubmitAction::Ignore);
+        assert!(s.awaiting_reply());
+    }
+
+    #[test]
+    fn failure_reported_once() {
+        let mut s = session();
+        let _ = s.request();
+        let reply = GramReply::SubmitFailed { seq: 7, error: GramError::UnknownJob };
+        assert_eq!(s.on_reply(&reply), SubmitAction::GiveUp(GramError::UnknownJob));
+        assert_eq!(s.state, SessionState::Failed(GramError::UnknownJob));
+    }
+}

@@ -1,0 +1,269 @@
+//! The Globus GateKeeper (Figure 1).
+//!
+//! One gatekeeper fronts each site. It authenticates every request with
+//! GSI, authorizes through the site gridmap, deduplicates submissions by
+//! `(DN, sequence number)` for exactly-once semantics, and spawns one
+//! JobManager daemon per job. It also answers liveness pings — the probe
+//! the GridManager uses to distinguish "JobManager crashed" from "whole
+//! machine or network down" (§4.2).
+
+use crate::jobmanager::{JmLog, JobManager};
+use crate::proto::{GramError, GramReply, GramRequest, JobContact};
+use gridsim::prelude::*;
+use gridsim::AnyMsg;
+use gsi::{Capability, GridMap, PublicKey, TrustRoot};
+use std::collections::HashMap;
+
+/// Dedup record persisted to stable storage so exactly-once survives
+/// gatekeeper machine restarts.
+type DedupMap = Vec<((String, u64), u64)>; // (DN, seq) -> contact
+
+/// The gatekeeper component.
+pub struct Gatekeeper {
+    site: String,
+    trust: TrustRoot,
+    gridmap: GridMap,
+    lrm: Addr,
+    /// Exactly-once machinery on (paper behaviour) or off (the naive
+    /// one-phase baseline for the X1 ablation).
+    two_phase: bool,
+    /// Verification key for capability-based authorization (§3.2's
+    /// work-in-progress mode); `None` = gridmap only.
+    capability_key: Option<PublicKey>,
+    dedup: HashMap<(String, u64), JobContact>,
+    jobmanagers: HashMap<JobContact, Addr>,
+    next_contact: u64,
+}
+
+impl Gatekeeper {
+    /// A gatekeeper for `site`, fronting the scheduler at `lrm`.
+    pub fn new(site: &str, trust: TrustRoot, gridmap: GridMap, lrm: Addr) -> Gatekeeper {
+        Gatekeeper {
+            site: site.to_string(),
+            trust,
+            gridmap,
+            lrm,
+            two_phase: true,
+            capability_key: None,
+            dedup: HashMap::new(),
+            jobmanagers: HashMap::new(),
+            // Real job contacts are URLs naming the gatekeeper host; ours
+            // embed a site fingerprint so contacts are globally unique.
+            next_contact: (gsi::keys::digest(site.as_bytes()) & 0xFFFF_FFFF) << 32,
+        }
+    }
+
+    /// Disable two-phase commit and dedup (the pre-revision GRAM baseline).
+    pub fn one_phase(mut self) -> Gatekeeper {
+        self.two_phase = false;
+        self
+    }
+
+    /// Accept capabilities signed by this site authority as an alternative
+    /// to the gridmap.
+    pub fn with_capability_key(mut self, key: PublicKey) -> Gatekeeper {
+        self.capability_key = Some(key);
+        self
+    }
+
+    fn dedup_key(&self) -> String {
+        format!("gram/gk/{}/dedup", self.site)
+    }
+
+    fn contact_key(&self) -> String {
+        format!("gram/gk/{}/next_contact", self.site)
+    }
+
+    fn persist(&self, ctx: &mut Ctx<'_>) {
+        let node = ctx.node();
+        let flat: DedupMap = self
+            .dedup
+            .iter()
+            .map(|(k, v)| (k.clone(), v.0))
+            .collect();
+        let (dk, ck) = (self.dedup_key(), self.contact_key());
+        let next = self.next_contact;
+        ctx.store().put(node, &dk, &flat);
+        ctx.store().put(node, &ck, &next);
+    }
+
+    /// Recover dedup state after a machine restart (used from boot hooks).
+    pub fn recover(mut self, store: &gridsim::store::StableStore, node: NodeId) -> Gatekeeper {
+        if let Some(flat) = store.get::<DedupMap>(node, &self.dedup_key()) {
+            self.dedup = flat
+                .into_iter()
+                .map(|(k, v)| (k, JobContact(v)))
+                .collect();
+        }
+        if let Some(next) = store.get::<u64>(node, &self.contact_key()) {
+            self.next_contact = next;
+        }
+        self
+    }
+
+    fn authenticate(
+        &self,
+        ctx: &mut Ctx<'_>,
+        credential: &gsi::ProxyCredential,
+        capability: Option<&Capability>,
+    ) -> Result<(String, String), GramError> {
+        let dn = credential
+            .verify(ctx.now(), &self.trust)
+            .map_err(|e| GramError::AuthenticationFailed(e.to_string()))?;
+        // Local policy first (the gridmap), then capabilities.
+        if let Some(local) = self.gridmap.authorize(&dn) {
+            return Ok((dn, local.to_string()));
+        }
+        if let (Some(key), Some(cap)) = (self.capability_key, capability) {
+            if cap.verify(key, &dn, &self.site, ctx.now()) {
+                ctx.metrics().incr("gram.capability_grants", 1);
+                return Ok((dn, cap.local_user.clone()));
+            }
+        }
+        Err(GramError::AuthorizationFailed(dn))
+    }
+
+    fn spawn_jobmanager(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        contact: JobContact,
+        jm: JobManager,
+    ) -> Addr {
+        let addr = ctx.spawn(ctx.node(), &format!("jm-{contact}"), jm);
+        self.jobmanagers.insert(contact, addr);
+        addr
+    }
+}
+
+impl Component for Gatekeeper {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
+        let Ok(req) = msg.downcast::<GramRequest>() else { return };
+        match *req {
+            GramRequest::Ping { nonce } => {
+                ctx.send(from, GramReply::Pong { nonce });
+            }
+            GramRequest::Submit { seq, credential, rsl, callback, gass, capability } => {
+                let (dn, local_user) =
+                    match self.authenticate(ctx, &credential, capability.as_ref()) {
+                    Ok(v) => v,
+                    Err(error) => {
+                        ctx.metrics().incr("gram.rejected", 1);
+                        ctx.send(from, GramReply::SubmitFailed { seq, error });
+                        return;
+                    }
+                };
+                // Exactly-once: a duplicate (DN, seq) gets the original
+                // answer, never a second job.
+                if self.two_phase {
+                    if let Some(&contact) = self.dedup.get(&(dn.clone(), seq)) {
+                        ctx.metrics().incr("gram.duplicate_submits", 1);
+                        ctx.trace("gram.dedup", format!("dn={dn} seq={seq} -> {contact}"));
+                        if let Some(&jm) = self.jobmanagers.get(&contact) {
+                            ctx.send(from, GramReply::Submitted { seq, contact, jobmanager: jm });
+                        } else {
+                            // JobManager gone (e.g. machine restarted):
+                            // restart it from its log.
+                            let node = ctx.node();
+                            match ctx.store().get::<JmLog>(node, &JmLog::key(contact)) {
+                                Some(log) => {
+                                    let jm = self.spawn_jobmanager(
+                                        ctx,
+                                        contact,
+                                        JobManager::recover(log, self.lrm, callback, gass, credential.clone(), 0),
+                                    );
+                                    ctx.send(
+                                        from,
+                                        GramReply::Submitted { seq, contact, jobmanager: jm },
+                                    );
+                                }
+                                None => {
+                                    ctx.send(
+                                        from,
+                                        GramReply::SubmitFailed {
+                                            seq,
+                                            error: GramError::UnknownJob,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                        return;
+                    }
+                }
+                let spec = match crate::rsl::parse(&rsl) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        ctx.send(
+                            from,
+                            GramReply::SubmitFailed { seq, error: GramError::BadRsl(e.to_string()) },
+                        );
+                        return;
+                    }
+                };
+                let contact = JobContact(self.next_contact);
+                self.next_contact += 1;
+                ctx.metrics().incr("gram.submits", 1);
+                ctx.trace(
+                    "gram.submit",
+                    format!("{} dn={dn} seq={seq} -> {contact}", self.site),
+                );
+                let jm = JobManager::new(
+                    contact,
+                    spec,
+                    credential,
+                    callback,
+                    gass,
+                    self.lrm,
+                    &local_user,
+                    // One-phase servers start executing immediately.
+                    !self.two_phase,
+                );
+                let jm_addr = self.spawn_jobmanager(ctx, contact, jm);
+                if self.two_phase {
+                    self.dedup.insert((dn, seq), contact);
+                    self.persist(ctx);
+                }
+                ctx.send(from, GramReply::Submitted { seq, contact, jobmanager: jm_addr });
+            }
+            GramRequest::RestartJobManager {
+                contact,
+                credential,
+                callback,
+                gass,
+                stdout_have,
+                capability,
+            } => {
+                if let Err(error) = self.authenticate(ctx, &credential, capability.as_ref()) {
+                    ctx.send(from, GramReply::RestartFailed { contact, error });
+                    return;
+                }
+                // Tear down any existing JobManager for this contact (it
+                // may be a zombie the client can no longer reach) and start
+                // a fresh one from the stable log — like forking a new
+                // jobmanager process.
+                if let Some(jm) = self.jobmanagers.remove(&contact) {
+                    ctx.kill(jm);
+                }
+                let node = ctx.node();
+                match ctx.store().get::<JmLog>(node, &JmLog::key(contact)) {
+                    Some(log) => {
+                        ctx.metrics().incr("gram.jm_restarts", 1);
+                        ctx.trace("gram.jm_restart", format!("{contact}"));
+                        let jm = self.spawn_jobmanager(
+                            ctx,
+                            contact,
+                            JobManager::recover(log, self.lrm, callback, gass, credential, stdout_have),
+                        );
+                        ctx.send(from, GramReply::Restarted { contact, jobmanager: jm });
+                    }
+                    None => {
+                        ctx.send(
+                            from,
+                            GramReply::RestartFailed { contact, error: GramError::UnknownJob },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! The Globus JobManager (Figure 1).
+//!
+//! One JobManager daemon per job: it connects back to the client's GASS
+//! server to stage the executable and standard input, submits the job to
+//! the site scheduler, relays status updates as callbacks, stages standard
+//! output back when the job finishes, and logs everything to stable
+//! storage so a crash of the interface machine never loses a job (§3.2,
+//! §4.2).
+
+use crate::proto::{GramJobState, JmMsg, JobContact};
+use crate::rsl::RslSpec;
+use gass::{FileData, GassReply, GassRequest, GassUrl};
+use gridsim::prelude::*;
+use gridsim::AnyMsg;
+use gsi::ProxyCredential;
+use serde::{Deserialize, Serialize};
+use site::{JobSpec, LrmEvent, LrmJobState, LrmReply, LrmRequest};
+
+/// What the JobManager persists (and what a restarted JobManager resumes
+/// from).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JmLog {
+    /// The job.
+    pub contact: JobContact,
+    /// RSL, re-parsed on recovery.
+    pub rsl: String,
+    /// Site-local account.
+    pub local_user: String,
+    /// Site scheduler id, once submitted.
+    pub local_id: Option<u64>,
+    /// Last externally visible state.
+    pub state: GramJobState,
+    /// Bytes of stdout already pushed to the client.
+    pub stdout_sent: u64,
+    /// Exit status once Done.
+    pub exit_ok: bool,
+}
+
+impl JmLog {
+    /// Stable-storage key for a job's log.
+    pub fn key(contact: JobContact) -> String {
+        format!("gram/jm/{contact}")
+    }
+}
+
+/// Stage-in progress.
+#[derive(Debug, PartialEq, Eq)]
+enum Staging {
+    NotStarted,
+    Fetching { outstanding: u32 },
+    Done,
+}
+
+/// The JobManager component.
+pub struct JobManager {
+    contact: JobContact,
+    rsl: RslSpec,
+    credential: ProxyCredential,
+    client: Addr,
+    gass: GassUrl,
+    lrm: Addr,
+    local_user: String,
+    state: GramJobState,
+    local_id: Option<u64>,
+    stdout_sent: u64,
+    exit_ok: bool,
+    auto_commit: bool,
+    /// Recovery mode: query the scheduler instead of submitting anew.
+    recovering: bool,
+    staging: Staging,
+    next_req: u64,
+    /// Outstanding stdout write request id.
+    stdout_req: Option<u64>,
+    /// LRM events that raced ahead of the Submitted reply.
+    pending_events: Vec<LrmEvent>,
+    /// Set once execution has commenced; duplicate Commits are then inert.
+    committed: bool,
+}
+
+/// Retry timer tags.
+const TAG_STAGE_IN: u64 = 1;
+const TAG_STAGE_OUT: u64 = 2;
+/// Conservative floor bandwidth (bytes/s) for sizing staging-retry
+/// timeouts: a transfer slower than this is presumed lost.
+const RETRY_FLOOR_BW: u64 = 125_000;
+/// Periodic scheduler-status poll: pushed LRM events can be lost to the
+/// network or to a JobManager restart, so the JobManager also polls.
+const TAG_STATUS_POLL: u64 = 3;
+const STATUS_POLL: Duration = Duration::from_mins(5);
+/// How long to wait for a staging reply before retransmitting.
+const STAGE_RETRY: Duration = Duration::from_secs(60);
+
+impl JobManager {
+    /// A fresh JobManager for a newly submitted job.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        contact: JobContact,
+        rsl: RslSpec,
+        credential: ProxyCredential,
+        client: Addr,
+        gass: GassUrl,
+        lrm: Addr,
+        local_user: &str,
+        auto_commit: bool,
+    ) -> JobManager {
+        JobManager {
+            contact,
+            rsl,
+            credential,
+            client,
+            gass,
+            lrm,
+            local_user: local_user.to_string(),
+            state: GramJobState::PendingCommit,
+            local_id: None,
+            stdout_sent: 0,
+            exit_ok: false,
+            auto_commit,
+            recovering: false,
+            staging: Staging::NotStarted,
+            next_req: 0,
+            stdout_req: None,
+            pending_events: Vec::new(),
+            committed: false,
+        }
+    }
+
+    /// A JobManager reattaching to an existing job from its log.
+    pub fn recover(
+        log: JmLog,
+        lrm: Addr,
+        client: Addr,
+        gass: GassUrl,
+        credential: ProxyCredential,
+        stdout_have: u64,
+    ) -> JobManager {
+        let rsl = crate::rsl::parse(&log.rsl).expect("logged RSL re-parses");
+        JobManager {
+            contact: log.contact,
+            rsl,
+            credential,
+            client,
+            gass,
+            lrm,
+            local_user: log.local_user,
+            state: log.state,
+            local_id: log.local_id,
+            stdout_sent: stdout_have.min(log.stdout_sent),
+            exit_ok: log.exit_ok,
+            auto_commit: false,
+            recovering: true,
+            staging: Staging::Done,
+            next_req: 0,
+            stdout_req: None,
+            pending_events: Vec::new(),
+            committed: true,
+        }
+    }
+
+    fn persist(&self, ctx: &mut Ctx<'_>) {
+        let node = ctx.node();
+        let log = JmLog {
+            contact: self.contact,
+            rsl: self.rsl.to_string(),
+            local_user: self.local_user.clone(),
+            local_id: self.local_id,
+            state: self.state,
+            stdout_sent: self.stdout_sent,
+            exit_ok: self.exit_ok,
+        };
+        ctx.store().put(node, &JmLog::key(self.contact), &log);
+    }
+
+    fn callback(&mut self, ctx: &mut Ctx<'_>, state: GramJobState) {
+        self.state = state;
+        self.persist(ctx);
+        ctx.trace("jm.state", format!("{} -> {state:?}", self.contact));
+        ctx.send(
+            self.client,
+            JmMsg::Callback { contact: self.contact, state, exit_ok: self.exit_ok, at: ctx.now() },
+        );
+    }
+
+    /// Issue (or re-issue) the stage-in GETs; arms the retry timer.
+    fn send_stage_requests(&mut self, ctx: &mut Ctx<'_>) -> u32 {
+        let mut outstanding = 0;
+        // Executable and stdin, when they're GASS URLs, come from the
+        // client's server.
+        for source in [Some(self.rsl.executable.clone()), self.rsl.stdin.clone()]
+            .into_iter()
+            .flatten()
+        {
+            if let Ok(url) = source.parse::<GassUrl>() {
+                self.next_req += 1;
+                outstanding += 1;
+                ctx.send(
+                    url.server,
+                    GassRequest::Get {
+                        request_id: self.next_req,
+                        credential: self.credential.clone(),
+                        path: url.path,
+                        offset: 0,
+                        limit: u64::MAX,
+                    },
+                );
+            }
+        }
+        if outstanding > 0 {
+            self.staging = Staging::Fetching { outstanding };
+            // Allow generous time for the payload itself before retrying.
+            let payload = self.rsl.image_size.max(1_000_000);
+            let timeout = STAGE_RETRY + Duration::from_secs(payload / RETRY_FLOOR_BW);
+            ctx.set_timer(timeout, TAG_STAGE_IN);
+        }
+        outstanding
+    }
+
+    fn begin_stage_in(&mut self, ctx: &mut Ctx<'_>) {
+        self.committed = true;
+        if self.send_stage_requests(ctx) == 0 {
+            // Everything is site-local: no staging needed.
+            self.staging = Staging::Done;
+            self.submit_to_lrm(ctx);
+        } else {
+            self.callback(ctx, GramJobState::StageIn);
+        }
+    }
+
+    fn submit_to_lrm(&mut self, ctx: &mut Ctx<'_>) {
+        let estimate = self.rsl.max_wall_time.unwrap_or(self.rsl.sim_runtime);
+        let required_arch = self
+            .rsl
+            .extra
+            .get("arch")
+            .and_then(|v| v.first())
+            .cloned();
+        let spec = JobSpec {
+            cpus: self.rsl.count,
+            runtime: self.rsl.sim_runtime,
+            estimate,
+            owner: self.local_user.clone(),
+            required_arch,
+        };
+        ctx.send(self.lrm, LrmRequest::Submit { client_job: self.contact.0, spec });
+    }
+
+    fn begin_stage_out(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(stdout_url) = self.rsl.stdout.clone() else {
+            // No output to stage: straight to Done.
+            self.exit_ok = true;
+            self.callback(ctx, GramJobState::Done);
+            return;
+        };
+        let remaining = self.rsl.stdout_size.saturating_sub(self.stdout_sent);
+        if remaining == 0 {
+            self.exit_ok = true;
+            self.callback(ctx, GramJobState::Done);
+            return;
+        }
+        self.callback(ctx, GramJobState::StageOut);
+        match stdout_url.parse::<GassUrl>() {
+            Ok(_) => self.send_stdout_chunk(ctx),
+            Err(_) => {
+                // Site-local stdout: nothing to ship.
+                self.stdout_sent = self.rsl.stdout_size;
+                self.exit_ok = true;
+                self.callback(ctx, GramJobState::Done);
+            }
+        }
+    }
+
+    /// Send (or re-send) the remaining stdout bytes as an idempotent
+    /// positioned write; arms the retry timer.
+    fn send_stdout_chunk(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(stdout_url) = self.rsl.stdout.clone() else { return };
+        let Ok(url) = stdout_url.parse::<GassUrl>() else { return };
+        let remaining = self.rsl.stdout_size.saturating_sub(self.stdout_sent);
+        if remaining == 0 {
+            return;
+        }
+        self.next_req += 1;
+        self.stdout_req = Some(self.next_req);
+        let chunk = FileData::bulk(remaining, self.contact.0 ^ self.stdout_sent);
+        ctx.send_bulk(
+            url.server,
+            remaining,
+            GassRequest::WriteAt {
+                request_id: self.next_req,
+                credential: self.credential.clone(),
+                path: url.path,
+                offset: self.stdout_sent,
+                data: chunk,
+            },
+        );
+        // The retry timeout must cover the transfer itself, or large
+        // outputs would be retransmitted while still in flight.
+        let timeout = STAGE_RETRY + Duration::from_secs(remaining / RETRY_FLOOR_BW);
+        ctx.set_timer(timeout, TAG_STAGE_OUT);
+    }
+
+    fn on_lrm_event(&mut self, ctx: &mut Ctx<'_>, ev: &LrmEvent) {
+        if Some(ev.local_id) != self.local_id {
+            return;
+        }
+        match ev.state {
+            LrmJobState::Running => {
+                ctx.metrics().incr("gram.jobs_started", 1);
+                self.callback(ctx, GramJobState::Active);
+            }
+            LrmJobState::Queued => {
+                // Vacated-and-requeued by the site: back to Pending.
+                self.callback(ctx, GramJobState::Pending);
+            }
+            LrmJobState::Completed => {
+                ctx.metrics().incr("gram.jobs_completed", 1);
+                self.begin_stage_out(ctx);
+            }
+            LrmJobState::WallTimeExceeded | LrmJobState::Vacated => {
+                ctx.metrics().incr("gram.jobs_failed", 1);
+                self.exit_ok = false;
+                self.callback(ctx, GramJobState::Failed);
+            }
+            LrmJobState::Removed => {
+                self.callback(ctx, GramJobState::Removed);
+            }
+        }
+    }
+}
+
+impl Component for JobManager {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.persist(ctx);
+        ctx.set_timer(STATUS_POLL, TAG_STATUS_POLL);
+        if self.recovering {
+            match (self.state, self.local_id) {
+                // Terminal already: re-announce it so the client learns.
+                (s, _) if s.is_terminal() => {
+                    let state = self.state;
+                    self.callback(ctx, state);
+                }
+                // Mid-stage-out: resume shipping stdout.
+                (GramJobState::StageOut, _) => self.begin_stage_out(ctx),
+                // Submitted: ask the scheduler where things stand.
+                (_, Some(local_id)) => {
+                    ctx.send(self.lrm, LrmRequest::Status { local_id });
+                }
+                // Never reached the scheduler: restart the submission.
+                (_, None) => self.submit_to_lrm(ctx),
+            }
+            return;
+        }
+        if self.auto_commit {
+            self.begin_stage_in(ctx);
+        }
+        // Otherwise wait for the client's Commit (two-phase).
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, tag: u64) {
+        match tag {
+            TAG_STAGE_IN => {
+                if matches!(self.staging, Staging::Fetching { .. }) {
+                    ctx.metrics().incr("gram.stage_retries", 1);
+                    self.send_stage_requests(ctx);
+                }
+            }
+            TAG_STAGE_OUT
+                if self.stdout_req.is_some() => {
+                    ctx.metrics().incr("gram.stage_retries", 1);
+                    self.send_stdout_chunk(ctx);
+                }
+            TAG_STATUS_POLL
+                if !self.state.is_terminal() => {
+                    if let Some(local_id) = self.local_id {
+                        ctx.send(self.lrm, LrmRequest::Status { local_id });
+                    }
+                    ctx.set_timer(STATUS_POLL, TAG_STATUS_POLL);
+                }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
+        // Client-side protocol.
+        if let Some(jm) = msg.downcast_ref::<JmMsg>() {
+            match jm {
+                JmMsg::Commit => {
+                    ctx.send(from, JmMsg::CommitAck { contact: self.contact });
+                    if self.state == GramJobState::PendingCommit && !self.committed {
+                        ctx.metrics().incr("gram.commits", 1);
+                        self.begin_stage_in(ctx);
+                    }
+                }
+                JmMsg::Probe { nonce } => {
+                    ctx.send(
+                        from,
+                        JmMsg::ProbeReply {
+                            nonce: *nonce,
+                            contact: self.contact,
+                            state: self.state,
+                        },
+                    );
+                }
+                JmMsg::Cancel => {
+                    if let Some(local_id) = self.local_id {
+                        if !self.state.is_terminal() {
+                            ctx.send(self.lrm, LrmRequest::Cancel { local_id });
+                        }
+                    } else {
+                        self.callback(ctx, GramJobState::Removed);
+                    }
+                }
+                JmMsg::UpdateGass { gass, stdout_have } => {
+                    self.gass = gass.clone();
+                    self.stdout_sent = *stdout_have;
+                    self.client = from;
+                    self.persist(ctx);
+                    if self.state == GramJobState::StageOut {
+                        self.begin_stage_out(ctx);
+                    }
+                }
+                JmMsg::RefreshCredential { credential } => {
+                    ctx.metrics().incr("gram.credential_refreshes", 1);
+                    self.credential = credential.clone();
+                }
+                JmMsg::DoneAck => {
+                    ctx.kill(ctx.self_addr());
+                }
+                JmMsg::Callback { .. } | JmMsg::ProbeReply { .. } | JmMsg::CommitAck { .. } => {}
+            }
+            return;
+        }
+        // Scheduler replies and events.
+        if let Some(reply) = msg.downcast_ref::<LrmReply>() {
+            match reply {
+                LrmReply::Submitted { local_id, .. } => {
+                    self.local_id = Some(*local_id);
+                    self.callback(ctx, GramJobState::Pending);
+                    // Replay any events that raced ahead of this reply.
+                    for ev in std::mem::take(&mut self.pending_events) {
+                        self.on_lrm_event(ctx, &ev);
+                    }
+                }
+                LrmReply::StatusIs { state, .. } => {
+                    // Recovery and periodic-poll path: translate the
+                    // scheduler's view, announcing only actual changes.
+                    if self.state.is_terminal() {
+                        return;
+                    }
+                    match state {
+                        Some(LrmJobState::Running) => {
+                            if self.state != GramJobState::Active {
+                                self.callback(ctx, GramJobState::Active);
+                            }
+                        }
+                        Some(LrmJobState::Queued) => {
+                            if self.state != GramJobState::Pending {
+                                self.callback(ctx, GramJobState::Pending);
+                            }
+                        }
+                        Some(LrmJobState::Completed) => {
+                            if self.state != GramJobState::StageOut
+                                || self.stdout_req.is_none()
+                            {
+                                self.begin_stage_out(ctx);
+                            }
+                        }
+                        Some(LrmJobState::WallTimeExceeded) | Some(LrmJobState::Vacated) => {
+                            self.exit_ok = false;
+                            self.callback(ctx, GramJobState::Failed);
+                        }
+                        Some(LrmJobState::Removed) => self.callback(ctx, GramJobState::Removed),
+                        None => {
+                            // The scheduler does not know the job (its
+                            // machine lost state): report failure so the
+                            // client can resubmit.
+                            self.exit_ok = false;
+                            self.callback(ctx, GramJobState::Failed);
+                        }
+                    }
+                }
+                LrmReply::Info(_) => {}
+            }
+            return;
+        }
+        if let Some(ev) = msg.downcast_ref::<LrmEvent>() {
+            if self.local_id.is_none() {
+                // The LRM's first event can overtake its Submitted reply
+                // (independent network latencies); hold it until then.
+                self.pending_events.push(ev.clone());
+            } else {
+                self.on_lrm_event(ctx, ev);
+            }
+            return;
+        }
+        // GASS staging replies.
+        if let Ok(reply) = msg.downcast::<GassReply>() {
+            match *reply {
+                GassReply::Data { .. } => {
+                    if let Staging::Fetching { outstanding } = &mut self.staging {
+                        *outstanding -= 1;
+                        if *outstanding == 0 {
+                            self.staging = Staging::Done;
+                            ctx.metrics().incr("gram.staged_in", 1);
+                            self.submit_to_lrm(ctx);
+                        }
+                    }
+                }
+                GassReply::Ok { new_size, .. } => {
+                    // Positioned writes are idempotent, so an Ok from *any*
+                    // (possibly retransmitted) stdout write that shows the
+                    // full output present confirms stage-out — matching
+                    // only the newest request id would livelock when the
+                    // transfer time exceeds the retry period.
+                    if self.stdout_req.is_some() && new_size >= self.rsl.stdout_size {
+                        self.stdout_req = None;
+                        self.stdout_sent = self.rsl.stdout_size;
+                        self.exit_ok = true;
+                        ctx.metrics().incr("gram.staged_out", 1);
+                        self.callback(ctx, GramJobState::Done);
+                    }
+                }
+                GassReply::Failed { ref error, .. } => {
+                    ctx.metrics().incr("gram.staging_failures", 1);
+                    ctx.trace("jm.staging_failed", error.to_string());
+                    self.exit_ok = false;
+                    self.callback(ctx, GramJobState::Failed);
+                }
+                GassReply::Size { .. } => {}
+            }
+        }
+    }
+}

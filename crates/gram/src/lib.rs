@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! `gram` — the Grid Resource Allocation and Management protocol (paper
+//! §3.2) and its server-side implementation (Figure 1's GateKeeper and
+//! JobManager).
+//!
+//! GRAM is the narrow waist of Condor-G: "remote resource access issues are
+//! addressed by requiring that remote resources speak standard protocols".
+//! This crate implements the *revised* GRAM the paper describes — the one
+//! the UW team co-designed — with its three distinguishing features:
+//!
+//! 1. **GSI security on every operation** — the gatekeeper verifies the
+//!    supplied proxy credential and maps the Grid DN to a local account
+//!    through the site gridmap before anything else happens.
+//! 2. **Two-phase commit** for exactly-once submission: every request
+//!    carries a client sequence number; the server deduplicates repeats, so
+//!    a client that re-sends after a lost reply gets the original answer
+//!    instead of a second job; execution only commences after an explicit
+//!    commit message.
+//! 3. **Fault tolerance**: JobManagers log job state to stable storage so
+//!    that, after an interface-machine crash, a restarted JobManager can
+//!    reattach to the still-queued-or-running job in the site scheduler and
+//!    resume output staging from the byte offset the client already holds.
+//!
+//! Job descriptions travel as RSL strings ([`rsl`]), the era's job language
+//! (`&(executable=...)(count=1)...`).
+
+pub mod client;
+pub mod gatekeeper;
+pub mod jobmanager;
+pub mod proto;
+pub mod rsl;
+
+pub use client::SubmitSession;
+pub use gatekeeper::Gatekeeper;
+pub use jobmanager::JobManager;
+pub use proto::{GramError, GramJobState, GramReply, GramRequest, JmMsg, JobContact};
+pub use rsl::RslSpec;

@@ -1,0 +1,219 @@
+//! GRAM protocol messages.
+
+use gass::GassUrl;
+use gridsim::time::SimTime;
+use gridsim::Addr;
+use gsi::ProxyCredential;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A job contact: the id by which a submitted job is known at one
+/// gatekeeper (the analogue of GRAM's `https://host:port/pid/ts` string).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobContact(pub u64);
+
+impl fmt::Display for JobContact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "jc{}", self.0)
+    }
+}
+
+/// GRAM-level job states, as reported by callbacks (the paper-era GRAM
+/// state machine plus the revised protocol's commit phase).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GramJobState {
+    /// Accepted, waiting for the client's commit (two-phase).
+    PendingCommit,
+    /// Pulling executable/stdin from the client's GASS server.
+    StageIn,
+    /// Queued in the site scheduler.
+    Pending,
+    /// Holding processors.
+    Active,
+    /// Pushing stdout back to the client's GASS server.
+    StageOut,
+    /// Finished; `exit_ok` in the callback says how.
+    Done,
+    /// Failed (stage-in error, wall-time kill, vacated without requeue...).
+    Failed,
+    /// Cancelled by the client.
+    Removed,
+}
+
+impl GramJobState {
+    /// True for states a job never leaves.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, GramJobState::Done | GramJobState::Failed | GramJobState::Removed)
+    }
+}
+
+/// Failure detail carried by replies/callbacks.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum GramError {
+    /// Credential rejected.
+    AuthenticationFailed(String),
+    /// Authenticated, but no gridmap entry.
+    AuthorizationFailed(String),
+    /// Malformed RSL.
+    BadRsl(String),
+    /// Stage-in/out failure.
+    StagingFailed(String),
+    /// The job id is unknown at this gatekeeper (e.g. log lost).
+    UnknownJob,
+}
+
+impl fmt::Display for GramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GramError::AuthenticationFailed(e) => write!(f, "authentication failed: {e}"),
+            GramError::AuthorizationFailed(dn) => write!(f, "no gridmap entry for {dn}"),
+            GramError::BadRsl(e) => write!(f, "bad RSL: {e}"),
+            GramError::StagingFailed(e) => write!(f, "staging failed: {e}"),
+            GramError::UnknownJob => write!(f, "unknown job"),
+        }
+    }
+}
+
+/// Client → Gatekeeper requests.
+#[derive(Debug)]
+pub enum GramRequest {
+    /// Submit a job (phase one of two-phase commit). `seq` is the client's
+    /// sequence number: the gatekeeper deduplicates on `(DN, seq)`, so
+    /// retransmissions are safe.
+    Submit {
+        /// Client sequence number.
+        seq: u64,
+        /// Requester credential (forwarded proxy).
+        credential: ProxyCredential,
+        /// The job, as an RSL string.
+        rsl: String,
+        /// Where status callbacks go (the GridManager).
+        callback: Addr,
+        /// The client's GASS server (executable/stdin source, stdout sink).
+        gass: GassUrl,
+        /// Optional capability replacing the gridmap lookup (§3.2's
+        /// work-in-progress authorization mode).
+        capability: Option<gsi::Capability>,
+    },
+    /// Liveness probe ("the GridManager then probes the GateKeeper").
+    Ping {
+        /// Echoed in the reply.
+        nonce: u64,
+    },
+    /// Ask the gatekeeper to start a fresh JobManager for a job whose
+    /// JobManager died (recovery path, §4.2).
+    RestartJobManager {
+        /// The job to reattach to.
+        contact: JobContact,
+        /// Requester credential.
+        credential: ProxyCredential,
+        /// New callback address (the GridManager may have moved).
+        callback: Addr,
+        /// New GASS server URL (may have changed across a client restart).
+        gass: GassUrl,
+        /// Bytes of stdout the client already holds (resume point).
+        stdout_have: u64,
+        /// Optional capability (as on `Submit`).
+        capability: Option<gsi::Capability>,
+    },
+}
+
+/// Gatekeeper → client replies.
+#[derive(Debug)]
+pub enum GramReply {
+    /// Phase-one answer: the job was created (or found, on a duplicate
+    /// request) and is waiting for commit.
+    Submitted {
+        /// Echo of the client's sequence number.
+        seq: u64,
+        /// The job's contact id.
+        contact: JobContact,
+        /// Address of the JobManager daemon handling it.
+        jobmanager: Addr,
+    },
+    /// Phase-one refusal.
+    SubmitFailed {
+        /// Echo of the client's sequence number.
+        seq: u64,
+        /// Why.
+        error: GramError,
+    },
+    /// Ping answer.
+    Pong {
+        /// Echo of the nonce.
+        nonce: u64,
+    },
+    /// RestartJobManager answer: new JobManager address.
+    Restarted {
+        /// The job.
+        contact: JobContact,
+        /// The fresh JobManager.
+        jobmanager: Addr,
+    },
+    /// RestartJobManager refusal.
+    RestartFailed {
+        /// The job.
+        contact: JobContact,
+        /// Why.
+        error: GramError,
+    },
+}
+
+/// Client ↔ JobManager messages.
+#[derive(Debug)]
+pub enum JmMsg {
+    /// Phase two of two-phase commit: begin execution.
+    Commit,
+    /// JobManager's acknowledgement of `Commit` (idempotent; clients
+    /// retransmit `Commit` until they see it — a lost commit would
+    /// otherwise leave the job parked in `PendingCommit` forever).
+    CommitAck {
+        /// The job.
+        contact: JobContact,
+    },
+    /// Liveness probe ("periodically probing the JobManagers of all the
+    /// jobs it manages").
+    Probe {
+        /// Echoed in `ProbeReply`.
+        nonce: u64,
+    },
+    /// Probe answer, with current state (a probe doubles as a status poll).
+    ProbeReply {
+        /// Echo of the nonce.
+        nonce: u64,
+        /// The job.
+        contact: JobContact,
+        /// Current state.
+        state: GramJobState,
+    },
+    /// Cancel the job.
+    Cancel,
+    /// Status callback (JobManager → client).
+    Callback {
+        /// The job.
+        contact: JobContact,
+        /// State entered.
+        state: GramJobState,
+        /// For `Done`: whether the job exited cleanly.
+        exit_ok: bool,
+        /// When the transition happened.
+        at: SimTime,
+    },
+    /// Client → JobManager after a client-side restart: here is my new
+    /// GASS URL and how much stdout I already have ("the GridManager
+    /// requests the JobManager to update the file with the new address").
+    UpdateGass {
+        /// New GASS server URL.
+        gass: GassUrl,
+        /// Bytes of stdout already received by the client.
+        stdout_have: u64,
+    },
+    /// Client acknowledges the final callback; the JobManager may exit.
+    DoneAck,
+    /// Re-forward a refreshed proxy (§4.3: "it also needs to re-forward
+    /// the refreshed proxy to the remote GRAM server").
+    RefreshCredential {
+        /// The refreshed delegation.
+        credential: ProxyCredential,
+    },
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the RSL parser: every [`RslSpec`] the library
+//! can build renders to a string that parses back to the same spec (the
+//! wire format really is the `Display` output — it is what travels in
+//! `GramRequest::Submit`), and the parser never panics on junk.
+
+use gram::rsl::{parse, RslSpec};
+use gridsim::time::Duration;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A bare RSL word: survives unquoted rendering (no whitespace, parens,
+/// quotes, or a leading '&').
+fn bare_word() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9/._:-]{1,24}"
+}
+
+/// A quoted RSL value: anything except the quote character itself.
+fn quoted_value() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 /._=:-]{0,24}"
+}
+
+/// Attribute names the parser gives dedicated fields; `extra` keys must
+/// avoid them (and must be lowercase, because parsing lowercases names).
+const RESERVED: &[&str] = &[
+    "executable",
+    "arguments",
+    "count",
+    "maxwalltime",
+    "stdin",
+    "stdout",
+    "environment",
+    "simruntime",
+    "stdoutsize",
+    "imagesize",
+];
+
+fn extra_map() -> impl Strategy<Value = BTreeMap<String, Vec<String>>> {
+    proptest::collection::btree_map(
+        "[a-z][a-z0-9]{0,10}".prop_filter("reserved attribute", |k| {
+            !RESERVED.contains(&k.as_str())
+        }),
+        proptest::collection::vec(quoted_value(), 0..3),
+        0..4,
+    )
+}
+
+fn arb_spec() -> impl Strategy<Value = RslSpec> {
+    (
+        (
+            bare_word(),
+            proptest::collection::vec(quoted_value(), 0..4),
+            1u32..=64,
+            proptest::option::of(1u64..=100_000),
+            proptest::option::of(bare_word()),
+            proptest::option::of(bare_word()),
+        ),
+        (
+            proptest::collection::btree_map("[A-Z][A-Z0-9_]{0,10}", bare_word(), 0..4),
+            1u64..=1_000_000_000_000, // runtime in micros
+            0u64..=1_000_000_000_000,
+            0u64..=1_000_000_000_000,
+            extra_map(),
+        ),
+    )
+        .prop_map(
+            |(
+                (executable, arguments, count, wall_mins, stdin, stdout),
+                (environment, runtime_micros, stdout_size, image_size, extra),
+            )| {
+                RslSpec {
+                    executable,
+                    arguments,
+                    count,
+                    max_wall_time: wall_mins.map(Duration::from_mins),
+                    stdin,
+                    stdout,
+                    environment,
+                    sim_runtime: Duration::from_micros(runtime_micros),
+                    stdout_size,
+                    image_size,
+                    extra,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// The round-trip at the heart of the GRAM protocol: what the client
+    /// renders, the gatekeeper parses — and they must agree exactly.
+    #[test]
+    fn display_parse_round_trip(spec in arb_spec()) {
+        let wire = spec.to_string();
+        let parsed = parse(&wire).unwrap_or_else(|e| panic!("{e} in {wire}"));
+        prop_assert_eq!(parsed, spec);
+    }
+
+    /// Attribute names are case-insensitive on the wire.
+    #[test]
+    fn uppercased_attribute_names_parse_identically(spec in arb_spec()) {
+        // Uppercase only the attribute names, not the values: rebuild the
+        // string group by group (names run from '(' to the first '=').
+        let wire = spec.to_string();
+        let mut shouted = String::new();
+        let mut in_name = false;
+        let mut depth = 0u32;
+        for c in wire.chars() {
+            match c {
+                '(' => {
+                    depth += 1;
+                    in_name = depth == 1;
+                    shouted.push(c);
+                }
+                ')' => {
+                    depth -= 1;
+                    shouted.push(c);
+                }
+                '=' if in_name => {
+                    in_name = false;
+                    shouted.push(c);
+                }
+                c if in_name => shouted.extend(c.to_uppercase()),
+                c => shouted.push(c),
+            }
+        }
+        let a = parse(&wire).unwrap();
+        let b = parse(&shouted).unwrap_or_else(|e| panic!("{e} in {shouted}"));
+        prop_assert_eq!(a, b);
+    }
+
+    /// The parser rejects or accepts junk without panicking.
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,100}") {
+        let _ = parse(&src);
+    }
+
+    /// Same, biased towards almost-valid inputs (parens, quotes, '&', '=').
+    #[test]
+    fn parser_never_panics_on_near_rsl(src in r#"[&()="a-z0-9 ]{0,80}"#) {
+        let _ = parse(&src);
+    }
+
+    /// Quoted arguments preserve embedded whitespace and '=' exactly.
+    #[test]
+    fn arguments_survive_verbatim(args in proptest::collection::vec(quoted_value(), 1..5)) {
+        let spec = RslSpec { arguments: args.clone(), ..RslSpec::job("/bin/x", Duration::from_secs(1)) };
+        let parsed = parse(&spec.to_string()).unwrap();
+        prop_assert_eq!(parsed.arguments, args);
+    }
+}

@@ -1,0 +1,200 @@
+//! The event queue.
+//!
+//! A binary heap keyed by `(time, seq)`: `seq` is a monotonically increasing
+//! sequence number assigned at push time, so simultaneous events fire in the
+//! order they were scheduled. That total order is the root of the kernel's
+//! determinism guarantee.
+
+use crate::component::{Addr, AnyMsg, NodeId, TimerId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// Deliver `msg` to `to` (dropped if the target is dead).
+    Deliver {
+        /// Sender.
+        from: Addr,
+        /// Receiver.
+        to: Addr,
+        /// Payload.
+        msg: AnyMsg,
+    },
+    /// Fire timer `id` with `tag` on `on` (dropped if cancelled, dead, or
+    /// belonging to an earlier incarnation of a restarted component).
+    Timer {
+        /// Owning component.
+        on: Addr,
+        /// Timer handle (for cancellation checks).
+        id: TimerId,
+        /// Caller-chosen discriminator.
+        tag: u64,
+        /// Owner incarnation at scheduling time.
+        epoch: u32,
+    },
+    /// Crash a node (scripted by a fault plan or an operator component).
+    NodeCrash {
+        /// The node.
+        node: NodeId,
+    },
+    /// Restart a crashed node.
+    NodeRestart {
+        /// The node.
+        node: NodeId,
+    },
+    /// Begin a network partition between the two groups.
+    PartitionStart {
+        /// One side.
+        group_a: Vec<NodeId>,
+        /// The other side.
+        group_b: Vec<NodeId>,
+    },
+    /// Heal a network partition.
+    PartitionEnd {
+        /// One side.
+        group_a: Vec<NodeId>,
+        /// The other side.
+        group_b: Vec<NodeId>,
+    },
+    /// Change the global message-loss probability.
+    SetLossRate {
+        /// New rate (NaN restores the configured default).
+        rate: f64,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Push-order tie-breaker.
+    pub seq: u64,
+    /// The action.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule `kind` at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{CompId, NodeId};
+
+    fn timer_at(q: &mut EventQueue, t: u64, tag: u64) {
+        q.push(
+            SimTime(t),
+            EventKind::Timer {
+                on: Addr { node: NodeId(0), comp: CompId(0) },
+                id: TimerId(tag),
+                tag,
+                epoch: 0,
+            },
+        );
+    }
+
+    fn pop_tag(q: &mut EventQueue) -> (u64, u64) {
+        match q.pop().unwrap() {
+            Event { time, kind: EventKind::Timer { tag, .. }, .. } => (time.0, tag),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn earliest_first() {
+        let mut q = EventQueue::new();
+        timer_at(&mut q, 30, 3);
+        timer_at(&mut q, 10, 1);
+        timer_at(&mut q, 20, 2);
+        assert_eq!(pop_tag(&mut q), (10, 1));
+        assert_eq!(pop_tag(&mut q), (20, 2));
+        assert_eq!(pop_tag(&mut q), (30, 3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_fire_in_push_order() {
+        let mut q = EventQueue::new();
+        for tag in 0..100 {
+            timer_at(&mut q, 5, tag);
+        }
+        for tag in 0..100 {
+            assert_eq!(pop_tag(&mut q), (5, tag));
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        timer_at(&mut q, 42, 0);
+        timer_at(&mut q, 7, 1);
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        assert_eq!(q.len(), 2);
+        let _ = q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime(42)));
+    }
+}

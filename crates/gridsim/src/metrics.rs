@@ -1,0 +1,282 @@
+//! Metrics collection: counters, time-series gauges, and histograms.
+//!
+//! The experiment harness reads these to produce the paper's numbers —
+//! CPU-hours delivered, concurrent-processor time series, queueing-delay
+//! distributions, protocol message counts.
+
+use crate::time::{Duration, SimTime};
+use std::collections::BTreeMap;
+
+/// A latency/size histogram with explicit samples (experiments are small
+/// enough that storing samples beats choosing bucket boundaries up front).
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; 0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.sorted = true;
+        }
+        let idx = ((self.samples.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        self.samples[idx]
+    }
+
+    /// Borrow the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A step-function time series (e.g. "processors in use"), from which
+/// time-weighted statistics like the paper's "average of 653 processors
+/// active" are computed.
+#[derive(Debug, Default, Clone)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Record the series value from `t` onwards.
+    pub fn record(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(pt, _)| pt <= t),
+            "time series must be appended in order"
+        );
+        self.points.push((t, v));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Latest value (0 when empty).
+    pub fn last(&self) -> f64 {
+        self.points.last().map_or(0.0, |&(_, v)| v)
+    }
+
+    /// Maximum recorded value (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Time-weighted average over `[start, end]`, treating the series as a
+    /// step function that holds each value until the next point.
+    pub fn time_weighted_mean(&self, start: SimTime, end: SimTime) -> f64 {
+        if end <= start || self.points.is_empty() {
+            return 0.0;
+        }
+        let total = (end - start).as_secs_f64();
+        let mut acc = 0.0;
+        // Value in effect at `start`: last point at or before it (0 if none).
+        let mut cur_t = start;
+        let mut cur_v = 0.0;
+        for &(t, v) in &self.points {
+            if t <= start {
+                cur_v = v;
+                continue;
+            }
+            if t >= end {
+                break;
+            }
+            acc += cur_v * (t - cur_t).as_secs_f64();
+            cur_t = t;
+            cur_v = v;
+        }
+        acc += cur_v * (end - cur_t).as_secs_f64();
+        acc / total
+    }
+
+    /// Integral of the series over `[start, end]` in value·seconds (e.g.
+    /// CPU-seconds when the series counts busy CPUs).
+    pub fn integral(&self, start: SimTime, end: SimTime) -> f64 {
+        self.time_weighted_mean(start, end) * (end - start).as_secs_f64()
+    }
+}
+
+/// The world-wide metrics sink.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl Metrics {
+    /// Empty sink.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add `by` to the named counter.
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Read a counter (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a histogram observation.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Record a duration observation in seconds.
+    pub fn observe_duration(&mut self, name: &str, d: Duration) {
+        self.observe(name, d.as_secs_f64());
+    }
+
+    /// Access a histogram (if any observation was made).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Mutable access (for quantiles, which sort lazily).
+    pub fn histogram_mut(&mut self, name: &str) -> Option<&mut Histogram> {
+        self.histograms.get_mut(name)
+    }
+
+    /// Record a time-series point.
+    pub fn gauge(&mut self, name: &str, t: SimTime, v: f64) {
+        self.series.entry(name.to_string()).or_default().record(t, v);
+    }
+
+    /// Adjust a time-series by a delta relative to its last value — handy
+    /// for "currently running jobs" style gauges.
+    pub fn gauge_delta(&mut self, name: &str, t: SimTime, delta: f64) {
+        let s = self.series.entry(name.to_string()).or_default();
+        let v = s.last() + delta;
+        s.record(t, v);
+    }
+
+    /// Access a time series.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Names of all counters (sorted).
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("x"), 0);
+        m.incr("x", 2);
+        m.incr("x", 3);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.5), 3.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let mut h = Histogram::default();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_step_function() {
+        let mut s = TimeSeries::default();
+        // 0 CPUs until t=10s, then 4 CPUs until t=30s, then 2.
+        s.record(SimTime(10_000_000), 4.0);
+        s.record(SimTime(30_000_000), 2.0);
+        let mean = s.time_weighted_mean(SimTime::ZERO, SimTime(40_000_000));
+        // (0*10 + 4*20 + 2*10) / 40 = 100/40 = 2.5
+        assert!((mean - 2.5).abs() < 1e-9, "{mean}");
+        let integral = s.integral(SimTime::ZERO, SimTime(40_000_000));
+        assert!((integral - 100.0).abs() < 1e-6, "{integral}");
+    }
+
+    #[test]
+    fn time_weighted_mean_window_inside_series() {
+        let mut s = TimeSeries::default();
+        s.record(SimTime(0), 10.0);
+        s.record(SimTime(100_000_000), 0.0);
+        // Window entirely inside the value-10 regime.
+        let mean = s.time_weighted_mean(SimTime(10_000_000), SimTime(20_000_000));
+        assert!((mean - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_delta_accumulates() {
+        let mut m = Metrics::new();
+        m.gauge_delta("busy", SimTime(1), 1.0);
+        m.gauge_delta("busy", SimTime(2), 1.0);
+        m.gauge_delta("busy", SimTime(3), -1.0);
+        let s = m.series("busy").unwrap();
+        assert_eq!(s.last(), 1.0);
+        assert_eq!(s.max(), 2.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! The wide-area network model.
+//!
+//! Condor-G's protocols are exercised by *orderings, delays, losses and
+//! partitions*, not by byte-level wire formats. The model therefore provides:
+//!
+//! * per-pair (or default) one-way latency distributions,
+//! * a global plus per-link message loss probability,
+//! * named partitions (pairwise unreachability between node groups), and
+//! * per-link bandwidth used by the bulk-transfer helpers in the `gass`
+//!   crate to compute transfer durations.
+//!
+//! Control messages (everything sent with `Ctx::send`) are "small": they pay
+//! latency and may be lost, but don't consume bandwidth. Bulk data (GASS /
+//! GridFTP staging) is modelled explicitly by `gass` on top of
+//! [`Network::transfer_duration`].
+
+use crate::component::NodeId;
+use crate::rng::{Dist, SimRng};
+use crate::time::Duration;
+use std::collections::{HashMap, HashSet};
+
+/// Static configuration of the network model.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Default one-way latency for node pairs without an override (seconds).
+    pub default_latency: Dist,
+    /// Latency for messages between components on the same node (seconds).
+    pub loopback_latency: Dist,
+    /// Global probability that an inter-node message is silently dropped.
+    pub loss_rate: f64,
+    /// Default link bandwidth in bytes/second (for bulk transfers).
+    pub default_bandwidth: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            // Wide-area RTT ~60 ms in 2001 => ~30 ms one-way, with jitter.
+            default_latency: Dist::Uniform { lo: 0.020, hi: 0.040 },
+            loopback_latency: Dist::Constant(0.000_1),
+            loss_rate: 0.0,
+            // ~10 Mbit/s effective wide-area throughput, a fair match for
+            // the paper's era.
+            default_bandwidth: 1.25e6,
+        }
+    }
+}
+
+/// Per-directed-link overrides.
+#[derive(Clone, Debug)]
+struct LinkOverride {
+    latency: Option<Dist>,
+    loss_rate: Option<f64>,
+    bandwidth: Option<f64>,
+}
+
+/// The live network state: configuration plus dynamic partitions/loss.
+#[derive(Debug)]
+pub struct Network {
+    config: NetConfig,
+    overrides: HashMap<(NodeId, NodeId), LinkOverride>,
+    /// Unordered pairs currently partitioned from each other.
+    partitioned: HashSet<(NodeId, NodeId)>,
+    /// Dynamic loss rate override (set by fault plans); falls back to config.
+    dynamic_loss: Option<f64>,
+    /// Messages dropped so far (for reporting).
+    pub dropped: u64,
+}
+
+fn pair_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Network {
+    /// Build a network from configuration.
+    pub fn new(config: NetConfig) -> Network {
+        Network {
+            config,
+            overrides: HashMap::new(),
+            partitioned: HashSet::new(),
+            dynamic_loss: None,
+            dropped: 0,
+        }
+    }
+
+    /// Override the latency distribution for the directed link `from → to`.
+    pub fn set_link_latency(&mut self, from: NodeId, to: NodeId, latency: Dist) {
+        self.overrides.entry((from, to)).or_insert(LinkOverride {
+            latency: None,
+            loss_rate: None,
+            bandwidth: None,
+        }).latency = Some(latency);
+    }
+
+    /// Override the loss probability for the directed link `from → to`.
+    pub fn set_link_loss(&mut self, from: NodeId, to: NodeId, loss: f64) {
+        self.overrides.entry((from, to)).or_insert(LinkOverride {
+            latency: None,
+            loss_rate: None,
+            bandwidth: None,
+        }).loss_rate = Some(loss);
+    }
+
+    /// Override the bandwidth for the directed link `from → to` (bytes/s).
+    pub fn set_link_bandwidth(&mut self, from: NodeId, to: NodeId, bw: f64) {
+        self.overrides.entry((from, to)).or_insert(LinkOverride {
+            latency: None,
+            loss_rate: None,
+            bandwidth: None,
+        }).bandwidth = Some(bw);
+    }
+
+    /// Set (or with `None`, clear) the dynamic global loss rate.
+    pub fn set_global_loss(&mut self, rate: Option<f64>) {
+        self.dynamic_loss = rate;
+    }
+
+    /// Partition every node in `group_a` from every node in `group_b`.
+    pub fn partition(&mut self, group_a: &[NodeId], group_b: &[NodeId]) {
+        for &a in group_a {
+            for &b in group_b {
+                if a != b {
+                    self.partitioned.insert(pair_key(a, b));
+                }
+            }
+        }
+    }
+
+    /// Heal a previously installed partition.
+    pub fn heal(&mut self, group_a: &[NodeId], group_b: &[NodeId]) {
+        for &a in group_a {
+            for &b in group_b {
+                self.partitioned.remove(&pair_key(a, b));
+            }
+        }
+    }
+
+    /// True if `a` and `b` can currently exchange messages.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        a == b || !self.partitioned.contains(&pair_key(a, b))
+    }
+
+    /// Decide the fate of a message on `from → to`: `Some(latency)` if it
+    /// will be delivered, `None` if dropped (loss or partition).
+    ///
+    /// Note that a *partitioned* link drops deterministically, modelling an
+    /// unreachable route, while *loss* is sampled.
+    pub fn route(&mut self, rng: &mut SimRng, from: NodeId, to: NodeId) -> Option<Duration> {
+        if from == to {
+            return Some(rng.duration(&self.config.loopback_latency));
+        }
+        if !self.reachable(from, to) {
+            self.dropped += 1;
+            return None;
+        }
+        let link = self.overrides.get(&(from, to));
+        let loss = link
+            .and_then(|l| l.loss_rate)
+            .or(self.dynamic_loss)
+            .unwrap_or(self.config.loss_rate);
+        if rng.chance(loss) {
+            self.dropped += 1;
+            return None;
+        }
+        let dist = link
+            .and_then(|l| l.latency)
+            .unwrap_or(self.config.default_latency);
+        Some(rng.duration(&dist))
+    }
+
+    /// Bandwidth of the directed link in bytes/second.
+    pub fn bandwidth(&self, from: NodeId, to: NodeId) -> f64 {
+        if from == to {
+            // Loopback: effectively memory speed; use a large constant.
+            return 1e9;
+        }
+        self.overrides
+            .get(&(from, to))
+            .and_then(|l| l.bandwidth)
+            .unwrap_or(self.config.default_bandwidth)
+    }
+
+    /// Time to move `bytes` across `from → to` at the link bandwidth plus
+    /// one latency sample. Used by the `gass` bulk-transfer model.
+    pub fn transfer_duration(
+        &mut self,
+        rng: &mut SimRng,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+    ) -> Option<Duration> {
+        let latency = self.route(rng, from, to)?;
+        let bw = self.bandwidth(from, to);
+        Some(latency + Duration::from_secs_f64(bytes as f64 / bw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(11)
+    }
+
+    #[test]
+    fn loopback_is_fast_and_reliable() {
+        let mut net = Network::new(NetConfig { loss_rate: 1.0, ..NetConfig::default() });
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = net.route(&mut r, NodeId(1), NodeId(1)).expect("loopback lost");
+            assert!(d <= Duration::from_millis(1));
+        }
+        assert_eq!(net.dropped, 0);
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let mut net = Network::new(NetConfig::default());
+        let mut r = rng();
+        net.partition(&[NodeId(1)], &[NodeId(2), NodeId(3)]);
+        assert!(net.route(&mut r, NodeId(1), NodeId(2)).is_none());
+        assert!(net.route(&mut r, NodeId(2), NodeId(1)).is_none());
+        assert!(net.route(&mut r, NodeId(1), NodeId(3)).is_none());
+        // Unrelated pair still connected.
+        assert!(net.route(&mut r, NodeId(2), NodeId(3)).is_some());
+        net.heal(&[NodeId(1)], &[NodeId(2), NodeId(3)]);
+        assert!(net.route(&mut r, NodeId(1), NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn loss_rate_approximated() {
+        let cfg = NetConfig { loss_rate: 0.25, ..NetConfig::default() };
+        let mut net = Network::new(cfg);
+        let mut r = rng();
+        let n = 20_000;
+        let delivered = (0..n)
+            .filter(|_| net.route(&mut r, NodeId(0), NodeId(1)).is_some())
+            .count();
+        let rate = 1.0 - delivered as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed loss {rate}");
+    }
+
+    #[test]
+    fn link_overrides_beat_defaults() {
+        let mut net = Network::new(NetConfig::default());
+        let mut r = rng();
+        net.set_link_loss(NodeId(0), NodeId(1), 1.0);
+        assert!(net.route(&mut r, NodeId(0), NodeId(1)).is_none());
+        // Reverse direction unaffected.
+        assert!(net.route(&mut r, NodeId(1), NodeId(0)).is_some());
+        net.set_link_latency(NodeId(2), NodeId(3), Dist::Constant(5.0));
+        let d = net.route(&mut r, NodeId(2), NodeId(3)).unwrap();
+        assert_eq!(d, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn transfer_duration_scales_with_size() {
+        let mut net = Network::new(NetConfig {
+            default_latency: Dist::Constant(0.0),
+            default_bandwidth: 1_000_000.0,
+            ..NetConfig::default()
+        });
+        let mut r = rng();
+        let d = net.transfer_duration(&mut r, NodeId(0), NodeId(1), 10_000_000).unwrap();
+        assert_eq!(d, Duration::from_secs(10));
+    }
+
+    #[test]
+    fn dynamic_loss_override() {
+        let mut net = Network::new(NetConfig::default());
+        let mut r = rng();
+        net.set_global_loss(Some(1.0));
+        assert!(net.route(&mut r, NodeId(0), NodeId(1)).is_none());
+        net.set_global_loss(None);
+        assert!(net.route(&mut r, NodeId(0), NodeId(1)).is_some());
+    }
+}

@@ -1,0 +1,329 @@
+//! Virtual time.
+//!
+//! Simulation time is an unsigned count of microseconds since the start of
+//! the run. Microsecond resolution comfortably covers everything the paper
+//! cares about (network round trips measured in milliseconds, batch queue
+//! waits measured in hours, campaigns measured in days) while `u64` gives
+//! ~584,000 years of range — far beyond any experiment.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in virtual time (microseconds since simulation start).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time (microseconds).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl SimTime {
+    /// The origin of simulation time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Microseconds since simulation start.
+    #[inline]
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Hours since simulation start (for CPU-hour style reporting).
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable span.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000)
+    }
+
+    /// Construct from whole minutes.
+    #[inline]
+    pub const fn from_mins(m: u64) -> Duration {
+        Duration(m * 60_000_000)
+    }
+
+    /// Construct from whole hours.
+    #[inline]
+    pub const fn from_hours(h: u64) -> Duration {
+        Duration(h * 3_600_000_000)
+    }
+
+    /// Construct from whole days.
+    #[inline]
+    pub const fn from_days(d: u64) -> Duration {
+        Duration(d * 86_400_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest microsecond.
+    ///
+    /// Negative and non-finite inputs clamp to zero: durations cannot run
+    /// backwards.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Duration {
+        if !s.is_finite() || s <= 0.0 {
+            return Duration::ZERO;
+        }
+        Duration((s * 1e6).round() as u64)
+    }
+
+    /// Microseconds in this span.
+    #[inline]
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in this span, as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Hours in this span, as a float.
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// True if the span is empty.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, rhs: Duration) -> Duration {
+        Duration(self.0.min(rhs.0))
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, rhs: Duration) -> Duration {
+        Duration(self.0.max(rhs.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Mul<f64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: f64) -> Duration {
+        Duration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs.max(1))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", format_micros(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_micros(self.0))
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_micros(self.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_micros(self.0))
+    }
+}
+
+/// Render microseconds in the most natural unit (`1.5ms`, `2h03m`, ...).
+fn format_micros(us: u64) -> String {
+    const MS: u64 = 1_000;
+    const S: u64 = 1_000_000;
+    const M: u64 = 60 * S;
+    const H: u64 = 60 * M;
+    const D: u64 = 24 * H;
+    if us < MS {
+        format!("{us}us")
+    } else if us < S {
+        format!("{:.3}ms", us as f64 / MS as f64)
+    } else if us < M {
+        format!("{:.3}s", us as f64 / S as f64)
+    } else if us < H {
+        format!("{}m{:02}s", us / M, (us % M) / S)
+    } else if us < D {
+        format!("{}h{:02}m", us / H, (us % H) / M)
+    } else {
+        format!("{}d{:02}h", us / D, (us % D) / H)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Duration::from_secs(1), Duration::from_millis(1000));
+        assert_eq!(Duration::from_mins(2), Duration::from_secs(120));
+        assert_eq!(Duration::from_hours(1), Duration::from_mins(60));
+        assert_eq!(Duration::from_days(1), Duration::from_hours(24));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + Duration::from_secs(5);
+        assert_eq!(t.micros(), 5_000_000);
+        assert_eq!(t - SimTime::ZERO, Duration::from_secs(5));
+        // Saturating: subtracting a later time yields zero, not underflow.
+        assert_eq!(SimTime::ZERO - t, Duration::ZERO);
+        assert_eq!(Duration::from_secs(3) - Duration::from_secs(5), Duration::ZERO);
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let d = Duration::from_secs_f64(1.25);
+        assert_eq!(d.micros(), 1_250_000);
+        assert!((d.as_secs_f64() - 1.25).abs() < 1e-9);
+        assert_eq!(Duration::from_secs_f64(-3.0), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(f64::NAN), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(f64::INFINITY), Duration::ZERO);
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(Duration::from_secs(2) * 3, Duration::from_secs(6));
+        assert_eq!(Duration::from_secs(2) * 1.5, Duration::from_secs(3));
+        assert_eq!(Duration::from_secs(6) / 3, Duration::from_secs(2));
+        assert_eq!(Duration::from_secs(6) / 0, Duration::from_secs(6));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format!("{}", Duration::from_micros(12)), "12us");
+        assert_eq!(format!("{}", Duration::from_millis(1)), "1.000ms");
+        assert_eq!(format!("{}", Duration::from_secs(90)), "1m30s");
+        assert_eq!(format!("{}", Duration::from_hours(25)), "1d01h");
+    }
+
+    #[test]
+    fn hours_reporting() {
+        let week = Duration::from_days(7);
+        assert!((week.as_hours_f64() - 168.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,113 @@
+//! Execution tracing.
+//!
+//! Traces serve two purposes: the determinism tests compare whole traces
+//! across runs, and the Figure-1/Figure-2 experiments print the protocol
+//! "ladder" (who sent what to whom, and which state transitions followed) to
+//! show the reproduction walks the same path as the paper's diagrams.
+
+use crate::component::Addr;
+use crate::time::SimTime;
+use std::fmt;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// The component it is attributed to.
+    pub addr: Addr,
+    /// Machine-matchable kind, e.g. `"gram.submit"` or `"job.state"`.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {:>8} {:<24} {}", self.time, self.addr.to_string(), self.kind, self.detail)
+    }
+}
+
+/// Collects trace events. Disabled by default (tracing a week-long campaign
+/// would allocate heavily); experiments that need the ladder enable it.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceSink {
+    /// A sink in the given state.
+    pub fn new(enabled: bool) -> TraceSink {
+        TraceSink { enabled, events: Vec::new() }
+    }
+
+    /// Turn collection on/off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether events are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn emit(&mut self, time: SimTime, addr: Addr, kind: &'static str, detail: String) {
+        if self.enabled {
+            self.events.push(TraceEvent { time, addr, kind, detail });
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of a particular kind.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{CompId, NodeId};
+
+    fn addr() -> Addr {
+        Addr { node: NodeId(0), comp: CompId(1) }
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let mut t = TraceSink::new(false);
+        t.emit(SimTime(1), addr(), "x", "y".into());
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_sink_records_in_order() {
+        let mut t = TraceSink::new(true);
+        t.emit(SimTime(1), addr(), "a", "1".into());
+        t.emit(SimTime(2), addr(), "b", "2".into());
+        t.emit(SimTime(3), addr(), "a", "3".into());
+        assert_eq!(t.events().len(), 3);
+        let kinds: Vec<_> = t.of_kind("a").map(|e| e.detail.as_str()).collect();
+        assert_eq!(kinds, vec!["1", "3"]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent { time: SimTime(1_500_000), addr: addr(), kind: "k", detail: "d".into() };
+        let s = format!("{e}");
+        assert!(s.contains("1.500s"));
+        assert!(s.contains("n0/c1"));
+        assert!(s.contains('k'));
+    }
+}

@@ -1,0 +1,900 @@
+//! The simulation kernel: owns the clock, the event queue, the nodes and
+//! components, the network, stable storage, metrics and traces, and drives
+//! everything to completion.
+
+use crate::component::{Addr, CompId, Component, Ctx, Effect, Message, NodeId, TimerId};
+use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultAction, FaultPlan};
+use crate::metrics::Metrics;
+use crate::network::{NetConfig, Network};
+use crate::rng::SimRng;
+use crate::store::StableStore;
+use crate::time::{Duration, SimTime};
+use crate::trace::TraceSink;
+use std::collections::HashMap;
+
+/// The address used by [`World::post`] for externally injected messages.
+/// Components may reply to it; such replies are silently dropped.
+pub const EXTERNAL: Addr = Addr { node: NodeId(u32::MAX), comp: CompId(u32::MAX) };
+
+/// Kernel configuration.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct Config {
+    /// Master RNG seed; fully determines a run given the same setup code.
+    pub seed: u64,
+    /// Network model parameters.
+    pub net: NetConfig,
+    /// Whether to collect trace events.
+    pub trace: bool,
+    /// Hard stop: no event at or after this instant is processed.
+    pub max_time: Option<SimTime>,
+    /// Hard stop: maximum number of events to process.
+    pub max_events: Option<u64>,
+}
+
+
+impl Config {
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Config {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the network configuration.
+    pub fn net(mut self, net: NetConfig) -> Config {
+        self.net = net;
+        self
+    }
+
+    /// Enable trace collection.
+    pub fn with_trace(mut self) -> Config {
+        self.trace = true;
+        self
+    }
+
+    /// Stop the run at this virtual instant.
+    pub fn max_time(mut self, t: SimTime) -> Config {
+        self.max_time = Some(t);
+        self
+    }
+
+    /// Stop the run after this many events.
+    pub fn max_events(mut self, n: u64) -> Config {
+        self.max_events = Some(n);
+        self
+    }
+}
+
+/// A boot-time view of a restarting node, used by boot hooks to re-create
+/// components from stable storage.
+pub struct BootCtx<'w> {
+    node: NodeId,
+    now: SimTime,
+    store: &'w StableStore,
+    spawns: Vec<(String, Box<dyn Component>)>,
+}
+
+impl<'w> BootCtx<'w> {
+    /// The restarting node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read-only stable storage, to decide what to recover.
+    pub fn store(&self) -> &StableStore {
+        self.store
+    }
+
+    /// Re-create a component on this node. Its `on_start` will run once the
+    /// boot hook returns.
+    pub fn add_component<C: Component>(&mut self, name: &str, comp: C) {
+        self.spawns.push((name.to_string(), Box::new(comp)));
+    }
+}
+
+/// A node's boot hook: re-creates components from stable storage on
+/// restart.
+type BootHook = Box<dyn FnMut(&mut BootCtx<'_>)>;
+
+/// Per-node bookkeeping.
+struct NodeEntry {
+    name: String,
+    up: bool,
+    boot: Option<BootHook>,
+    comps: Vec<CompId>,
+}
+
+/// Per-component bookkeeping.
+struct CompEntry {
+    addr: Addr,
+    name: String,
+    comp: Option<Box<dyn Component>>,
+    /// Incarnation number: bumped every time the id is reused after a
+    /// crash/kill, so stale timers from a previous life never fire.
+    epoch: u32,
+}
+
+/// The simulation world. See the crate docs for the model.
+pub struct World {
+    now: SimTime,
+    queue: EventQueue,
+    nodes: Vec<NodeEntry>,
+    comps: HashMap<u32, CompEntry>,
+    names: HashMap<(NodeId, String), CompId>,
+    network: Network,
+    store: StableStore,
+    rng: SimRng,
+    metrics: Metrics,
+    trace: TraceSink,
+    next_comp: u32,
+    next_timer: u64,
+    cancelled: std::collections::HashSet<TimerId>,
+    /// Per directed node pair: the latest scheduled control-message
+    /// delivery, enforcing FIFO ordering like the TCP connections the real
+    /// protocols run over. Bulk transfers use separate data channels and
+    /// are not ordered against control traffic.
+    fifo: HashMap<(NodeId, NodeId), SimTime>,
+    /// Names of components that died (crash or kill), so a component
+    /// re-created under the same name on the same node keeps its address —
+    /// services restart on the same host:port.
+    retired: HashMap<(NodeId, String), CompId>,
+    /// Next epoch for a reused component id.
+    epochs: HashMap<u32, u32>,
+    halted: bool,
+    events_processed: u64,
+    max_time: Option<SimTime>,
+    max_events: Option<u64>,
+}
+
+impl World {
+    /// Build an empty world.
+    pub fn new(config: Config) -> World {
+        World {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            comps: HashMap::new(),
+            names: HashMap::new(),
+            network: Network::new(config.net),
+            store: StableStore::new(),
+            rng: SimRng::new(config.seed),
+            metrics: Metrics::new(),
+            trace: TraceSink::new(config.trace),
+            next_comp: 0,
+            next_timer: 0,
+            cancelled: std::collections::HashSet::new(),
+            fifo: HashMap::new(),
+            retired: HashMap::new(),
+            epochs: HashMap::new(),
+            halted: false,
+            events_processed: 0,
+            max_time: config.max_time,
+            max_events: config.max_events,
+        }
+    }
+
+    // ----- construction ---------------------------------------------------
+
+    /// Add a node (machine) named `name`. Nodes start up.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeEntry {
+            name: name.to_string(),
+            up: true,
+            boot: None,
+            comps: Vec::new(),
+        });
+        id
+    }
+
+    /// Install a boot hook: called on every restart of `node` to re-create
+    /// its components from stable storage.
+    pub fn set_boot(&mut self, node: NodeId, boot: impl FnMut(&mut BootCtx<'_>) + 'static) {
+        self.nodes[node.0 as usize].boot = Some(Box::new(boot));
+    }
+
+    /// Add a component to a (live) node; its `on_start` runs immediately.
+    pub fn add_component<C: Component>(&mut self, node: NodeId, name: &str, comp: C) -> Addr {
+        assert!(self.nodes[node.0 as usize].up, "adding component to crashed node");
+        let addr = self.insert_component(node, name.to_string(), Box::new(comp));
+        self.dispatch_start(addr);
+        addr
+    }
+
+    fn insert_component(&mut self, node: NodeId, name: String, comp: Box<dyn Component>) -> Addr {
+        // A component re-created under a name that previously existed on
+        // this node takes over the old address (stable host:port).
+        let id = match self.retired.remove(&(node, name.clone())) {
+            Some(old) => old,
+            None => {
+                let id = CompId(self.next_comp);
+                self.next_comp += 1;
+                id
+            }
+        };
+        let epoch = self.epochs.get(&id.0).copied().unwrap_or(0);
+        let addr = Addr { node, comp: id };
+        self.comps
+            .insert(id.0, CompEntry { addr, name: name.clone(), comp: Some(comp), epoch });
+        self.nodes[node.0 as usize].comps.push(id);
+        self.names.insert((node, name), id);
+        addr
+    }
+
+    /// Mark a component id dead: retire its name for address reuse and bump
+    /// the epoch so its outstanding timers die with it.
+    fn retire(&mut self, node: NodeId, name: String, id: CompId) {
+        *self.epochs.entry(id.0).or_insert(0) += 1;
+        self.retired.insert((node, name), id);
+    }
+
+    /// Find a component by `(node, name)`.
+    pub fn lookup(&self, node: NodeId, name: &str) -> Option<Addr> {
+        self.names
+            .get(&(node, name.to_string()))
+            .map(|&comp| Addr { node, comp })
+    }
+
+    /// The name a node was registered with.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0 as usize].name
+    }
+
+    /// Whether a node is currently up.
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize].up
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    // ----- external stimulus ----------------------------------------------
+
+    /// Inject a message from outside the simulation (delivered at the
+    /// current instant, reliable). The receiver sees [`EXTERNAL`] as sender.
+    pub fn post<M: Message>(&mut self, to: Addr, msg: M) {
+        self.queue.push(
+            self.now,
+            EventKind::Deliver { from: EXTERNAL, to, msg: Box::new(msg) },
+        );
+    }
+
+    /// Schedule the actions of a fault plan.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for (t, action) in plan.actions() {
+            let kind = match action.clone() {
+                FaultAction::Crash(node) => EventKind::NodeCrash { node },
+                FaultAction::Restart(node) => EventKind::NodeRestart { node },
+                FaultAction::Partition(a, b) => {
+                    EventKind::PartitionStart { group_a: a, group_b: b }
+                }
+                FaultAction::Heal(a, b) => EventKind::PartitionEnd { group_a: a, group_b: b },
+                FaultAction::SetLoss(rate) => EventKind::SetLossRate {
+                    rate: rate.unwrap_or(f64::NAN),
+                },
+            };
+            self.queue.push(*t, kind);
+        }
+    }
+
+    /// Crash a node right now (see [`Ctx::crash_node`] for semantics).
+    pub fn crash_node_now(&mut self, node: NodeId) {
+        self.do_crash(node);
+    }
+
+    /// Restart a crashed node right now.
+    pub fn restart_node_now(&mut self, node: NodeId) {
+        self.do_restart(node);
+    }
+
+    /// Abruptly kill a single component (like `kill -9` on one daemon):
+    /// no `on_stop` runs, its timers die, in-flight messages to it drop.
+    /// Fault-injection only; see [`crate::Ctx::kill`] for graceful removal.
+    pub fn kill_component_now(&mut self, addr: Addr) {
+        if self
+            .comps
+            .get(&addr.comp.0)
+            .is_some_and(|c| c.addr == addr)
+        {
+            self.remove_component(addr);
+            self.metrics.incr("comp.killed", 1);
+        }
+    }
+
+    // ----- accessors -------------------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The metrics sink.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics (for experiment-level bookkeeping).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// The trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Mutable trace sink.
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Stable storage.
+    pub fn store(&self) -> &StableStore {
+        &self.store
+    }
+
+    /// Mutable stable storage (to pre-seed files, inspect state in tests).
+    pub fn store_mut(&mut self) -> &mut StableStore {
+        &mut self.store
+    }
+
+    /// The network model (to install link overrides).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// The world RNG (e.g. to fork streams for setup code).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    // ----- running ---------------------------------------------------------
+
+    /// Process a single event. Returns `false` when nothing was processed
+    /// (queue empty, halted, or a stop condition was hit).
+    pub fn step(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        if let Some(max) = self.max_events {
+            if self.events_processed >= max {
+                return false;
+            }
+        }
+        // Discard cancelled timers without advancing the clock, so a
+        // cancelled far-future timeout doesn't stretch the run.
+        let event = loop {
+            let Some(event) = self.queue.pop() else { return false };
+            if let EventKind::Timer { id, .. } = &event.kind {
+                if self.cancelled.remove(id) {
+                    continue;
+                }
+            }
+            break event;
+        };
+        if let Some(max) = self.max_time {
+            if event.time > max {
+                self.now = max;
+                self.halted = true;
+                return false;
+            }
+        }
+        debug_assert!(event.time >= self.now, "time went backwards");
+        self.now = event.time;
+        self.events_processed += 1;
+        self.process(event.kind);
+        true
+    }
+
+    /// Run until no events remain (or a stop condition fires).
+    pub fn run_until_quiescent(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run all events up to and including `t`, then set the clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while !self.halted {
+            match self.queue.peek_time() {
+                Some(et) if et <= t => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if self.now < t && !self.halted {
+            self.now = t;
+        }
+    }
+
+    /// Run for a span of virtual time from now.
+    pub fn run_for(&mut self, d: Duration) {
+        let target = self.now + d;
+        self.run_until(target);
+    }
+
+    /// True once `halt` was requested or a stop condition fired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    // ----- internals --------------------------------------------------------
+
+    fn process(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Deliver { from, to, msg } => {
+                if !self.nodes.get(to.node.0 as usize).is_some_and(|n| n.up) {
+                    self.metrics.incr("net.dropped_dead_node", 1);
+                    return;
+                }
+                let alive = self
+                    .comps
+                    .get(&to.comp.0)
+                    .is_some_and(|c| c.comp.is_some() && c.addr == to);
+                if !alive {
+                    self.metrics.incr("net.dropped_dead_comp", 1);
+                    return;
+                }
+                self.dispatch(to, |comp, ctx| comp.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { on, id, tag, epoch } => {
+                if self.cancelled.remove(&id) {
+                    return;
+                }
+                if !self.nodes.get(on.node.0 as usize).is_some_and(|n| n.up) {
+                    return;
+                }
+                let alive = self.comps.get(&on.comp.0).is_some_and(|c| {
+                    c.comp.is_some() && c.addr == on && c.epoch == epoch
+                });
+                if !alive {
+                    return;
+                }
+                self.dispatch(on, |comp, ctx| comp.on_timer(ctx, id, tag));
+            }
+            EventKind::NodeCrash { node } => self.do_crash(node),
+            EventKind::NodeRestart { node } => self.do_restart(node),
+            EventKind::PartitionStart { group_a, group_b } => {
+                self.network.partition(&group_a, &group_b);
+                self.metrics.incr("net.partitions", 1);
+            }
+            EventKind::PartitionEnd { group_a, group_b } => {
+                self.network.heal(&group_a, &group_b);
+            }
+            EventKind::SetLossRate { rate } => {
+                self.network.set_global_loss(if rate.is_nan() { None } else { Some(rate) });
+            }
+        }
+    }
+
+    /// Take the component out, run `f` with a fresh context, put it back,
+    /// then apply the buffered effects.
+    fn dispatch<F>(&mut self, addr: Addr, f: F)
+    where
+        F: FnOnce(&mut dyn Component, &mut Ctx<'_>),
+    {
+        let Some(entry) = self.comps.get_mut(&addr.comp.0) else { return };
+        let Some(mut comp) = entry.comp.take() else { return };
+        let mut ctx = Ctx {
+            now: self.now,
+            self_addr: addr,
+            effects: Vec::new(),
+            store: &mut self.store,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            trace: &mut self.trace,
+            next_timer: &mut self.next_timer,
+            next_comp: &mut self.next_comp,
+            retired: &self.retired,
+        };
+        f(comp.as_mut(), &mut ctx);
+        let effects = ctx.effects;
+        if let Some(entry) = self.comps.get_mut(&addr.comp.0) {
+            // The slot can only still be empty (crash removes the entry
+            // entirely, and effects haven't been applied yet).
+            entry.comp = Some(comp);
+        }
+        self.apply_effects(addr, effects);
+    }
+
+    fn dispatch_start(&mut self, addr: Addr) {
+        self.dispatch(addr, |comp, ctx| comp.on_start(ctx));
+    }
+
+    fn apply_effects(&mut self, from: Addr, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    self.metrics.incr("net.sent", 1);
+                    match self.network.route(&mut self.rng, from.node, to.node) {
+                        Some(latency) => {
+                            // FIFO per directed link: never deliver before a
+                            // message sent earlier on the same link.
+                            let mut at = self.now + latency;
+                            let slot = self.fifo.entry((from.node, to.node)).or_insert(at);
+                            if *slot > at {
+                                at = *slot;
+                            }
+                            *slot = at;
+                            self.queue.push(at, EventKind::Deliver { from, to, msg });
+                        }
+                        None => {
+                            self.metrics.incr("net.lost", 1);
+                        }
+                    }
+                }
+                Effect::SendBulk { to, bytes, msg } => {
+                    self.metrics.incr("net.bulk_transfers", 1);
+                    self.metrics.incr("net.bulk_bytes", bytes);
+                    match self
+                        .network
+                        .transfer_duration(&mut self.rng, from.node, to.node, bytes)
+                    {
+                        Some(delay) => {
+                            self.queue
+                                .push(self.now + delay, EventKind::Deliver { from, to, msg });
+                        }
+                        None => {
+                            self.metrics.incr("net.lost", 1);
+                        }
+                    }
+                }
+                Effect::SendLocal { to, msg } => {
+                    let latency = self
+                        .network
+                        .route(&mut self.rng, from.node, from.node)
+                        .expect("loopback never drops");
+                    self.queue
+                        .push(self.now + latency, EventKind::Deliver { from, to, msg });
+                }
+                Effect::SetTimer { id, after, tag } => {
+                    let epoch = self
+                        .comps
+                        .get(&from.comp.0)
+                        .map_or(0, |c| c.epoch);
+                    self.queue
+                        .push(self.now + after, EventKind::Timer { on: from, id, tag, epoch });
+                }
+                Effect::CancelTimer { id } => {
+                    self.cancelled.insert(id);
+                }
+                Effect::Spawn { node, name, comp, id } => {
+                    if !self.nodes[node.0 as usize].up {
+                        // Spawning onto a dead node fails silently, like
+                        // forking on a crashed machine.
+                        continue;
+                    }
+                    // The id may be a retired one being reused.
+                    self.retired.remove(&(node, name.clone()));
+                    let addr = Addr { node, comp: id };
+                    let epoch = self.epochs.get(&id.0).copied().unwrap_or(0);
+                    self.comps.insert(
+                        id.0,
+                        CompEntry { addr, name: name.clone(), comp: Some(comp), epoch },
+                    );
+                    self.nodes[node.0 as usize].comps.push(id);
+                    self.names.insert((node, name), id);
+                    self.dispatch_start(addr);
+                }
+                Effect::Kill { addr } => {
+                    self.dispatch(addr, |comp, ctx| comp.on_stop(ctx));
+                    self.remove_component(addr);
+                }
+                Effect::CrashNode { node } => self.do_crash(node),
+                Effect::RestartNode { node, after } => {
+                    self.queue.push(self.now + after, EventKind::NodeRestart { node });
+                }
+                Effect::Halt => {
+                    self.halted = true;
+                }
+            }
+        }
+    }
+
+    fn remove_component(&mut self, addr: Addr) {
+        if let Some(entry) = self.comps.remove(&addr.comp.0) {
+            self.names.remove(&(addr.node, entry.name.clone()));
+            self.nodes[addr.node.0 as usize].comps.retain(|&c| c != addr.comp);
+            self.retire(addr.node, entry.name, addr.comp);
+        }
+    }
+
+    fn do_crash(&mut self, node: NodeId) {
+        let entry = &mut self.nodes[node.0 as usize];
+        if !entry.up {
+            return;
+        }
+        entry.up = false;
+        let comps = std::mem::take(&mut entry.comps);
+        for id in comps {
+            if let Some(e) = self.comps.remove(&id.0) {
+                self.names.remove(&(node, e.name.clone()));
+                self.retire(node, e.name, id);
+            }
+        }
+        self.metrics.incr("node.crashes", 1);
+    }
+
+    fn do_restart(&mut self, node: NodeId) {
+        let entry = &mut self.nodes[node.0 as usize];
+        if entry.up {
+            return;
+        }
+        entry.up = true;
+        self.metrics.incr("node.restarts", 1);
+        // Run the boot hook, collecting spawns, then install them.
+        let Some(mut boot) = self.nodes[node.0 as usize].boot.take() else { return };
+        let mut bctx = BootCtx {
+            node,
+            now: self.now,
+            store: &self.store,
+            spawns: Vec::new(),
+        };
+        boot(&mut bctx);
+        let spawns = bctx.spawns;
+        self.nodes[node.0 as usize].boot = Some(boot);
+        for (name, comp) in spawns {
+            let addr = self.insert_component(node, name, comp);
+            self.dispatch_start(addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::AnyMsg;
+
+    /// A component that counts messages and echoes them back `echoes` times.
+    struct Echo {
+        received: u64,
+        echoes: u32,
+        record_key: Option<String>,
+    }
+
+    #[derive(Debug)]
+    struct Hit(u32);
+
+    impl Component for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
+            let Hit(n) = *msg.downcast::<Hit>().unwrap();
+            self.received += 1;
+            if let Some(key) = &self.record_key {
+                let node = ctx.node();
+                let count = self.received;
+                ctx.store().put(node, key, &count);
+            }
+            if n < self.echoes && from != EXTERNAL {
+                ctx.send(from, Hit(n + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn message_round_trips() {
+        let mut w = World::new(Config::default().seed(1));
+        let na = w.add_node("a");
+        let nb = w.add_node("b");
+        let a = w.add_component(na, "echo", Echo { received: 0, echoes: 4, record_key: None });
+        let b = w.add_component(nb, "echo", Echo { received: 0, echoes: 4, record_key: None });
+        // Prime: have a send to b by posting to a? post is EXTERNAL; instead
+        // post directly to b from a's address is not possible — start the
+        // exchange with a spawned kicker.
+        struct Kicker(Addr);
+        impl Component for Kicker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(self.0, Hit(0));
+            }
+        }
+        w.add_component(na, "kick", Kicker(b));
+        w.run_until_quiescent();
+        assert!(w.now() > SimTime::ZERO);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn external_post_is_delivered() {
+        let mut w = World::new(Config::default().seed(1));
+        let n = w.add_node("n");
+        let addr = w.add_component(n, "echo", Echo { received: 0, echoes: 0, record_key: Some("hits".into()) });
+        w.post(addr, Hit(0));
+        w.post(addr, Hit(0));
+        w.run_until_quiescent();
+        assert_eq!(w.store().get::<u64>(n, "hits"), Some(2));
+    }
+
+    #[test]
+    fn crash_drops_components_and_store_survives() {
+        let mut w = World::new(Config::default().seed(1));
+        let n = w.add_node("n");
+        let addr = w.add_component(n, "echo", Echo { received: 0, echoes: 0, record_key: Some("hits".into()) });
+        w.post(addr, Hit(0));
+        w.run_until_quiescent();
+        w.crash_node_now(n);
+        assert!(!w.node_up(n));
+        assert!(w.lookup(n, "echo").is_none());
+        // Store survived the crash.
+        assert_eq!(w.store().get::<u64>(n, "hits"), Some(1));
+        // Message to the dead component is dropped, not an error.
+        w.post(addr, Hit(0));
+        w.run_until_quiescent();
+        assert_eq!(w.metrics().counter("net.dropped_dead_node"), 1);
+    }
+
+    #[test]
+    fn boot_hook_recovers_from_store() {
+        let mut w = World::new(Config::default().seed(1));
+        let n = w.add_node("n");
+        let addr = w.add_component(n, "echo", Echo { received: 0, echoes: 0, record_key: Some("hits".into()) });
+        w.set_boot(n, move |b| {
+            let prior: u64 = b.store().get(b.node(), "hits").unwrap_or(0);
+            b.add_component("echo", Echo { received: prior, echoes: 0, record_key: Some("hits".into()) });
+        });
+        w.post(addr, Hit(0));
+        w.post(addr, Hit(0));
+        w.post(addr, Hit(0));
+        w.run_until_quiescent();
+        w.crash_node_now(n);
+        w.restart_node_now(n);
+        let revived = w.lookup(n, "echo").expect("component rebooted");
+        assert_eq!(revived, addr, "a restarted service keeps its address");
+        w.post(revived, Hit(0));
+        w.run_until_quiescent();
+        assert_eq!(w.store().get::<u64>(n, "hits"), Some(4));
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerUser {
+            fired: Vec<u64>,
+        }
+        impl Component for TimerUser {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(Duration::from_secs(1), 1);
+                let cancel_me = ctx.set_timer(Duration::from_secs(2), 2);
+                ctx.set_timer(Duration::from_secs(3), 3);
+                ctx.cancel_timer(cancel_me);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, tag: u64) {
+                self.fired.push(tag);
+                let node = ctx.node();
+                let fired = self.fired.clone();
+                ctx.store().put(node, "fired", &fired);
+            }
+        }
+        let mut w = World::new(Config::default().seed(1));
+        let n = w.add_node("n");
+        w.add_component(n, "t", TimerUser { fired: vec![] });
+        w.run_until_quiescent();
+        assert_eq!(w.store().get::<Vec<u64>>(n, "fired"), Some(vec![1, 3]));
+        assert_eq!(w.now(), SimTime::ZERO + Duration::from_secs(3));
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut w = World::new(Config::default().seed(1));
+        w.run_until(SimTime::ZERO + Duration::from_secs(10));
+        assert_eq!(w.now(), SimTime::ZERO + Duration::from_secs(10));
+    }
+
+    #[test]
+    fn max_time_stops_the_run() {
+        struct Ticker;
+        impl Component for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(Duration::from_secs(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, _tag: u64) {
+                ctx.set_timer(Duration::from_secs(1), 0);
+            }
+        }
+        let mut w = World::new(
+            Config::default().seed(1).max_time(SimTime::ZERO + Duration::from_secs(5)),
+        );
+        let n = w.add_node("n");
+        w.add_component(n, "tick", Ticker);
+        w.run_until_quiescent();
+        assert!(w.halted());
+        assert_eq!(w.now(), SimTime::ZERO + Duration::from_secs(5));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> Vec<String> {
+            struct Noisy;
+            impl Component for Noisy {
+                fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                    let jitter = ctx.rng().range_u64(1, 100);
+                    ctx.set_timer(Duration::from_millis(jitter), 0);
+                }
+                fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, tag: u64) {
+                    let r = ctx.rng().range_u64(0, 1000);
+                    ctx.trace("tick", format!("tag={tag} r={r}"));
+                    if tag < 20 {
+                        let jitter = ctx.rng().range_u64(1, 100);
+                        ctx.set_timer(Duration::from_millis(jitter), tag + 1);
+                    }
+                }
+            }
+            let mut w = World::new(Config::default().seed(seed).with_trace());
+            let n = w.add_node("n");
+            w.add_component(n, "noisy", Noisy);
+            w.run_until_quiescent();
+            w.trace().events().iter().map(|e| format!("{e}")).collect()
+        }
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn spawn_and_kill() {
+        struct Parent { child: Option<Addr> }
+        struct Child;
+        impl Component for Child {
+            fn on_stop(&mut self, ctx: &mut Ctx<'_>) {
+                let node = ctx.node();
+                ctx.store().put(node, "child_stopped", &true);
+            }
+        }
+        #[derive(Debug)]
+        struct SpawnCmd;
+        #[derive(Debug)]
+        struct KillCmd;
+        impl Component for Parent {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
+                if msg.is::<SpawnCmd>() {
+                    self.child = Some(ctx.spawn(ctx.node(), "child", Child));
+                } else if msg.is::<KillCmd>() {
+                    ctx.kill(self.child.take().unwrap());
+                }
+            }
+        }
+        let mut w = World::new(Config::default().seed(1));
+        let n = w.add_node("n");
+        let p = w.add_component(n, "parent", Parent { child: None });
+        w.post(p, SpawnCmd);
+        w.run_until_quiescent();
+        assert!(w.lookup(n, "child").is_some());
+        w.post(p, KillCmd);
+        w.run_until_quiescent();
+        assert!(w.lookup(n, "child").is_none());
+        assert_eq!(w.store().get::<bool>(n, "child_stopped"), Some(true));
+    }
+
+    #[test]
+    fn fault_plan_crashes_and_restarts() {
+        let mut w = World::new(Config::default().seed(1));
+        let n = w.add_node("n");
+        w.add_component(n, "echo", Echo { received: 0, echoes: 0, record_key: None });
+        w.set_boot(n, |b| {
+            b.add_component("echo", Echo { received: 0, echoes: 0, record_key: None });
+        });
+        let plan = FaultPlan::new().crash_restart(
+            n,
+            SimTime::ZERO + Duration::from_secs(10),
+            Duration::from_secs(5),
+        );
+        w.apply_fault_plan(&plan);
+        w.run_until(SimTime::ZERO + Duration::from_secs(12));
+        assert!(!w.node_up(n));
+        w.run_until(SimTime::ZERO + Duration::from_secs(20));
+        assert!(w.node_up(n));
+        assert!(w.lookup(n, "echo").is_some());
+        assert_eq!(w.metrics().counter("node.crashes"), 1);
+        assert_eq!(w.metrics().counter("node.restarts"), 1);
+    }
+}

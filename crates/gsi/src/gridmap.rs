@@ -1,0 +1,104 @@
+//! The gridmap file: site-local authorization (paper §3.2 — "authorization
+//! implements local policy and may involve mapping the user's Grid id into
+//! a local subject name; however, this mapping is transparent to the user").
+
+use std::collections::HashMap;
+
+/// Maps authenticated Grid DNs to local account names.
+#[derive(Clone, Debug, Default)]
+pub struct GridMap {
+    entries: HashMap<String, String>,
+}
+
+impl GridMap {
+    /// An empty map (authorizes nobody).
+    pub fn new() -> GridMap {
+        GridMap::default()
+    }
+
+    /// Grant `dn` access as local user `local`.
+    pub fn add(&mut self, dn: &str, local: &str) {
+        self.entries.insert(dn.to_string(), local.to_string());
+    }
+
+    /// Revoke a DN; returns whether it was present.
+    pub fn remove(&mut self, dn: &str) -> bool {
+        self.entries.remove(dn).is_some()
+    }
+
+    /// Authorize a DN, returning the local account name.
+    pub fn authorize(&self, dn: &str) -> Option<&str> {
+        self.entries.get(dn).map(String::as_str)
+    }
+
+    /// Parse the classic textual format: one `"DN" localuser` per line;
+    /// `#` starts a comment.
+    pub fn parse(text: &str) -> GridMap {
+        let mut map = GridMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // `"/C=US/O=UW/CN=Jane" jane`
+            if let Some(rest) = line.strip_prefix('"') {
+                if let Some(end) = rest.find('"') {
+                    let dn = &rest[..end];
+                    let local = rest[end + 1..].trim();
+                    if !local.is_empty() {
+                        map.add(dn, local);
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is authorized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_authorize_remove() {
+        let mut m = GridMap::new();
+        m.add("/CN=alice", "alice");
+        assert_eq!(m.authorize("/CN=alice"), Some("alice"));
+        assert_eq!(m.authorize("/CN=bob"), None);
+        assert!(m.remove("/CN=alice"));
+        assert_eq!(m.authorize("/CN=alice"), None);
+    }
+
+    #[test]
+    fn parse_textual_format() {
+        let text = r#"
+            # site gridmap
+            "/C=US/O=UW/CN=Jane Scientist" jane
+            "/C=US/O=ANL/CN=Ian Foster"    foster
+
+            # revoked: "/CN=old" old
+        "#;
+        let m = GridMap::parse(text);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.authorize("/C=US/O=UW/CN=Jane Scientist"), Some("jane"));
+        assert_eq!(m.authorize("/C=US/O=ANL/CN=Ian Foster"), Some("foster"));
+        assert_eq!(m.authorize("/CN=old"), None);
+    }
+
+    #[test]
+    fn malformed_lines_ignored() {
+        let m = GridMap::parse("\"/CN=x\"\nnot-a-quote line\n\"/CN=y\" yuser");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.authorize("/CN=y"), Some("yuser"));
+    }
+}

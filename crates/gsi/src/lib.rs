@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! `gsi` — the Grid Security Infrastructure (paper §3.1), simulated.
+//!
+//! GSI gives Condor-G single sign-on: the user's long-lived identity
+//! certificate signs a short-lived *proxy credential*, and every protocol
+//! request (GRAM submissions, GASS transfers, MDS queries) authenticates
+//! with the proxy rather than the private key. Sites map the authenticated
+//! *distinguished name* to a local account through a gridmap file. The
+//! paper's §4.3 builds its whole credential-management story — expiry
+//! detection, hold-and-email, re-forwarding refreshed proxies, the MyProxy
+//! enhancement — on these pieces.
+//!
+//! # What is simulated
+//!
+//! Real GSI uses X.509/RSA. Nothing in the paper's observable behaviour
+//! depends on the arithmetic of RSA — only on *who can produce a valid
+//! signature* and *when credentials expire*. This crate therefore uses a
+//! hash-based stand-in: a signature is a digest keyed by the signer's
+//! secret, and verification recomputes the digest from the public key.
+//! Within the simulation, only holders of a [`keys::KeyPair`] can call
+//! [`keys::KeyPair::sign`], which is exactly the capability boundary GSI
+//! enforces. This is NOT cryptography and must never be used as such; it is
+//! a behavioural model (see DESIGN.md, substitution table).
+//!
+//! # Example
+//!
+//! ```
+//! use gsi::{CertificateAuthority, GridMap};
+//! use gridsim::SimTime;
+//! use gridsim::time::Duration;
+//!
+//! let mut ca = CertificateAuthority::new("/C=US/O=Globus/CN=CA", 42);
+//! let user = ca.issue_identity("/C=US/O=UW/CN=Jane Scientist", Duration::from_days(365));
+//!
+//! // Create a 12-hour proxy at t=0, as condor_submit would.
+//! let proxy = user.new_proxy(SimTime::ZERO, Duration::from_hours(12));
+//! assert!(proxy.verify(SimTime::ZERO, &ca.trust_root()).is_ok());
+//!
+//! // A gridmap file maps the Grid identity to a site-local account.
+//! let mut map = GridMap::new();
+//! map.add("/C=US/O=UW/CN=Jane Scientist", "jane");
+//! assert_eq!(map.authorize(proxy.subject()), Some("jane"));
+//! ```
+
+pub mod capability;
+pub mod cert;
+pub mod gridmap;
+pub mod keys;
+pub mod myproxy;
+pub mod proxy;
+
+pub use capability::{Capability, CapabilityIssuer};
+pub use cert::{AuthError, Certificate, CertificateAuthority, Identity, TrustRoot};
+pub use gridmap::GridMap;
+pub use keys::{KeyPair, PublicKey, Signature};
+pub use myproxy::{MyProxyServer, MyProxyRequest, MyProxyReply};
+pub use proxy::ProxyCredential;

@@ -1,0 +1,122 @@
+//! Property-based tests for the GSI simulation: delegation chains of any
+//! depth obey the min-expiry rule the §4.3 credential machinery relies on,
+//! verification is exactly bounded by the chain's validity window, and the
+//! toy signature scheme never verifies tampered data.
+
+use gridsim::time::{Duration, SimTime};
+use gsi::{CertificateAuthority, KeyPair, ProxyCredential};
+use proptest::prelude::*;
+
+/// Build a user identity and an initial proxy, then apply `steps` further
+/// delegations at the given (time offset, requested lifetime) points.
+fn chain(
+    seed: u64,
+    first_lifetime_hours: u64,
+    steps: &[(u64, u64)],
+) -> (CertificateAuthority, ProxyCredential) {
+    let mut ca = CertificateAuthority::new("/CN=CA", seed);
+    let id = ca.issue_identity("/CN=user", Duration::from_days(3650));
+    let mut proxy = id.new_proxy(SimTime::ZERO, Duration::from_hours(first_lifetime_hours));
+    for &(at_mins, hours) in steps {
+        proxy = proxy.delegate(
+            SimTime::ZERO + Duration::from_mins(at_mins),
+            Duration::from_hours(hours),
+        );
+    }
+    (ca, proxy)
+}
+
+proptest! {
+    /// Effective expiry is exactly the minimum not-after along the chain —
+    /// no delegation can extend a credential's life.
+    #[test]
+    fn delegation_never_extends_lifetime(
+        seed in 1u64..1000,
+        first in 1u64..48,
+        steps in proptest::collection::vec((0u64..30, 1u64..48), 0..5),
+    ) {
+        let (_ca, proxy) = chain(seed, first, &steps);
+        let parent_expiry = SimTime::ZERO + Duration::from_hours(first);
+        prop_assert!(proxy.expires_at() <= parent_expiry);
+        prop_assert_eq!(proxy.delegation_depth(), 1 + steps.len());
+    }
+
+    /// Verification succeeds strictly inside the window and fails strictly
+    /// outside it (sampled at minute granularity around the boundary).
+    #[test]
+    fn verification_bounded_by_effective_expiry(
+        seed in 1u64..1000,
+        first in 2u64..48,
+        steps in proptest::collection::vec((0u64..30, 1u64..48), 0..4),
+        probe_mins in 31u64..5000,
+    ) {
+        let (ca, proxy) = chain(seed, first, &steps);
+        let trust = ca.trust_root();
+        let expiry = proxy.expires_at();
+        // All delegations happen by t=30min, so any probe after that point
+        // is inside every cert's not-before.
+        let probe = SimTime::ZERO + Duration::from_mins(probe_mins);
+        let verdict = proxy.verify(probe, &trust);
+        if probe < expiry {
+            prop_assert!(verdict.is_ok(), "{verdict:?} at {probe:?}, expiry {expiry:?}");
+            prop_assert_eq!(verdict.unwrap(), "/CN=user");
+        } else {
+            prop_assert!(verdict.is_err(), "verified past expiry {expiry:?} at {probe:?}");
+        }
+    }
+
+    /// Deeper delegations still authenticate as the original user: the
+    /// subject a gatekeeper maps through its gridmap never changes.
+    #[test]
+    fn delegation_preserves_subject(
+        seed in 1u64..1000,
+        steps in proptest::collection::vec((0u64..30, 1u64..48), 1..5),
+    ) {
+        let (ca, proxy) = chain(seed, 72, &steps);
+        let dn = proxy.verify(SimTime::ZERO + Duration::from_hours(1), &ca.trust_root());
+        prop_assert_eq!(dn.unwrap(), "/CN=user");
+        prop_assert_eq!(proxy.subject(), "/CN=user");
+    }
+
+    /// Signatures verify for the signed bytes and for nothing else.
+    #[test]
+    fn signatures_bind_to_the_exact_message(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+        tamper in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let kp = KeyPair::from_seed(seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public().verify(&msg, &sig));
+        if tamper != msg {
+            prop_assert!(!kp.public().verify(&tamper, &sig));
+        }
+    }
+
+    /// A signature from one key never verifies under another key.
+    #[test]
+    fn signatures_bind_to_the_key(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        prop_assume!(seed_a != seed_b);
+        let a = KeyPair::from_seed(seed_a);
+        let b = KeyPair::from_seed(seed_b);
+        let sig = a.sign(&msg);
+        prop_assert!(!b.public().verify(&msg, &sig));
+    }
+
+    /// Credentials from a foreign CA are always rejected, at every depth.
+    #[test]
+    fn foreign_ca_rejected_at_any_depth(
+        seed in 1u64..1000,
+        steps in proptest::collection::vec((0u64..30, 1u64..48), 0..4),
+    ) {
+        let (_ca, proxy) = chain(seed, 72, &steps);
+        let other = CertificateAuthority::new("/CN=Imposter", seed ^ 0xBEEF);
+        prop_assert!(proxy
+            .verify(SimTime::ZERO + Duration::from_hours(1), &other.trust_root())
+            .is_err());
+    }
+}

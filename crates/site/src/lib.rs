@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! `site` — site-local resource management systems.
+//!
+//! Figure 1 of the paper ends at a "Site Job Scheduler (PBS, Condor, LSF,
+//! LoadLeveler, NQE, etc.)": the local batch system that actually owns the
+//! processors. Condor-G deliberately treats these as black boxes reachable
+//! only through GRAM, so what matters for the reproduction is their
+//! *observable* behaviour: queueing delay under contention, scheduling
+//! policy (who runs next), wall-clock limits, and — for opportunistically
+//! shared pools — revocation of running allocations.
+//!
+//! This crate provides [`Lrm`], a batch-scheduler component parameterized
+//! by a [`policy::SchedPolicy`]:
+//!
+//! * [`policy::Fifo`] — strict arrival order (NQE-style).
+//! * [`policy::EasyBackfill`] — FIFO with EASY backfill against the head
+//!   reservation, using user-supplied runtime estimates (PBS/Maui-style).
+//! * [`policy::FairShare`] — least-recent-usage across owners (LSF-style).
+//!
+//! plus an optional *churn model* ([`lrm::ChurnModel`]) that revokes busy
+//! slots the way a Condor pool reclaims desktops when their owners return —
+//! the behaviour that makes GlideIn checkpointing worthwhile.
+
+pub mod job;
+pub mod lrm;
+pub mod policy;
+pub mod proto;
+
+pub use job::{JobSpec, LrmJobState};
+pub use lrm::{ChurnModel, Lrm};
+pub use proto::{LrmEvent, LrmReply, LrmRequest, SiteInfo};

@@ -1,0 +1,74 @@
+//! Messages between submitters (GRAM JobManagers, glideins' launchers) and
+//! the local resource manager.
+
+use crate::job::{JobSpec, LrmJobState};
+use gridsim::time::SimTime;
+
+/// Submitter → LRM.
+#[derive(Debug)]
+pub enum LrmRequest {
+    /// Queue a job. `client_job` is the submitter's correlation id.
+    Submit {
+        /// Submitter's id for this job.
+        client_job: u64,
+        /// What to run.
+        spec: JobSpec,
+    },
+    /// Remove a queued or running job.
+    Cancel {
+        /// LRM-assigned id.
+        local_id: u64,
+    },
+    /// Ask for a job's state.
+    Status {
+        /// LRM-assigned id.
+        local_id: u64,
+    },
+    /// Ask for site load information (what a GRIS reports to MDS).
+    QueryInfo,
+}
+
+/// LRM → submitter, in direct response to a request.
+#[derive(Debug)]
+pub enum LrmReply {
+    /// Job accepted into the queue.
+    Submitted {
+        /// Submitter's correlation id.
+        client_job: u64,
+        /// The id the LRM will use from now on.
+        local_id: u64,
+    },
+    /// Status answer.
+    StatusIs {
+        /// LRM id.
+        local_id: u64,
+        /// Current state (`None` if the id is unknown).
+        state: Option<LrmJobState>,
+    },
+    /// Site load snapshot.
+    Info(SiteInfo),
+}
+
+/// Unsolicited LRM → submitter notification of a state change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrmEvent {
+    /// LRM id.
+    pub local_id: u64,
+    /// The state just entered.
+    pub state: LrmJobState,
+    /// When it happened.
+    pub at: SimTime,
+}
+
+/// Load snapshot used for resource discovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteInfo {
+    /// Configured processors.
+    pub total_cpus: u32,
+    /// Currently idle processors (after churn).
+    pub free_cpus: u32,
+    /// Jobs waiting.
+    pub queued: u32,
+    /// Jobs holding processors.
+    pub running: u32,
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the batch scheduling policies.
+
+use gridsim::time::{Duration, SimTime};
+use proptest::prelude::*;
+use site::policy::{EasyBackfill, FairShare, Fifo, QueueView, RunningView, SchedPolicy};
+
+fn arb_queue() -> impl Strategy<Value = Vec<QueueView>> {
+    prop::collection::vec(
+        (1u32..8, 1u64..10_000, 0u64..5, 0u64..1000),
+        0..30,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (cpus, est, owner, at))| QueueView {
+                local_id: i as u64,
+                cpus,
+                estimate: Duration::from_secs(est),
+                owner: format!("user{owner}"),
+                submitted: SimTime(at),
+            })
+            .collect()
+    })
+}
+
+fn arb_running() -> impl Strategy<Value = Vec<RunningView>> {
+    prop::collection::vec((1u32..8, 1u64..10_000), 0..10).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(cpus, end)| RunningView {
+                cpus,
+                expected_end: SimTime(end * 1_000_000),
+            })
+            .collect()
+    })
+}
+
+/// Selections are valid: ids exist in the queue, are distinct, and the
+/// total CPUs selected never exceed what is free.
+fn check_selection(picks: &[u64], queue: &[QueueView], free: u32) -> Result<(), TestCaseError> {
+    let mut seen = std::collections::HashSet::new();
+    let mut used = 0u32;
+    for id in picks {
+        prop_assert!(seen.insert(*id), "duplicate pick {id}");
+        let job = queue
+            .iter()
+            .find(|j| j.local_id == *id)
+            .ok_or_else(|| TestCaseError::fail(format!("unknown pick {id}")))?;
+        used += job.cpus;
+    }
+    prop_assert!(used <= free, "selected {used} cpus with only {free} free");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn fifo_selections_are_valid_and_prefix_ordered(
+        queue in arb_queue(),
+        running in arb_running(),
+        free in 0u32..32,
+    ) {
+        let mut p = Fifo;
+        let picks = p.select(SimTime::ZERO, &queue, &running, free);
+        check_selection(&picks, &queue, free)?;
+        // FIFO picks a prefix of the queue, in order.
+        let expected: Vec<u64> = queue.iter().map(|j| j.local_id).take(picks.len()).collect();
+        prop_assert_eq!(picks, expected);
+    }
+
+    #[test]
+    fn backfill_selections_are_valid_and_include_head_when_it_fits(
+        queue in arb_queue(),
+        running in arb_running(),
+        free in 0u32..32,
+    ) {
+        let mut p = EasyBackfill;
+        let picks = p.select(SimTime::ZERO, &queue, &running, free);
+        check_selection(&picks, &queue, free)?;
+        if let Some(head) = queue.first() {
+            if head.cpus <= free {
+                prop_assert!(
+                    picks.contains(&head.local_id),
+                    "head fits ({} cpus of {free}) but was skipped",
+                    head.cpus
+                );
+            }
+        }
+        // Backfill must never pick a *later* job that the head could not
+        // coexist with at the head's own reservation unless it fits now —
+        // weaker invariant covered by check_selection; the head-priority
+        // unit tests pin the precise EASY semantics.
+    }
+
+    #[test]
+    fn fair_share_selections_are_valid_and_order_by_usage(
+        queue in arb_queue(),
+        running in arb_running(),
+        free in 0u32..32,
+        heavy_user in 0u64..5,
+    ) {
+        let mut p = FairShare::default();
+        p.charge(&format!("user{heavy_user}"), Duration::from_hours(10_000));
+        let picks = p.select(SimTime::ZERO, &queue, &running, free);
+        check_selection(&picks, &queue, free)?;
+        // If a zero-usage user's 1-cpu job exists and free >= 1, the heavy
+        // user's job is never the sole pick while a light job was skipped.
+        if free >= 1 {
+            let light_exists = queue
+                .iter()
+                .any(|j| j.cpus <= free && j.owner != format!("user{heavy_user}"));
+            if light_exists && !picks.is_empty() {
+                let first = queue.iter().find(|j| j.local_id == picks[0]).unwrap();
+                // The first pick is a least-usage owner (all others are 0).
+                prop_assert_ne!(
+                    &first.owner,
+                    &format!("user{heavy_user}"),
+                    "heavy user scheduled first over light users"
+                );
+            }
+        }
+    }
+
+    /// Determinism: the same inputs yield the same selection.
+    #[test]
+    fn policies_are_deterministic(
+        queue in arb_queue(),
+        running in arb_running(),
+        free in 0u32..32,
+    ) {
+        let a = EasyBackfill.select(SimTime::ZERO, &queue, &running, free);
+        let b = EasyBackfill.select(SimTime::ZERO, &queue, &running, free);
+        prop_assert_eq!(a, b);
+        let a = Fifo.select(SimTime::ZERO, &queue, &running, free);
+        let b = Fifo.select(SimTime::ZERO, &queue, &running, free);
+        prop_assert_eq!(a, b);
+    }
+}

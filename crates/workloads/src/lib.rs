@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! `workloads` — the applications of the paper's §6 "Experiences", plus
+//! the generators the experiment harness sweeps over.
+//!
+//! * [`lap`] — a real Hungarian-algorithm solver for Linear Assignment
+//!   Problems: the actual kernel of the record-setting QAP computation
+//!   ("540 billion Linear Assignment Problems controlled by a
+//!   sophisticated branch and bound algorithm").
+//! * [`qap`] — Quadratic Assignment instances, the Gilmore–Lawler lower
+//!   bound (each evaluation solves a LAP), and a small exact
+//!   branch-and-bound solver used by the quickstart example to do genuine
+//!   computation.
+//! * [`mw`] — the Master–Worker driver of Experience 1: a component that
+//!   keeps a target number of worker jobs in flight through the Condor-G
+//!   API until the task pool drains.
+//! * [`cms`] — the CMS pipeline generator of Experience 2: an N-way
+//!   simulation fan-in to transfer and reconstruction, as a `DagSpec`.
+//! * [`sweep`] — Nimrod-style parameter sweeps expressed as ordinary
+//!   Condor-G submissions (the §7 comparison: the agent adds failure,
+//!   credential, and dependency handling that Nimrod-G lacks).
+//! * [`stats`] — small summary-statistics helpers for the experiment
+//!   reports.
+
+pub mod cms;
+pub mod lap;
+pub mod mw;
+pub mod qap;
+pub mod stats;
+pub mod sweep;
+
+pub use cms::cms_pipeline;
+pub use lap::solve_lap;
+pub use mw::{MwConfig, MwMaster};
+pub use qap::{gilmore_lawler_bound, QapInstance, QapSolution};
+pub use sweep::{Axis, ParamSweep};

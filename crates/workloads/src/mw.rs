@@ -1,0 +1,190 @@
+//! The Master–Worker driver (Experience 1, paper §6).
+//!
+//! "Each worker in this Master-Worker application was implemented as an
+//! independent Condor job that used Remote I/O services to communicate
+//! with the Master." The master keeps a target number of worker jobs in
+//! flight through the Condor-G user API; each worker consumes one task
+//! whose service time comes from a configured distribution. The component
+//! records throughput so the E1 experiment can reproduce the paper's
+//! CPU-hour and concurrency numbers.
+
+use condor_g::api::{GridJobSpec, JobStatus, Universe};
+use condor_g::{UserCmd, UserEvent};
+use gridsim::prelude::*;
+use gridsim::rng::Dist;
+use gridsim::AnyMsg;
+use std::collections::BTreeMap;
+
+/// Master–Worker configuration.
+#[derive(Clone, Debug)]
+pub struct MwConfig {
+    /// Keep this many worker jobs in flight.
+    pub target_outstanding: u32,
+    /// Total tasks to process (`None` = unbounded; stop the sim by time).
+    pub total_tasks: Option<u64>,
+    /// Service-time distribution for one worker task (seconds).
+    pub task_runtime: Dist,
+    /// Universe for workers (the paper's campaign used the pool/standard
+    /// universe with remote I/O; the direct-GRAM variant works too).
+    pub universe: Universe,
+    /// Remote-I/O chatter per worker (pool universe only).
+    pub io_interval_secs: Option<f64>,
+    /// Remote-I/O bytes per batch.
+    pub io_bytes: u64,
+    /// stdout bytes per worker (grid universe staging).
+    pub stdout_size: u64,
+}
+
+impl Default for MwConfig {
+    fn default() -> MwConfig {
+        MwConfig {
+            target_outstanding: 64,
+            total_tasks: Some(1000),
+            task_runtime: Dist::LogNormal { median: 600.0, sigma: 0.8 },
+            universe: Universe::Pool,
+            io_interval_secs: Some(300.0),
+            io_bytes: 32 * 1024,
+            stdout_size: 0,
+        }
+    }
+}
+
+const TAG_PUMP: u64 = 1;
+
+/// The master component.
+pub struct MwMaster {
+    scheduler: Addr,
+    config: MwConfig,
+    dispatched: u64,
+    completed: u64,
+    failed_attempts: u64,
+    outstanding: BTreeMap<u64, ()>, // command-id keyed
+    jobs: BTreeMap<u64, u64>,       // grid job id -> command id
+    rng_stream: Option<gridsim::rng::SimRng>,
+}
+
+impl MwMaster {
+    /// A master driving the Condor-G scheduler at `scheduler`.
+    pub fn new(scheduler: Addr, config: MwConfig) -> MwMaster {
+        MwMaster {
+            scheduler,
+            config,
+            dispatched: 0,
+            completed: 0,
+            failed_attempts: 0,
+            outstanding: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+            rng_stream: None,
+        }
+    }
+
+    /// Tasks completed so far (also mirrored to stable storage as
+    /// `mw/completed`).
+    pub fn completed(world: &gridsim::World, node: NodeId) -> u64 {
+        world.store().get(node, "mw/completed").unwrap_or(0)
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            if self.outstanding.len() as u32 >= self.config.target_outstanding {
+                break;
+            }
+            if let Some(total) = self.config.total_tasks {
+                if self.dispatched >= total {
+                    break;
+                }
+            }
+            self.dispatched += 1;
+            let id = self.dispatched;
+            let runtime = {
+                let rng = self.rng_stream.as_mut().expect("seeded on start");
+                rng.duration(&self.config.task_runtime)
+            };
+            let mut spec = match self.config.universe {
+                Universe::Pool => {
+                    GridJobSpec::pool(&format!("worker-{id}"), "/home/jane/worker.exe", runtime)
+                }
+                Universe::Grid => {
+                    GridJobSpec::grid(&format!("worker-{id}"), "/home/jane/worker.exe", runtime)
+                        .with_stdout(self.config.stdout_size)
+                }
+            };
+            if let Some(io) = self.config.io_interval_secs {
+                spec = spec.with_remote_io(io, self.config.io_bytes);
+            }
+            self.outstanding.insert(id, ());
+            ctx.send(self.scheduler, UserCmd::Submit { id, spec });
+        }
+        self.persist(ctx);
+    }
+
+    fn persist(&self, ctx: &mut Ctx<'_>) {
+        let node = ctx.node();
+        ctx.store().put(node, "mw/completed", &self.completed);
+        ctx.store().put(node, "mw/dispatched", &self.dispatched);
+        ctx.store().put(node, "mw/failed_attempts", &self.failed_attempts);
+    }
+}
+
+impl Component for MwMaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.rng_stream = Some(ctx.rng().fork());
+        self.pump(ctx);
+        ctx.set_timer(Duration::from_mins(1), TAG_PUMP);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, tag: u64) {
+        if tag == TAG_PUMP {
+            self.pump(ctx);
+            ctx.set_timer(Duration::from_mins(1), TAG_PUMP);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
+        let Some(event) = msg.downcast_ref::<UserEvent>() else { return };
+        match event {
+            UserEvent::Submitted { id, job } => {
+                self.jobs.insert(job.0, *id);
+            }
+            UserEvent::Status { job, status, .. } => {
+                let Some(&cmd) = self.jobs.get(&job.0) else { return };
+                match status {
+                    JobStatus::Done
+                        if self.outstanding.remove(&cmd).is_some() => {
+                            self.completed += 1;
+                            ctx.metrics().incr("mw.tasks_completed", 1);
+                            self.pump(ctx);
+                        }
+                    JobStatus::Failed(_) | JobStatus::Removed
+                        // The agent already retried below us; a terminal
+                        // failure means the task must be re-dispatched as a
+                        // fresh job.
+                        if self.outstanding.remove(&cmd).is_some() => {
+                            self.failed_attempts += 1;
+                            ctx.metrics().incr("mw.task_failures", 1);
+                            // Put the task back in the pool.
+                            if self.config.total_tasks.is_some() {
+                                self.dispatched -= 1;
+                            }
+                            self.pump(ctx);
+                        }
+                    _ => {}
+                }
+            }
+            UserEvent::Log { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = MwConfig::default();
+        assert!(c.target_outstanding > 0);
+        assert_eq!(c.universe, Universe::Pool);
+        assert!(c.task_runtime.mean() > 0.0);
+    }
+}

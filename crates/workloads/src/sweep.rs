@@ -1,0 +1,207 @@
+//! Nimrod-style parameter sweeps (paper §7 related work).
+//!
+//! "Nimrod provides a user interface for describing parameter sweep
+//! problems, with the resulting independent jobs being submitted to a
+//! resource management system; Nimrod-G generalizes Nimrod to use Globus
+//! mechanisms... Condor-G addresses issues of failure, credential expiry,
+//! and interjob dependencies that are not addressed by Nimrod or
+//! Nimrod-G." Running a sweep *through* Condor-G therefore gets all of
+//! the agent's robustness for free — which this module demonstrates by
+//! generating sweeps as ordinary Condor-G submissions.
+
+use condor_g::api::{GridJobSpec, Universe};
+use gridsim::time::Duration;
+
+/// One axis of a sweep: a named parameter and its values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Axis {
+    /// Parameter name (becomes `--name=value` on the command line).
+    pub name: String,
+    /// The values to sweep.
+    pub values: Vec<String>,
+}
+
+impl Axis {
+    /// An axis over explicit string values.
+    pub fn of(name: &str, values: &[&str]) -> Axis {
+        Axis { name: name.to_string(), values: values.iter().map(|s| s.to_string()).collect() }
+    }
+
+    /// An axis over an inclusive numeric range with a step.
+    pub fn range(name: &str, start: f64, end: f64, step: f64) -> Axis {
+        assert!(step > 0.0, "step must be positive");
+        let mut values = Vec::new();
+        let mut v = start;
+        while v <= end + 1e-9 {
+            values.push(format!("{v}"));
+            v += step;
+        }
+        Axis { name: name.to_string(), values }
+    }
+}
+
+/// A full cartesian parameter sweep.
+///
+/// ```
+/// use workloads::{Axis, ParamSweep};
+/// use gridsim::time::Duration;
+///
+/// let sweep = ParamSweep::new("/home/jane/model.exe", Duration::from_mins(20))
+///     .axis(Axis::of("model", &["ising", "potts"]))
+///     .axis(Axis::range("temp", 1.0, 2.0, 0.5));
+/// assert_eq!(sweep.len(), 2 * 3);
+/// let p = sweep.point(0);
+/// assert_eq!(p.arguments, vec!["--model=ising", "--temp=1"]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ParamSweep {
+    /// Executable every point runs.
+    pub executable: String,
+    /// Per-point runtime.
+    pub runtime: Duration,
+    /// Universe for the generated jobs.
+    pub universe: Universe,
+    /// The swept axes.
+    pub axes: Vec<Axis>,
+    /// stdout bytes per point.
+    pub stdout_size: u64,
+}
+
+impl ParamSweep {
+    /// A sweep of `executable` with fixed per-point runtime.
+    pub fn new(executable: &str, runtime: Duration) -> ParamSweep {
+        ParamSweep {
+            executable: executable.to_string(),
+            runtime,
+            universe: Universe::Grid,
+            axes: Vec::new(),
+            stdout_size: 0,
+        }
+    }
+
+    /// Add an axis.
+    pub fn axis(mut self, axis: Axis) -> ParamSweep {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Run points in the pool universe instead.
+    pub fn in_pool(mut self) -> ParamSweep {
+        self.universe = Universe::Pool;
+        self
+    }
+
+    /// Per-point stdout volume.
+    pub fn with_stdout(mut self, bytes: u64) -> ParamSweep {
+        self.stdout_size = bytes;
+        self
+    }
+
+    /// Number of points in the sweep.
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// True when no axis has values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Generate the job for point `index` (row-major over the axes).
+    pub fn point(&self, index: usize) -> GridJobSpec {
+        assert!(index < self.len(), "point {index} out of range");
+        let mut rem = index;
+        let mut args = Vec::new();
+        let mut label = String::new();
+        // Last axis varies fastest.
+        let mut coords = vec![0usize; self.axes.len()];
+        for (i, axis) in self.axes.iter().enumerate().rev() {
+            coords[i] = rem % axis.values.len();
+            rem /= axis.values.len();
+        }
+        for (axis, &c) in self.axes.iter().zip(&coords) {
+            args.push(format!("--{}={}", axis.name, axis.values[c]));
+            if !label.is_empty() {
+                label.push(',');
+            }
+            label.push_str(&format!("{}={}", axis.name, axis.values[c]));
+        }
+        let mut spec = match self.universe {
+            Universe::Grid => {
+                GridJobSpec::grid(&format!("sweep[{label}]"), &self.executable, self.runtime)
+            }
+            Universe::Pool => {
+                GridJobSpec::pool(&format!("sweep[{label}]"), &self.executable, self.runtime)
+            }
+        };
+        spec.arguments = args;
+        spec.stdout_size = self.stdout_size;
+        spec
+    }
+
+    /// All points, in order.
+    pub fn points(&self) -> Vec<GridJobSpec> {
+        (0..self.len()).map(|i| self.point(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> ParamSweep {
+        ParamSweep::new("/home/jane/model.exe", Duration::from_mins(20))
+            .axis(Axis::of("temperature", &["300", "350", "400"]))
+            .axis(Axis::range("pressure", 1.0, 2.0, 0.5))
+    }
+
+    #[test]
+    fn cartesian_size() {
+        let s = sweep();
+        assert_eq!(s.len(), 3 * 3);
+        assert_eq!(s.points().len(), 9);
+    }
+
+    #[test]
+    fn points_enumerate_all_combinations() {
+        let s = sweep();
+        let mut seen = std::collections::HashSet::new();
+        for p in s.points() {
+            assert_eq!(p.arguments.len(), 2);
+            assert!(p.arguments[0].starts_with("--temperature="));
+            assert!(p.arguments[1].starts_with("--pressure="));
+            assert!(seen.insert(p.arguments.join(" ")), "duplicate point");
+        }
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn last_axis_varies_fastest() {
+        let s = sweep();
+        let p0 = s.point(0);
+        let p1 = s.point(1);
+        assert_eq!(p0.arguments[0], p1.arguments[0], "first axis changed too early");
+        assert_ne!(p0.arguments[1], p1.arguments[1]);
+    }
+
+    #[test]
+    fn range_axis_inclusive() {
+        let a = Axis::range("x", 0.0, 1.0, 0.25);
+        assert_eq!(a.values, vec!["0", "0.25", "0.5", "0.75", "1"]);
+    }
+
+    #[test]
+    fn pool_universe_and_names() {
+        let s = sweep().in_pool().with_stdout(128);
+        let p = s.point(4);
+        assert_eq!(p.universe, Universe::Pool);
+        assert_eq!(p.stdout_size, 128);
+        assert!(p.name.starts_with("sweep[temperature="), "{}", p.name);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_point_panics() {
+        let _ = sweep().point(9);
+    }
+}

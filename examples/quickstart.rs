@@ -1,0 +1,72 @@
+//! Quickstart: submit a handful of jobs to a two-site grid through the
+//! Condor-G agent and watch them run.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use condor_g_suite::condor_g::api::GridJobSpec;
+use condor_g_suite::gridsim::prelude::*;
+use condor_g_suite::harness::{build, SiteSpec, TestbedConfig, UserConsole};
+use condor_g_suite::workloads::qap::{solve_qap, QapInstance};
+
+fn main() {
+    // A grid: one PBS cluster, one LSF machine, and your Condor-G agent.
+    let mut tb = build(TestbedConfig {
+        seed: 7,
+        trace: true,
+        sites: vec![SiteSpec::pbs("pbs.cluster.edu", 8), SiteSpec::lsf("lsf.hpc.edu", 4)],
+        ..TestbedConfig::default()
+    });
+
+    // Five jobs, each "solving a QAP subproblem" for 45 minutes and
+    // shipping 1 MB of results home.
+    let spec = GridJobSpec::grid("qap-worker", "/home/jane/app.exe", Duration::from_mins(45))
+        .with_stdout(1_000_000);
+    let console = UserConsole::new(tb.scheduler).submit_many(5, spec);
+    let node = tb.submit;
+    tb.world.add_component(node, "console", console);
+
+    println!("submitting 5 jobs to 2 sites through Condor-G...\n");
+    tb.world.run_until(SimTime::ZERO + Duration::from_hours(3));
+
+    println!("per-job event history:");
+    for i in 0..5 {
+        let h = UserConsole::history_of(&tb.world, node, i);
+        println!("  job {i}: {}", h.join(" -> "));
+    }
+
+    let m = tb.world.metrics();
+    println!("\nagent metrics:");
+    for counter in [
+        "condor_g.submitted",
+        "gm.submissions",
+        "gram.submits",
+        "gram.commits",
+        "site.completed",
+        "condor_g.jobs_done",
+    ] {
+        println!("  {counter:<24} {}", m.counter(counter));
+    }
+    println!(
+        "\nall stdout staged home: {} bulk bytes moved over the WAN",
+        m.counter("net.bulk_bytes")
+    );
+
+    // And, because the workers were "solving QAP subproblems": do one for
+    // real, with the same branch-and-bound + Gilmore-Lawler machinery the
+    // paper's record computation used (at miniature scale).
+    let qap = QapInstance::synthetic(8, 2026);
+    let sol = solve_qap(&qap);
+    println!(
+        "\nbonus, an actual QAP(n=8) solved locally: optimum {:.0}, {} B&B nodes, {} LAPs evaluated",
+        sol.cost, sol.nodes_explored, sol.laps_solved
+    );
+
+    println!("\nprotocol ladder of job 0 (from the simulation trace):");
+    for e in tb.world.trace().events().iter().filter(|e| {
+        e.detail.contains("gj0") || (e.kind.starts_with("gram.") && e.detail.contains("seq 0"))
+    }) {
+        println!("  {e}");
+    }
+}

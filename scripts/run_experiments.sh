@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate every paper artifact. Outputs are recorded in EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BINS=(exp_figure1 exp_figure2 exp_two_phase exp_fault_tolerance exp_credentials \
+      exp_glidein exp_broker exp_gcat exp_cms exp_flocking exp_ckpt_interval \
+      exp_migration exp_qap)
+mkdir -p target/experiments
+for b in "${BINS[@]}"; do
+  echo "=== running $b ==="
+  cargo run --release -q -p bench --bin "$b" | tee "target/experiments/$b.txt"
+done
+echo "all experiment outputs in target/experiments/"

@@ -1,0 +1,367 @@
+//! `condor-g-sim` — run a Condor-G grid scenario from a description file.
+//!
+//! ```text
+//! cargo run --release --bin condor-g-sim scenarios/demo.scn
+//! ```
+//!
+//! The scenario language (one directive per line, `#` comments):
+//!
+//! ```text
+//! seed 42
+//! site pbs  anl-cluster   64          # kinds: pbs lsf loadleveler nqe pool
+//! site pool wisc-campus   128
+//! mds on                              # build GIIS + per-site GRIS
+//! broker mds                          # "static" (default) or "mds"
+//! personal-pool on                    # collector/negotiator/schedd/ckpt
+//! glideins 16 12h                     # per-site count + lease
+//! proxy 48h
+//! job grid app.exe 2h x10 stdout=1M   # 10 grid-universe jobs
+//! job pool worker.exe 30m x20 io=300s/64K
+//! crash site 0 at 1h for 30m          # crash a site's gatekeeper machine
+//! partition at 2h for 20m             # submit machine vs everything
+//! run 24h
+//! ```
+
+use condor_g_suite::condor_g::api::{GridJobSpec, Universe};
+use condor_g_suite::gridsim::prelude::*;
+use condor_g_suite::harness::{build, SiteSpec, Testbed, TestbedConfig, UserConsole};
+use condor_g_suite::workloads::stats::Table;
+use std::fmt;
+
+/// A parsed scenario.
+#[derive(Debug, Default)]
+pub struct Scenario {
+    seed: u64,
+    sites: Vec<SiteSpec>,
+    mds: bool,
+    mds_broker: bool,
+    personal_pool: bool,
+    glideins: Option<(u32, Duration)>,
+    proxy: Option<Duration>,
+    jobs: Vec<GridJobSpec>,
+    crashes: Vec<(usize, Duration, Duration)>,
+    partition: Option<(Duration, Duration)>,
+    run_for: Duration,
+}
+
+/// Scenario parse failure with line number.
+#[derive(Debug)]
+pub struct ScnError(usize, String);
+
+impl fmt::Display for ScnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario line {}: {}", self.0, self.1)
+    }
+}
+
+/// Parse `90s` / `30m` / `2h` / `1d` into a duration.
+fn parse_duration(s: &str) -> Option<Duration> {
+    let (num, unit) = s.split_at(s.len().checked_sub(1)?);
+    let n: u64 = num.parse().ok()?;
+    Some(match unit {
+        "s" => Duration::from_secs(n),
+        "m" => Duration::from_mins(n),
+        "h" => Duration::from_hours(n),
+        "d" => Duration::from_days(n),
+        _ => return None,
+    })
+}
+
+/// Parse `64K` / `1M` / `2G` / plain bytes.
+fn parse_size(s: &str) -> Option<u64> {
+    if let Ok(n) = s.parse() {
+        return Some(n);
+    }
+    let (num, unit) = s.split_at(s.len() - 1);
+    let n: u64 = num.parse().ok()?;
+    Some(match unit {
+        "K" => n * 1_000,
+        "M" => n * 1_000_000,
+        "G" => n * 1_000_000_000,
+        _ => return None,
+    })
+}
+
+/// Parse a scenario file's text.
+pub fn parse_scenario(text: &str) -> Result<Scenario, ScnError> {
+    let mut scn = Scenario { seed: 42, run_for: Duration::from_days(1), ..Default::default() };
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let err = |m: String| ScnError(lineno, m);
+        match words[0] {
+            "seed" => {
+                scn.seed = words
+                    .get(1)
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err("seed needs a number".into()))?;
+            }
+            "site" => {
+                let [_, kind, name, cpus] = words[..] else {
+                    return Err(err("site <kind> <name> <cpus>".into()));
+                };
+                let cpus: u32 =
+                    cpus.parse().map_err(|_| err("bad cpu count".into()))?;
+                let spec = match kind {
+                    "pbs" => SiteSpec::pbs(name, cpus),
+                    "lsf" => SiteSpec::lsf(name, cpus),
+                    "loadleveler" => SiteSpec::loadleveler(name, cpus),
+                    "nqe" => SiteSpec::nqe(name, cpus),
+                    "pool" => SiteSpec::condor_pool(name, cpus),
+                    other => return Err(err(format!("unknown site kind {other}"))),
+                };
+                scn.sites.push(spec);
+            }
+            "mds" => scn.mds = words.get(1) == Some(&"on"),
+            "broker" => scn.mds_broker = words.get(1) == Some(&"mds"),
+            "personal-pool" => scn.personal_pool = words.get(1) == Some(&"on"),
+            "glideins" => {
+                let n: u32 = words
+                    .get(1)
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err("glideins <n> <lease>".into()))?;
+                let lease = words
+                    .get(2)
+                    .and_then(|w| parse_duration(w))
+                    .ok_or_else(|| err("bad lease".into()))?;
+                scn.glideins = Some((n, lease));
+            }
+            "proxy" => {
+                scn.proxy = Some(
+                    words
+                        .get(1)
+                        .and_then(|w| parse_duration(w))
+                        .ok_or_else(|| err("bad proxy lifetime".into()))?,
+                );
+            }
+            "job" => {
+                // job <grid|pool> <exe> <runtime> [xN] [stdout=SZ] [io=T/SZ] [arch=A]
+                let universe = match words.get(1) {
+                    Some(&"grid") => Universe::Grid,
+                    Some(&"pool") => Universe::Pool,
+                    _ => return Err(err("job <grid|pool> ...".into())),
+                };
+                let exe = words.get(2).ok_or_else(|| err("job needs an executable".into()))?;
+                let runtime = words
+                    .get(3)
+                    .and_then(|w| parse_duration(w))
+                    .ok_or_else(|| err("bad runtime".into()))?;
+                let mut count = 1usize;
+                let mut spec = match universe {
+                    Universe::Grid => {
+                        GridJobSpec::grid(exe, &format!("/home/jane/{exe}"), runtime)
+                    }
+                    Universe::Pool => {
+                        GridJobSpec::pool(exe, &format!("/home/jane/{exe}"), runtime)
+                    }
+                };
+                for opt in &words[4..] {
+                    if let Some(n) = opt.strip_prefix('x') {
+                        count = n.parse().map_err(|_| err("bad xN".into()))?;
+                    } else if let Some(v) = opt.strip_prefix("stdout=") {
+                        spec.stdout_size =
+                            parse_size(v).ok_or_else(|| err("bad stdout size".into()))?;
+                    } else if let Some(v) = opt.strip_prefix("io=") {
+                        let (t, sz) = v
+                            .split_once('/')
+                            .ok_or_else(|| err("io=<interval>/<bytes>".into()))?;
+                        let t = parse_duration(t).ok_or_else(|| err("bad io interval".into()))?;
+                        let sz = parse_size(sz).ok_or_else(|| err("bad io size".into()))?;
+                        spec = spec.with_remote_io(t.as_secs_f64(), sz);
+                    } else if let Some(a) = opt.strip_prefix("arch=") {
+                        spec = spec.with_arch(a);
+                    } else {
+                        return Err(err(format!("unknown job option {opt}")));
+                    }
+                }
+                for _ in 0..count {
+                    scn.jobs.push(spec.clone());
+                }
+            }
+            "crash" => {
+                // crash site <idx> at <t> for <d>
+                let [_, "site", idx, "at", t, "for", d] = words[..] else {
+                    return Err(err("crash site <idx> at <t> for <d>".into()));
+                };
+                let idx: usize = idx.parse().map_err(|_| err("bad site index".into()))?;
+                let at = parse_duration(t).ok_or_else(|| err("bad time".into()))?;
+                let dur = parse_duration(d).ok_or_else(|| err("bad duration".into()))?;
+                scn.crashes.push((idx, at, dur));
+            }
+            "partition" => {
+                let [_, "at", t, "for", d] = words[..] else {
+                    return Err(err("partition at <t> for <d>".into()));
+                };
+                let at = parse_duration(t).ok_or_else(|| err("bad time".into()))?;
+                let dur = parse_duration(d).ok_or_else(|| err("bad duration".into()))?;
+                scn.partition = Some((at, dur));
+            }
+            "run" => {
+                scn.run_for = words
+                    .get(1)
+                    .and_then(|w| parse_duration(w))
+                    .ok_or_else(|| err("bad run duration".into()))?;
+            }
+            other => return Err(err(format!("unknown directive {other}"))),
+        }
+    }
+    if scn.sites.is_empty() {
+        return Err(ScnError(0, "scenario declares no sites".into()));
+    }
+    Ok(scn)
+}
+
+/// Build and run a parsed scenario; prints the report.
+pub fn run_scenario(scn: Scenario) {
+    let mut tb: Testbed = build(TestbedConfig {
+        seed: scn.seed,
+        sites: scn.sites.clone(),
+        with_mds: scn.mds,
+        mds_broker: scn.mds_broker,
+        with_personal_pool: scn.personal_pool,
+        proxy_lifetime: scn.proxy.unwrap_or(Duration::from_hours(24)),
+        ..TestbedConfig::default()
+    });
+    // Stage every referenced executable on the submit-side GASS server is
+    // handled by the harness preloads; unknown paths still stage as the
+    // default app image.
+    if let Some((n, lease)) = scn.glideins {
+        if scn.personal_pool {
+            tb.add_glidein_factory(n, lease);
+        } else {
+            eprintln!("warning: glideins need `personal-pool on`; ignoring");
+        }
+    }
+    let total_jobs = scn.jobs.len();
+    let mut console = UserConsole::new(tb.scheduler);
+    for mut job in scn.jobs {
+        // Scenario executables resolve against the preloaded app image so
+        // staging always succeeds.
+        job.executable = "/home/jane/app.exe".into();
+        console = console.submit_after(Duration::ZERO, job);
+    }
+    let node = tb.submit;
+    tb.world.add_component(node, "console", console);
+    // Fault schedule.
+    let mut plan = gridsim::fault::FaultPlan::new();
+    for (idx, at, dur) in &scn.crashes {
+        let site = &tb.sites[*idx];
+        plan = plan.crash_restart(site.interface, SimTime::ZERO + *at, *dur);
+    }
+    if let Some((at, dur)) = scn.partition {
+        let others: Vec<NodeId> = tb
+            .sites
+            .iter()
+            .flat_map(|s| [s.interface, s.cluster])
+            .collect();
+        plan = plan.partition_window(vec![tb.submit], others, SimTime::ZERO + at, dur);
+    }
+    let plan = plan.sorted();
+    tb.world.apply_fault_plan(&plan);
+
+    println!(
+        "running: {} sites, {total_jobs} jobs, {} fault actions, horizon {}",
+        tb.sites.len(),
+        plan.len(),
+        scn.run_for
+    );
+    tb.world.run_until(SimTime::ZERO + scn.run_for);
+
+    let m = tb.world.metrics();
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["jobs submitted".into(), format!("{}", m.counter("condor_g.submitted"))]);
+    t.row(&["jobs done".into(), format!("{}", m.counter("condor_g.jobs_done"))]);
+    t.row(&["jobs failed".into(), format!("{}", m.counter("condor_g.jobs_failed"))]);
+    t.row(&["site executions".into(), format!("{}", m.counter("site.completed") + m.counter("condor.jobs_finished"))]);
+    t.row(&["GRAM submits".into(), format!("{}", m.counter("gram.submits"))]);
+    t.row(&["JobManager restarts".into(), format!("{}", m.counter("gram.jm_restarts"))]);
+    t.row(&["glideins started".into(), format!("{}", m.counter("glidein.started"))]);
+    t.row(&["preemptions".into(), format!("{}", m.counter("condor.vacated") + m.counter("site.vacated"))]);
+    t.row(&["checkpoints".into(), format!("{}", m.counter("condor.checkpoints"))]);
+    t.row(&["WAN bulk GB".into(), format!("{:.2}", m.counter("net.bulk_bytes") as f64 / 1e9)]);
+    t.row(&["events simulated".into(), format!("{}", tb.world.events_processed())]);
+    println!("\n{}", t.render());
+    println!("per-job outcomes:");
+    for i in 0..total_jobs as u64 {
+        let h = UserConsole::history_of(&tb.world, node, i);
+        println!("  job {i}: {}", h.join(" -> "));
+    }
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: condor-g-sim <scenario-file>");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    match parse_scenario(&text) {
+        Ok(scn) => run_scenario(scn),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_and_sizes() {
+        assert_eq!(parse_duration("90s"), Some(Duration::from_secs(90)));
+        assert_eq!(parse_duration("30m"), Some(Duration::from_mins(30)));
+        assert_eq!(parse_duration("2h"), Some(Duration::from_hours(2)));
+        assert_eq!(parse_duration("1d"), Some(Duration::from_days(1)));
+        assert_eq!(parse_duration("xx"), None);
+        assert_eq!(parse_size("64K"), Some(64_000));
+        assert_eq!(parse_size("1M"), Some(1_000_000));
+        assert_eq!(parse_size("512"), Some(512));
+    }
+
+    #[test]
+    fn full_scenario_parses() {
+        let scn = parse_scenario(
+            "# demo\n\
+             seed 7\n\
+             site pbs anl 64\n\
+             site pool wisc 128\n\
+             mds on\n\
+             broker mds\n\
+             personal-pool on\n\
+             glideins 16 12h\n\
+             proxy 48h\n\
+             job grid app.exe 2h x10 stdout=1M\n\
+             job pool worker.exe 30m x20 io=300s/64K\n\
+             crash site 0 at 1h for 30m\n\
+             partition at 2h for 20m\n\
+             run 24h\n",
+        )
+        .unwrap();
+        assert_eq!(scn.seed, 7);
+        assert_eq!(scn.sites.len(), 2);
+        assert!(scn.mds && scn.mds_broker && scn.personal_pool);
+        assert_eq!(scn.glideins, Some((16, Duration::from_hours(12))));
+        assert_eq!(scn.jobs.len(), 30);
+        assert_eq!(scn.jobs[0].stdout_size, 1_000_000);
+        assert_eq!(scn.jobs[10].io_bytes, 64_000);
+        assert_eq!(scn.crashes, vec![(0, Duration::from_hours(1), Duration::from_mins(30))]);
+        assert_eq!(scn.run_for, Duration::from_hours(24));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_scenario("seed 1\nfrobnicate\n").unwrap_err();
+        assert_eq!(e.0, 2);
+        let e = parse_scenario("site pbs x notanumber\n").unwrap_err();
+        assert_eq!(e.0, 1);
+        assert!(parse_scenario("seed 1\n").is_err(), "no sites");
+    }
+}

@@ -1,0 +1,125 @@
+//! Chaos runs: random crash/repair schedules on every gatekeeper machine
+//! while a campaign runs. The agent must deliver every job exactly once
+//! *to the user* no matter what the schedule does.
+
+use condor_g_suite::condor_g::api::GridJobSpec;
+use condor_g_suite::gridsim::fault::FaultPlan;
+use condor_g_suite::gridsim::prelude::*;
+use condor_g_suite::gridsim::rng::SimRng;
+use condor_g_suite::harness::{build, SiteSpec, TestbedConfig, UserConsole};
+
+const JOBS: usize = 24;
+
+fn chaos_run(seed: u64) -> (u64, u64, u64, Vec<Vec<String>>) {
+    let mut tb = build(TestbedConfig {
+        seed,
+        sites: vec![
+            SiteSpec::pbs("alpha", 8),
+            SiteSpec::lsf("beta", 8),
+            SiteSpec::pbs("gamma", 8),
+        ],
+        proxy_lifetime: Duration::from_days(7),
+        ..TestbedConfig::default()
+    });
+    // Interface machines crash randomly: mean 8h up, 45min down, 3 days.
+    let interfaces: Vec<NodeId> = tb.sites.iter().map(|s| s.interface).collect();
+    let mut chaos_rng = SimRng::new(seed ^ 0xC0A5);
+    let plan = FaultPlan::random_crashes(
+        &mut chaos_rng,
+        &interfaces,
+        Duration::from_hours(8),
+        Duration::from_mins(45),
+        SimTime::ZERO + Duration::from_days(3),
+    );
+    tb.world.apply_fault_plan(&plan);
+
+    let spec = GridJobSpec::grid("chaos-task", "/home/jane/app.exe", Duration::from_mins(90))
+        .with_stdout(50_000);
+    let console = UserConsole::new(tb.scheduler).submit_many(JOBS, spec);
+    let node = tb.submit;
+    tb.world.add_component(node, "console", console);
+    tb.world.run_until(SimTime::ZERO + Duration::from_days(4));
+
+    let m = tb.world.metrics();
+    let histories = (0..JOBS as u64)
+        .map(|i| UserConsole::history_of(&tb.world, node, i))
+        .collect();
+    (
+        m.counter("condor_g.jobs_done"),
+        m.counter("site.completed"),
+        m.counter("node.crashes"),
+        histories,
+    )
+}
+
+#[test]
+fn campaigns_survive_random_gatekeeper_chaos() {
+    for seed in [101, 202, 303] {
+        let (done, executions, crashes, histories) = chaos_run(seed);
+        assert!(crashes >= 3, "seed {seed}: chaos plan too tame ({crashes} crashes)");
+        assert_eq!(
+            done, JOBS as u64,
+            "seed {seed}: jobs lost under chaos (crashes={crashes}, executions={executions})"
+        );
+        for (i, h) in histories.iter().enumerate() {
+            // Exactly one terminal report per job, and it is Done.
+            let terminals = h
+                .iter()
+                .filter(|e| {
+                    e.starts_with("Done") || e.starts_with("Failed") || e.starts_with("Removed")
+                })
+                .count();
+            assert_eq!(terminals, 1, "seed {seed} job {i}: {h:?}");
+            assert_eq!(h.last().map(String::as_str), Some("Done"), "seed {seed} job {i}: {h:?}");
+        }
+        // Work may legitimately be re-done after a genuine failure, but
+        // never wildly (recovery reattaches instead of resubmitting).
+        assert!(
+            executions <= (JOBS as u64) + 4,
+            "seed {seed}: excessive duplicate executions ({executions} for {JOBS} jobs)"
+        );
+    }
+}
+
+#[test]
+fn chaos_with_partitions_as_well() {
+    let mut tb = build(TestbedConfig {
+        seed: 404,
+        sites: vec![SiteSpec::pbs("alpha", 8), SiteSpec::pbs("beta", 8)],
+        proxy_lifetime: Duration::from_days(7),
+        ..TestbedConfig::default()
+    });
+    let mut plan = FaultPlan::new();
+    // Alternate partitions and crashes through the first day.
+    let all_site_nodes: Vec<NodeId> = tb
+        .sites
+        .iter()
+        .flat_map(|s| [s.interface, s.cluster])
+        .collect();
+    for k in 0..6u64 {
+        let start = SimTime::ZERO + Duration::from_hours(2 + 3 * k);
+        plan = plan.partition_window(
+            vec![tb.submit],
+            all_site_nodes.clone(),
+            start,
+            Duration::from_mins(25),
+        );
+    }
+    plan = plan.crash_restart(
+        tb.sites[0].interface,
+        SimTime::ZERO + Duration::from_hours(5),
+        Duration::from_hours(1),
+    );
+    tb.world.apply_fault_plan(&plan.sorted());
+
+    let spec = GridJobSpec::grid("t", "/home/jane/app.exe", Duration::from_hours(2))
+        .with_stdout(10_000);
+    let console = UserConsole::new(tb.scheduler).submit_many(12, spec);
+    let node = tb.submit;
+    tb.world.add_component(node, "console", console);
+    tb.world.run_until(SimTime::ZERO + Duration::from_days(2));
+    let m = tb.world.metrics();
+    assert_eq!(m.counter("condor_g.jobs_done"), 12);
+    assert_eq!(m.counter("site.completed"), 12, "partitions caused duplicated work");
+    let _ = node;
+}

@@ -1,0 +1,175 @@
+//! Credential-lifetime tests (paper §4.3): expiry detection, hold + email,
+//! user refresh, and MyProxy auto-refresh.
+
+use condor_g_suite::condor_g::gridmanager::{GmConfig, MyProxySettings};
+use condor_g_suite::condor_g::api::GridJobSpec;
+use condor_g_suite::condor_g::Mailer;
+use condor_g_suite::gridsim::prelude::*;
+use condor_g_suite::gsi::{MyProxyRequest, ProxyCredential};
+use condor_g_suite::harness::{build, SiteSpec, TestbedConfig, UserConsole};
+
+fn long_job() -> GridJobSpec {
+    // 20-hour jobs against a 12-hour proxy: expiry hits mid-run.
+    GridJobSpec::grid("longrun", "/home/jane/app.exe", Duration::from_hours(20))
+}
+
+#[test]
+fn expiry_holds_jobs_and_emails_then_refresh_resumes() {
+    let mut tb = build(TestbedConfig {
+        sites: vec![SiteSpec::pbs("solo", 8)],
+        proxy_lifetime: Duration::from_hours(12),
+        ..TestbedConfig::default()
+    });
+    // The user refreshes 14 hours in (after the hold).
+    let fresh = tb.identity.new_proxy(
+        SimTime::ZERO + Duration::from_hours(14),
+        Duration::from_hours(24),
+    );
+    let mut console = UserConsole::new(tb.scheduler).submit_many(3, long_job());
+    console.refresh_at = Some((Duration::from_hours(14), fresh));
+    let node = tb.submit;
+    tb.world.add_component(node, "console", console);
+    tb.world.run_until(SimTime::ZERO + Duration::from_hours(36));
+
+    let m = tb.world.metrics();
+    assert_eq!(m.counter("gm.credential_holds"), 1, "no hold happened");
+    assert_eq!(m.counter("condor_g.proxy_refreshes"), 1);
+    // The refreshed proxy was re-forwarded to remote JobManagers.
+    assert!(m.counter("gram.credential_refreshes") >= 3);
+    // All jobs finished after the refresh.
+    assert_eq!(m.counter("condor_g.jobs_done"), 3);
+    for i in 0..3 {
+        let h = UserConsole::history_of(&tb.world, node, i);
+        assert!(
+            h.iter().any(|e| e.starts_with("Held(credentials expired")),
+            "job {i} never held: {h:?}"
+        );
+        assert_eq!(h.last().map(String::as_str), Some("Done"), "job {i}: {h:?}");
+    }
+    // The hold e-mail (and the earlier alarm) landed in the inbox.
+    let inbox: Vec<(String, String)> = tb
+        .world
+        .store()
+        .get(tb.mail_node, &Mailer::inbox_key("jane"))
+        .unwrap();
+    assert!(
+        inbox.iter().any(|(s, _)| s.contains("expiring soon")),
+        "no alarm email: {inbox:?}"
+    );
+    assert!(
+        inbox.iter().any(|(s, _)| s.contains("held")),
+        "no hold email: {inbox:?}"
+    );
+}
+
+#[test]
+fn myproxy_auto_refresh_avoids_the_hold() {
+    let tb = build(TestbedConfig {
+        sites: vec![SiteSpec::pbs("solo", 8)],
+        proxy_lifetime: Duration::from_hours(12),
+        with_myproxy: true,
+        gm: GmConfig::default(),
+        ..TestbedConfig::default()
+    });
+    let myproxy = tb.myproxy.expect("myproxy built");
+
+    // Deposit a week-long credential at the MyProxy server, then rebuild
+    // the scheduler's GridManager config to auto-refresh from it. The
+    // harness wires GmConfig before we know the server address, so set it
+    // by re-adding the scheduler... simpler: deposit + configure via a
+    // fresh testbed below.
+    let long = tb.identity.new_proxy(SimTime::ZERO, Duration::from_days(7));
+
+    // Build the real testbed with MyProxy settings in place.
+    let mut tb = build(TestbedConfig {
+        sites: vec![SiteSpec::pbs("solo", 8)],
+        proxy_lifetime: Duration::from_hours(12),
+        with_myproxy: true,
+        gm: GmConfig {
+            myproxy: Some(MyProxySettings {
+                server: myproxy,
+                account: "jane".into(),
+                passphrase: 4242,
+                lifetime: Duration::from_hours(12),
+                refresh_before: Duration::from_hours(2),
+            }),
+            ..GmConfig::default()
+        },
+        ..TestbedConfig::default()
+    });
+    // Seed the vault (as the user would with myproxy-init).
+    let server = tb.myproxy.expect("myproxy built");
+    tb.world.post(
+        server,
+        MyProxyRequest::Store { user: "jane".into(), passphrase: 4242, credential: long },
+    );
+    let console = UserConsole::new(tb.scheduler).submit_many(3, long_job());
+    let node = tb.submit;
+    tb.world.add_component(node, "console", console);
+    tb.world.run_until(SimTime::ZERO + Duration::from_hours(30));
+
+    let m = tb.world.metrics();
+    assert_eq!(m.counter("gm.credential_holds"), 0, "hold despite MyProxy");
+    assert!(m.counter("gm.myproxy_refreshes") >= 1, "never refreshed");
+    assert_eq!(m.counter("condor_g.jobs_done"), 3);
+    for i in 0..3 {
+        let h = UserConsole::history_of(&tb.world, node, i);
+        assert!(
+            !h.iter().any(|e| e.starts_with("Held")),
+            "job {i} was held despite MyProxy: {h:?}"
+        );
+        assert_eq!(h.last().map(String::as_str), Some("Done"));
+    }
+}
+
+#[test]
+fn expired_proxy_cannot_authenticate_anywhere() {
+    // Sanity at the protocol level: once past expiry, GRAM refuses the
+    // credential outright (defense in depth under the agent's hold logic).
+    use condor_g_suite::gram::proto::{GramReply, GramRequest};
+    use condor_g_suite::gridsim::{AnyMsg, Addr};
+
+    let mut tb = build(TestbedConfig {
+        sites: vec![SiteSpec::pbs("solo", 4)],
+        proxy_lifetime: Duration::from_hours(1),
+        ..TestbedConfig::default()
+    });
+    struct LateSubmitter {
+        gatekeeper: Addr,
+        credential: ProxyCredential,
+    }
+    impl Component for LateSubmitter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(Duration::from_hours(2), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, _tag: u64) {
+            ctx.send(
+                self.gatekeeper,
+                GramRequest::Submit {
+                    seq: 1,
+                    credential: self.credential.clone(),
+                    rsl: "&(executable=/x)".into(),
+                    callback: ctx.self_addr(),
+                    gass: condor_g_suite::gass::GassUrl::gass(ctx.self_addr(), ""),
+                    capability: None,
+                },
+            );
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
+            if let Some(GramReply::SubmitFailed { error, .. }) =
+                msg.downcast_ref::<GramReply>()
+            {
+                let node = ctx.node();
+                ctx.store().put(node, "refused", &error.to_string());
+            }
+        }
+    }
+    let gk = tb.sites[0].gatekeeper;
+    let cred = tb.proxy.clone();
+    let n = tb.world.add_node("attacker");
+    tb.world
+        .add_component(n, "late", LateSubmitter { gatekeeper: gk, credential: cred });
+    tb.world.run_until(SimTime::ZERO + Duration::from_hours(3));
+    let refused: String = tb.world.store().get(n, "refused").unwrap();
+    assert!(refused.contains("authentication failed"), "{refused}");
+}

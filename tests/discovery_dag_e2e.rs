@@ -1,0 +1,168 @@
+//! MDS-broker discovery (paper §4.4) and DAG execution (§6's CMS shape)
+//! through the full stack.
+
+use condor_g_suite::condor_g::api::GridJobSpec;
+use condor_g_suite::condor_g::{DagMan, DagSpec};
+use condor_g_suite::gridsim::prelude::*;
+use condor_g_suite::harness::{build, SiteSpec, TestbedConfig, UserConsole};
+
+#[test]
+fn mds_broker_steers_jobs_by_requirements() {
+    // Two architectures; jobs demand INTEL. The broker must discover the
+    // sites through MDS and send everything to the INTEL one.
+    let mut tb = build(TestbedConfig {
+        sites: vec![
+            SiteSpec::pbs("intel-site", 8).with_arch("INTEL"),
+            SiteSpec::pbs("sparc-site", 64).with_arch("SUN4u"),
+        ],
+        with_mds: true,
+        mds_broker: true,
+        ..TestbedConfig::default()
+    });
+    let spec = GridJobSpec::grid("app", "/home/jane/app.exe", Duration::from_mins(20))
+        .with_requirements("TARGET.Arch == \"INTEL\"")
+        .with_rank("TARGET.FreeCpus");
+    let console = UserConsole::new(tb.scheduler).submit_many(6, spec);
+    let node = tb.submit;
+    tb.world.add_component(node, "console", console);
+    tb.world.run_until(SimTime::ZERO + Duration::from_hours(4));
+
+    let m = tb.world.metrics();
+    assert_eq!(m.counter("condor_g.jobs_done"), 6);
+    // Every execution happened at the INTEL site.
+    let intel_cpu = m
+        .histogram("site.intel-site.cpu_seconds")
+        .map(|h| h.count())
+        .unwrap_or(0);
+    let sparc_cpu = m
+        .histogram("site.sparc-site.cpu_seconds")
+        .map(|h| h.count())
+        .unwrap_or(0);
+    assert_eq!(intel_cpu, 6, "INTEL site ran {intel_cpu} jobs");
+    assert_eq!(sparc_cpu, 0, "SPARC site ran {sparc_cpu} jobs");
+    assert!(m.counter("mds.queries") >= 1);
+}
+
+#[test]
+fn mds_broker_avoids_dead_sites() {
+    // Site B's GRIS dies with its cluster; its ads age out of MDS and the
+    // broker steers later jobs to site A only.
+    let mut tb = build(TestbedConfig {
+        sites: vec![SiteSpec::pbs("alive", 8), SiteSpec::pbs("doomed", 8)],
+        with_mds: true,
+        mds_broker: true,
+        ..TestbedConfig::default()
+    });
+    let node = tb.submit;
+    let spec = GridJobSpec::grid("app", "/home/jane/app.exe", Duration::from_mins(10));
+    // Submit a late batch after the crash.
+    let mut console = UserConsole::new(tb.scheduler);
+    for _ in 0..4 {
+        console = console.submit_after(Duration::from_mins(40), spec.clone());
+    }
+    tb.world.add_component(node, "console", console);
+    // Kill the whole doomed site (gatekeeper + cluster) at t=10min.
+    tb.world.run_until(SimTime::ZERO + Duration::from_mins(10));
+    let doomed = tb.sites[1].clone();
+    tb.world.crash_node_now(doomed.interface);
+    tb.world.crash_node_now(doomed.cluster);
+    tb.world.run_until(SimTime::ZERO + Duration::from_hours(3));
+
+    let m = tb.world.metrics();
+    assert_eq!(m.counter("condor_g.jobs_done"), 4);
+    let alive_jobs = m
+        .histogram("site.alive.cpu_seconds")
+        .map(|h| h.count())
+        .unwrap_or(0);
+    assert_eq!(alive_jobs, 4, "jobs were steered at a dead site");
+}
+
+#[test]
+fn dag_runs_cms_shaped_pipeline() {
+    // A miniature CMS pipeline: N simulation jobs fan into a transfer
+    // node, which gates a reconstruction job.
+    let mut tb = build(TestbedConfig {
+        sites: vec![SiteSpec::pbs("wisc", 16), SiteSpec::pbs("ncsa", 16)],
+        ..TestbedConfig::default()
+    });
+    let mut dag = DagSpec::new();
+    let mut sims = Vec::new();
+    for i in 0..10 {
+        let s = dag.add(
+            &format!("sim{i}"),
+            GridJobSpec::grid(
+                &format!("sim{i}"),
+                "/home/jane/app.exe",
+                Duration::from_mins(30),
+            )
+            .with_stdout(100_000),
+        );
+        sims.push(s);
+    }
+    let xfer = dag.add(
+        "xfer",
+        GridJobSpec::grid("xfer", "/home/jane/app.exe", Duration::from_mins(10)),
+    );
+    let recon = dag.add(
+        "recon",
+        GridJobSpec::grid("recon", "/home/jane/app.exe", Duration::from_hours(1)),
+    );
+    for s in &sims {
+        dag.edge(*s, xfer);
+    }
+    dag.edge(xfer, recon);
+    dag.max_active = 4; // "makes sure that local disk buffers do not overflow"
+
+    let node = tb.submit;
+    let scheduler = tb.scheduler;
+    tb.world.add_component(node, "dagman", DagMan::new(dag, scheduler));
+    tb.world.run_until(SimTime::ZERO + Duration::from_hours(12));
+
+    assert_eq!(tb.world.store().get::<bool>(node, "dag/success"), Some(true));
+    assert_eq!(tb.world.store().get::<u64>(node, "dag/done_nodes"), Some(12));
+    let m = tb.world.metrics();
+    assert_eq!(m.counter("dag.completed"), 1);
+    assert_eq!(m.counter("condor_g.jobs_done"), 12);
+    // The throttle kept at most 4 nodes in flight: with 30-minute sims and
+    // a 4-wide window, the sims alone need ≥ 3 waves ≈ 90 minutes.
+    assert!(tb.world.now() >= SimTime::ZERO + Duration::from_mins(90));
+}
+
+#[test]
+fn dag_retries_through_flaky_site() {
+    // One site kills everything at its 10-minute wall limit; the DAG's
+    // retries push each node through until the broker lands it on the
+    // good site.
+    let mut tb = build(TestbedConfig {
+        sites: vec![
+            SiteSpec::pbs("strict", 8).with_wall_limit(Duration::from_mins(10)),
+            SiteSpec::pbs("generous", 8),
+        ],
+        ..TestbedConfig::default()
+    });
+    let mut dag = DagSpec::new();
+    let a = dag.add(
+        "a",
+        GridJobSpec::grid("a", "/home/jane/app.exe", Duration::from_mins(30)),
+    );
+    let b = dag.add(
+        "b",
+        GridJobSpec::grid("b", "/home/jane/app.exe", Duration::from_mins(30)),
+    );
+    dag.edge(a, b);
+    dag.nodes[0].retries = 3;
+    dag.nodes[1].retries = 3;
+
+    let node = tb.submit;
+    let scheduler = tb.scheduler;
+    tb.world.add_component(node, "dagman", DagMan::new(dag, scheduler));
+    tb.world.run_until(SimTime::ZERO + Duration::from_hours(8));
+    assert_eq!(tb.world.store().get::<bool>(node, "dag/success"), Some(true));
+    // At least one execution was wall-killed along the way (the strict
+    // site got tried), and the GridManager resubmitted around it.
+    let m = tb.world.metrics();
+    assert!(
+        m.counter("site.wall_killed") + m.counter("gm.attempt_failures") > 0,
+        "the flaky path was never exercised"
+    );
+}

@@ -1,0 +1,44 @@
+//! Sanity checks on the shared testbed builder itself.
+
+use condor_g_suite::harness::{build, paper_sites, SiteKind, TestbedConfig};
+
+#[test]
+fn paper_sites_match_the_paper_mix() {
+    let sites = paper_sites();
+    assert_eq!(sites.len(), 10, "ten sites");
+    let pools = sites
+        .iter()
+        .filter(|s| matches!(s.kind, SiteKind::CondorPool { .. }))
+        .count();
+    assert_eq!(pools, 8, "eight Condor pools");
+    assert_eq!(sites.iter().filter(|s| s.kind == SiteKind::Pbs).count(), 1);
+    assert_eq!(sites.iter().filter(|s| s.kind == SiteKind::Lsf).count(), 1);
+    let cpus: u32 = sites.iter().map(|s| s.cpus).sum();
+    assert!(cpus > 2500, "paper: over 2,500 CPUs, got {cpus}");
+}
+
+#[test]
+fn default_testbed_builds_and_idles_quietly() {
+    use condor_g_suite::gridsim::prelude::*;
+    let mut tb = build(TestbedConfig::default());
+    assert_eq!(tb.sites.len(), 2);
+    // With no jobs, a day passes with only housekeeping traffic.
+    tb.world.run_until(SimTime::ZERO + Duration::from_days(1));
+    let m = tb.world.metrics();
+    assert_eq!(m.counter("condor_g.submitted"), 0);
+    assert_eq!(m.counter("gram.submits"), 0);
+}
+
+#[test]
+fn full_testbed_wires_every_optional_subsystem() {
+    let tb = build(TestbedConfig {
+        with_mds: true,
+        with_personal_pool: true,
+        with_myproxy: true,
+        ..TestbedConfig::default()
+    });
+    assert!(tb.giis.is_some());
+    assert!(tb.myproxy.is_some());
+    assert!(tb.collector.is_some());
+    assert!(tb.pool_schedd.is_some());
+}
