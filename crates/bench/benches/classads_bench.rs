@@ -10,7 +10,14 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 fn machine_ad(i: usize) -> ClassAd {
     ClassAd::new()
         .with("Name", format!("vm{i}.cs.wisc.edu").as_str())
-        .with("Arch", if i.is_multiple_of(3) { "INTEL" } else { "SUN4u" })
+        .with(
+            "Arch",
+            if i.is_multiple_of(3) {
+                "INTEL"
+            } else {
+                "SUN4u"
+            },
+        )
         .with("OpSys", "LINUX")
         .with("Memory", (64 + (i % 8) * 32) as i64)
         .with("Mips", (200 + i % 500) as i64)
@@ -43,8 +50,8 @@ fn bench_parse(c: &mut Criterion) {
 fn bench_eval(c: &mut Criterion) {
     let job = job_ad();
     let machine = machine_ad(3);
-    let req = parse_expr("TARGET.Arch == \"INTEL\" && TARGET.Memory >= 64 && TARGET.Mips > 100")
-        .unwrap();
+    let req =
+        parse_expr("TARGET.Arch == \"INTEL\" && TARGET.Memory >= 64 && TARGET.Mips > 100").unwrap();
     c.bench_function("classads/eval_requirements", |b| {
         let ctx = EvalCtx::matching(&job, &machine);
         b.iter(|| ctx.eval(std::hint::black_box(&req)))
@@ -84,5 +91,11 @@ fn bench_round_trip(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_parse, bench_eval, bench_match, bench_round_trip);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_eval,
+    bench_match,
+    bench_round_trip
+);
 criterion_main!(benches);

@@ -142,7 +142,15 @@ fn bench_gass_transfer(c: &mut Criterion) {
                 "gass",
                 GassServer::new(ca.trust_root()).preload("/data", FileData::bulk(100_000_000, 1)),
             );
-            w.add_component(nc, "fetch", Fetcher { server, credential: cred, n: FETCHES });
+            w.add_component(
+                nc,
+                "fetch",
+                Fetcher {
+                    server,
+                    credential: cred,
+                    n: FETCHES,
+                },
+            );
             w.run_until_quiescent();
             std::hint::black_box(w.metrics().counter("net.bulk_bytes"))
         })

@@ -65,7 +65,11 @@ fn run(mds: bool) -> Outcome {
     tb.world.add_component(
         cluster,
         "background",
-        BackgroundLoad { lrm, jobs: 32, each: Duration::from_hours(4) },
+        BackgroundLoad {
+            lrm,
+            jobs: 32,
+            each: Duration::from_hours(4),
+        },
     );
     // The jobs demand INTEL (the paper's "application requirements").
     let spec = GridJobSpec::grid("intel-task", "/home/jane/app.exe", Duration::from_mins(45))
@@ -107,7 +111,11 @@ fn main() {
     for mds in [false, true] {
         let o = run(mds);
         t.row(&[
-            if mds { "MDS matchmaking".into() } else { "static list (round-robin)".into() },
+            if mds {
+                "MDS matchmaking".into()
+            } else {
+                "static list (round-robin)".into()
+            },
             format!("{}/{JOBS}", o.done),
             format!("{}", o.failed_attempts),
             format!("{:.1}", o.mean_wait_min),

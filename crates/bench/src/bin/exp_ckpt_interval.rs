@@ -56,17 +56,17 @@ fn run(interval: Option<Duration>) -> Outcome {
             .with("Arch", "INTEL")
             .with("OpSys", "LINUX"),
     }];
-    let factory = condor_g_suite::condor_g::GlideinFactory::new(
-        sites,
-        collector,
-        tb.proxy.clone(),
-        tb.gass,
-    )
-    .with_ckpt_interval(interval);
-    tb.world.add_component(tb.submit, "glidein-factory", factory);
+    let factory =
+        condor_g_suite::condor_g::GlideinFactory::new(sites, collector, tb.proxy.clone(), tb.gass)
+            .with_ckpt_interval(interval);
+    tb.world
+        .add_component(tb.submit, "glidein-factory", factory);
 
-    let spec =
-        GridJobSpec::pool("long-task", "/home/jane/worker.exe", Duration::from_hours(JOB_HOURS));
+    let spec = GridJobSpec::pool(
+        "long-task",
+        "/home/jane/worker.exe",
+        Duration::from_hours(JOB_HOURS),
+    );
     let console = UserConsole::new(tb.scheduler).submit_many(JOBS, spec);
     let node = tb.submit;
     tb.world.add_component(node, "console", console);

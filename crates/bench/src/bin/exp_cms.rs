@@ -35,7 +35,8 @@ fn main() {
     );
     let node = tb.submit;
     let scheduler = tb.scheduler;
-    tb.world.add_component(node, "dagman", DagMan::new(dag, scheduler));
+    tb.world
+        .add_component(node, "dagman", DagMan::new(dag, scheduler));
     tb.world.run_until(SimTime::ZERO + Duration::from_days(3));
 
     let m = tb.world.metrics();
@@ -50,22 +51,48 @@ fn main() {
         .filter_map(|s| m.histogram(&format!("site.{s}.cpu_seconds")))
         .map(|h| h.sum() / 3600.0)
         .sum();
-    let wisc_jobs = m.histogram("site.wisc.cpu_seconds").map(|h| h.count()).unwrap_or(0);
-    let ncsa_jobs = m.histogram("site.ncsa.cpu_seconds").map(|h| h.count()).unwrap_or(0);
+    let wisc_jobs = m
+        .histogram("site.wisc.cpu_seconds")
+        .map(|h| h.count())
+        .unwrap_or(0);
+    let ncsa_jobs = m
+        .histogram("site.ncsa.cpu_seconds")
+        .map(|h| h.count())
+        .unwrap_or(0);
 
     let mut t = Table::new(&["metric", "measured", "paper"]);
     t.row(&["DAG completed".into(), format!("{success}"), "yes".into()]);
     t.row(&["nodes done".into(), format!("{done}/101"), "101".into()]);
-    t.row(&["events produced".into(), format!("{}", params.total_events()), "50,000".into()]);
+    t.row(&[
+        "events produced".into(),
+        format!("{}", params.total_events()),
+        "50,000".into(),
+    ]);
     t.row(&[
         "event data shipped (GB)".into(),
         format!("{:.1}", m.counter("net.bulk_bytes") as f64 / 1e9),
         format!("~{:.0}", params.total_bytes() as f64 / 1e9),
     ]);
-    t.row(&["CPU-hours".into(), format!("{cpu_hours:.0}"), "~1200".into()]);
-    t.row(&["makespan (hours)".into(), format!("{makespan:.1}"), "<36".into()]);
-    t.row(&["simulations at wisc".into(), format!("{wisc_jobs}"), "100".into()]);
-    t.row(&["reconstructions at ncsa".into(), format!("{ncsa_jobs}"), "1".into()]);
+    t.row(&[
+        "CPU-hours".into(),
+        format!("{cpu_hours:.0}"),
+        "~1200".into(),
+    ]);
+    t.row(&[
+        "makespan (hours)".into(),
+        format!("{makespan:.1}"),
+        "<36".into(),
+    ]);
+    t.row(&[
+        "simulations at wisc".into(),
+        format!("{wisc_jobs}"),
+        "100".into(),
+    ]);
+    t.row(&[
+        "reconstructions at ncsa".into(),
+        format!("{ncsa_jobs}"),
+        "1".into(),
+    ]);
     report(
         "E2: the CMS pipeline (100 sims x 500 events -> GridFTP -> reconstruction)",
         "50,000 events, ~1200 CPU-hours, done in under a day and a half, with strict ordering",

@@ -90,7 +90,11 @@ fn run(policy: Policy) -> Outcome {
         let long = tb.identity.new_proxy(SimTime::ZERO, Duration::from_days(7));
         tb.world.post(
             server,
-            MyProxyRequest::Store { user: "jane".into(), passphrase: 99, credential: long },
+            MyProxyRequest::Store {
+                user: "jane".into(),
+                passphrase: 99,
+                credential: long,
+            },
         );
     }
     // Jobs are 20h: they outlive the 12h proxy, so mid-run staging and the
@@ -100,9 +104,10 @@ fn run(policy: Policy) -> Outcome {
     let mut console = UserConsole::new(tb.scheduler).submit_many(JOBS, spec);
     if policy == Policy::HoldAndEmail {
         // The user reads the email and refreshes ~2h after the hold.
-        let fresh = tb
-            .identity
-            .new_proxy(SimTime::ZERO + Duration::from_hours(14), Duration::from_hours(48));
+        let fresh = tb.identity.new_proxy(
+            SimTime::ZERO + Duration::from_hours(14),
+            Duration::from_hours(48),
+        );
         console.refresh_at = Some((Duration::from_hours(14), fresh));
     }
     let node = tb.submit;

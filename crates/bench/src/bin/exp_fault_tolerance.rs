@@ -66,7 +66,11 @@ fn run(failure: Failure, recovery: bool, seed: u64) -> Outcome {
     let mut tb = build(TestbedConfig {
         seed,
         sites: vec![SiteSpec::pbs("solo", JOBS as u32)],
-        gm: GmConfig { user: "jane".into(), recovery, ..GmConfig::default() },
+        gm: GmConfig {
+            user: "jane".into(),
+            recovery,
+            ..GmConfig::default()
+        },
         ..TestbedConfig::default()
     });
     // 30-minute jobs: they *complete at the site during the outage*, so
@@ -80,7 +84,11 @@ fn run(failure: Failure, recovery: bool, seed: u64) -> Outcome {
 
     // Submit-machine boot hook (class 3 needs it).
     {
-        let sites: Vec<_> = tb.sites.iter().map(|s| (s.name.clone(), s.gatekeeper)).collect();
+        let sites: Vec<_> = tb
+            .sites
+            .iter()
+            .map(|s| (s.name.clone(), s.gatekeeper))
+            .collect();
         let proxy = tb.proxy.clone();
         let gass = tb.gass;
         let mailer = tb.mailer;
@@ -108,14 +116,21 @@ fn run(failure: Failure, recovery: bool, seed: u64) -> Outcome {
                 pool_schedd: None,
                 mailer: Some(mailer),
                 user_addr: None,
-                gm: GmConfig { user: "jane".into(), recovery, ..GmConfig::default() },
+                gm: GmConfig {
+                    user: "jane".into(),
+                    recovery,
+                    ..GmConfig::default()
+                },
                 email_on_termination: false,
             };
             if recovery {
                 b.add_component(
                     "scheduler",
                     condor_g_suite::condor_g::Scheduler::recover(
-                        config, broker, b.store(), b.node(),
+                        config,
+                        broker,
+                        b.store(),
+                        b.node(),
                     ),
                 );
             } else {
@@ -143,7 +158,9 @@ fn run(failure: Failure, recovery: bool, seed: u64) -> Outcome {
             tb.world.crash_node_now(node);
         }
         Failure::NetworkPartition => {
-            tb.world.network_mut().partition(&[node], &[gk_node, cluster]);
+            tb.world
+                .network_mut()
+                .partition(&[node], &[gk_node, cluster]);
         }
     }
     tb.world.run_until(SimTime::ZERO + Duration::from_mins(60));

@@ -49,15 +49,36 @@ fn main() {
     let m = tb.world.metrics();
     println!("\nFigure-1 checklist:");
     let checks = [
-        ("user submit accepted by Scheduler", m.counter("condor_g.submitted") == 1),
-        ("GridManager created, job submitted via 2-phase GRAM", m.counter("gram.submits") == 1),
-        ("commit sent and acknowledged", m.counter("gram.commits") == 1),
-        ("JobManager staged executable via GASS", m.counter("gass.gets") >= 1),
-        ("job queued + run by site scheduler", m.counter("site.completed") == 1),
-        ("stdout streamed back to submit-side GASS", m.counter("gass.write_ats") >= 1),
+        (
+            "user submit accepted by Scheduler",
+            m.counter("condor_g.submitted") == 1,
+        ),
+        (
+            "GridManager created, job submitted via 2-phase GRAM",
+            m.counter("gram.submits") == 1,
+        ),
+        (
+            "commit sent and acknowledged",
+            m.counter("gram.commits") == 1,
+        ),
+        (
+            "JobManager staged executable via GASS",
+            m.counter("gass.gets") >= 1,
+        ),
+        (
+            "job queued + run by site scheduler",
+            m.counter("site.completed") == 1,
+        ),
+        (
+            "stdout streamed back to submit-side GASS",
+            m.counter("gass.write_ats") >= 1,
+        ),
         (
             "persistent queue written",
-            !tb.world.store().keys_with_prefix(node, "condor_g/").is_empty()
+            !tb.world
+                .store()
+                .keys_with_prefix(node, "condor_g/")
+                .is_empty()
                 && !tb.world.store().keys_with_prefix(node, "gm/").is_empty(),
         ),
         ("job Done at the user", m.counter("condor_g.jobs_done") == 1),

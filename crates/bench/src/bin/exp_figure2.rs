@@ -18,8 +18,12 @@ fn main() {
         ..TestbedConfig::default()
     });
     tb.add_glidein_factory(3, Duration::from_hours(6));
-    let spec = GridJobSpec::pool("figure2-job", "/home/jane/worker.exe", Duration::from_hours(1))
-        .with_remote_io(120.0, 32 * 1024);
+    let spec = GridJobSpec::pool(
+        "figure2-job",
+        "/home/jane/worker.exe",
+        Duration::from_hours(1),
+    )
+    .with_remote_io(120.0, 32 * 1024);
     let console = UserConsole::new(tb.scheduler).submit_many(4, spec);
     let node = tb.submit;
     tb.world.add_component(node, "console", console);
@@ -46,13 +50,22 @@ fn main() {
     let m = tb.world.metrics();
     println!("\nFigure-2 checklist:");
     let checks = [
-        ("GlideIns submitted through GRAM", m.counter("glidein.submitted") >= 6),
-        ("glidein daemons came up at both sites", m.counter("glidein.started") >= 6),
+        (
+            "GlideIns submitted through GRAM",
+            m.counter("glidein.submitted") >= 6,
+        ),
+        (
+            "glidein daemons came up at both sites",
+            m.counter("glidein.started") >= 6,
+        ),
         (
             "daemons advertised to the personal Collector",
             m.counter("collector.advertisements") > 0,
         ),
-        ("matchmaking bound jobs to glideins", m.counter("negotiator.matches") >= 4),
+        (
+            "matchmaking bound jobs to glideins",
+            m.counter("negotiator.matches") >= 4,
+        ),
         ("claims activated", m.counter("condor.claims") >= 4),
         (
             "redirected system calls served by shadows",

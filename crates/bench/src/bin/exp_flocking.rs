@@ -44,7 +44,11 @@ fn run_condor_g() -> Outcome {
         ..TestbedConfig::default()
     });
     tb.add_glidein_factory(36, Duration::from_hours(12));
-    let spec = GridJobSpec::pool("task", "/home/jane/worker.exe", Duration::from_hours(JOB_HOURS));
+    let spec = GridJobSpec::pool(
+        "task",
+        "/home/jane/worker.exe",
+        Duration::from_hours(JOB_HOURS),
+    );
     let console = UserConsole::new(tb.scheduler).submit_many(JOBS, spec);
     let node = tb.submit;
     tb.world.add_component(node, "console", console);
@@ -69,7 +73,11 @@ fn run_flocking() -> Outcome {
     let remote = w.add_node("remote-central");
     let submit = w.add_node("submit");
     let home_collector = w.add_component(home, "collector", Collector::new());
-    w.add_component(home, "negotiator", Negotiator::new(home_collector, Duration::from_mins(1)));
+    w.add_component(
+        home,
+        "negotiator",
+        Negotiator::new(home_collector, Duration::from_mins(1)),
+    );
     let remote_collector = w.add_component(remote, "collector", Collector::new());
     w.add_component(
         remote,
@@ -79,7 +87,11 @@ fn run_flocking() -> Outcome {
     let machine_ad = || ClassAd::new().with("Arch", "INTEL").with("OpSys", "LINUX");
     for i in 0..16 {
         let n = w.add_node(&format!("home-exec{i}"));
-        w.add_component(n, "startd", Startd::new(&format!("home{i}"), machine_ad(), home_collector));
+        w.add_component(
+            n,
+            "startd",
+            Startd::new(&format!("home{i}"), machine_ad(), home_collector),
+        );
     }
     for i in 0..32 {
         let n = w.add_node(&format!("remote-exec{i}"));
@@ -120,10 +132,18 @@ fn run_flocking() -> Outcome {
     let makespan = m
         .series("condor.busy_startds")
         .and_then(|s| {
-            s.points().iter().rev().find(|&&(_, v)| v > 0.0).map(|&(t, _)| t.as_hours_f64())
+            s.points()
+                .iter()
+                .rev()
+                .find(|&&(_, v)| v > 0.0)
+                .map(|&(t, _)| t.as_hours_f64())
         })
         .unwrap_or(f64::NAN);
-    Outcome { done, makespan_h: makespan, cpus_reached: 48 }
+    Outcome {
+        done,
+        makespan_h: makespan,
+        cpus_reached: 48,
+    }
 }
 
 fn main() {

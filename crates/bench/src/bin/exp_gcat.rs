@@ -32,7 +32,10 @@ impl Component for Producer {
         }
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, tag: u64) {
-        ctx.send_local(self.gcat, GCatFeed(FileData::bulk(self.bytes_per_burst, tag)));
+        ctx.send_local(
+            self.gcat,
+            GCatFeed(FileData::bulk(self.bytes_per_burst, tag)),
+        );
     }
 }
 
@@ -59,7 +62,14 @@ fn run(wan_loss: f64, wan_bw: f64, seed: u64) -> RunResult {
         "gcat",
         GCat::new(mss, "/mss/jane/g98.out", cred, Duration::from_secs(30)),
     );
-    w.add_component(exec, "gaussian", Producer { gcat, bytes_per_burst: 400_000 });
+    w.add_component(
+        exec,
+        "gaussian",
+        Producer {
+            gcat,
+            bytes_per_burst: 400_000,
+        },
+    );
     let mut timeline = Vec::new();
     for minute in (10..=180).step_by(10) {
         w.run_until(SimTime::ZERO + Duration::from_mins(minute));
@@ -70,7 +80,10 @@ fn run(wan_loss: f64, wan_bw: f64, seed: u64) -> RunResult {
         timeline.push((minute, visible as f64 / 1e6));
     }
     w.run_until(SimTime::ZERO + Duration::from_hours(6));
-    let final_b: u64 = w.store().get(mss_node, "gass/size/mss/jane/g98.out").unwrap_or(0);
+    let final_b: u64 = w
+        .store()
+        .get(mss_node, "gass/size/mss/jane/g98.out")
+        .unwrap_or(0);
     RunResult {
         timeline,
         final_mb: final_b as f64 / 1e6,
@@ -107,12 +120,28 @@ fn main() {
         &t,
     );
     let mut t = Table::new(&["WAN", "final MB at MSS", "chunks", "retries"]);
-    t.row(&["clean (1.25 MB/s)".into(), format!("{:.1}", clean.final_mb), format!("{}", clean.chunks), format!("{}", clean.retries)]);
-    t.row(&["degraded (0.2 MB/s, 5% loss)".into(), format!("{:.1}", rough.final_mb), format!("{}", rough.chunks), format!("{}", rough.retries)]);
+    t.row(&[
+        "clean (1.25 MB/s)".into(),
+        format!("{:.1}", clean.final_mb),
+        format!("{}", clean.chunks),
+        format!("{}", clean.retries),
+    ]);
+    t.row(&[
+        "degraded (0.2 MB/s, 5% loss)".into(),
+        format!("{:.1}", rough.final_mb),
+        format!("{}", rough.chunks),
+        format!("{}", rough.retries),
+    ]);
     println!("{}", t.render());
     assert!((clean.final_mb - 48.0).abs() < 0.1);
-    assert!((rough.final_mb - 48.0).abs() < 0.1, "degraded WAN lost data: {}", rough.final_mb);
+    assert!(
+        (rough.final_mb - 48.0).abs() < 0.1,
+        "degraded WAN lost data: {}",
+        rough.final_mb
+    );
     // Mid-run visibility on both networks.
     assert!(clean.timeline[5].1 > 20.0);
-    println!("reliability: the full 48.0 MB reached MSS on both networks; mid-run reads worked on both.");
+    println!(
+        "reliability: the full 48.0 MB reached MSS on both networks; mid-run reads worked on both."
+    );
 }

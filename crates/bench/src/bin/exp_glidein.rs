@@ -99,7 +99,12 @@ fn run(glidein: bool, congestion_hours: u64, seed: u64) -> Outcome {
     // Makespan: last Done.
     let makespan = m
         .series("condor_g.done_over_time")
-        .map(|ts| ts.points().last().map(|&(t, _)| t.as_hours_f64()).unwrap_or(0.0))
+        .map(|ts| {
+            ts.points()
+                .last()
+                .map(|&(t, _)| t.as_hours_f64())
+                .unwrap_or(0.0)
+        })
         .unwrap_or(tb.world.now().as_hours_f64());
     Outcome {
         mean_wait_mins: s.mean / 60.0,
@@ -151,7 +156,12 @@ impl Component for FloodClient {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: GAddr, msg: AnyMsg) {
         if let Some(reply) = msg.downcast_ref::<GramReply>() {
-            if let GramReply::Submitted { seq, contact, jobmanager } = reply {
+            if let GramReply::Submitted {
+                seq,
+                contact,
+                jobmanager,
+            } = reply
+            {
                 if let Some((job, s)) = self.sessions.get_mut(seq) {
                     use condor_g_suite::gram::client::SubmitAction;
                     if let SubmitAction::SendCommit { jobmanager, .. } = s.on_reply(reply) {
@@ -164,7 +174,9 @@ impl Component for FloodClient {
             return;
         }
         if let Some(JmMsg::Callback { contact, state, .. }) = msg.downcast_ref::<JmMsg>() {
-            let Some(&(job, _)) = self.contacts.get(&contact.0) else { return };
+            let Some(&(job, _)) = self.contacts.get(&contact.0) else {
+                return;
+            };
             match state {
                 condor_g_suite::gram::proto::GramJobState::Active => {
                     if self.winner.contains_key(&job) {
@@ -210,7 +222,11 @@ fn run_flood(congestion_hours: u64, seed: u64) -> Outcome {
     tb.world.add_component(
         bg_node,
         "background",
-        BackgroundLoad { lrm, jobs: 32, each: Duration::from_hours(congestion_hours) / 2 },
+        BackgroundLoad {
+            lrm,
+            jobs: 32,
+            each: Duration::from_hours(congestion_hours) / 2,
+        },
     );
     let gatekeepers = tb.sites.iter().map(|s| s.gatekeeper).collect();
     let node = tb.submit;

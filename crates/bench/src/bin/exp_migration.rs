@@ -49,7 +49,8 @@ fn run(patience: Option<Duration>) -> (u64, u64, f64, f64) {
     });
     let lrm = tb.sites[0].lrm;
     let cluster = tb.sites[0].cluster;
-    tb.world.add_component(cluster, "background", BackgroundLoad { lrm });
+    tb.world
+        .add_component(cluster, "background", BackgroundLoad { lrm });
     let spec = GridJobSpec::grid("task", "/home/jane/app.exe", Duration::from_mins(30));
     let console = UserConsole::new(tb.scheduler).submit_many(JOBS, spec);
     let node = tb.submit;

@@ -14,14 +14,14 @@
 //! all ten sites for a week, a peak well above the average, zero lost or
 //! duplicated tasks despite churn at the desktop pools.
 
-use condor_g_suite::gridsim::prelude::*;
-use condor_g_suite::gridsim::rng::Dist;
-use condor_g_suite::harness::{build, TestbedConfig};
-use condor_g_suite::harness::paper_sites;
-use condor_g_suite::workloads::stats::Table;
-use condor_g_suite::workloads::{MwConfig, MwMaster};
 use condor_g_suite::condor_g::api::Universe;
 use condor_g_suite::condor_g::gridmanager::GmConfig;
+use condor_g_suite::gridsim::prelude::*;
+use condor_g_suite::gridsim::rng::Dist;
+use condor_g_suite::harness::paper_sites;
+use condor_g_suite::harness::{build, TestbedConfig};
+use condor_g_suite::workloads::stats::Table;
+use condor_g_suite::workloads::{MwConfig, MwMaster};
 
 fn main() {
     let sites = paper_sites();
@@ -50,7 +50,10 @@ fn main() {
             target_outstanding: 1050,
             total_tasks: None, // unbounded: branch-and-bound never starves
             // LAP-batch service times: heavy-tailed, ~1.3h mean.
-            task_runtime: Dist::LogNormal { median: 3600.0, sigma: 0.7 },
+            task_runtime: Dist::LogNormal {
+                median: 3600.0,
+                sigma: 0.7,
+            },
             universe: Universe::Pool,
             io_interval_secs: Some(1800.0),
             io_bytes: 64 * 1024,
@@ -74,18 +77,49 @@ fn main() {
 
     println!();
     let mut t = Table::new(&["metric", "measured", "paper"]);
-    t.row(&["duration (days)".into(), format!("{:.1}", end.as_secs_f64() / 86400.0), "<7".into()]);
-    t.row(&["CPU-hours delivered".into(), format!("{cpu_hours:.0}"), "95,000".into()]);
-    t.row(&["avg processors active".into(), format!("{avg:.0}"), "653".into()]);
-    t.row(&["peak processors active".into(), format!("{peak:.0}"), "1007".into()]);
-    t.row(&["worker tasks completed".into(), format!("{tasks}"), "(540e9 LAPs total)".into()]);
-    t.row(&["glideins started".into(), format!("{}", m.counter("glidein.started")), "-".into()]);
     t.row(&[
-        "preemptions survived".into(),
-        format!("{}", m.counter("condor.vacated") + m.counter("site.vacated")),
+        "duration (days)".into(),
+        format!("{:.1}", end.as_secs_f64() / 86400.0),
+        "<7".into(),
+    ]);
+    t.row(&[
+        "CPU-hours delivered".into(),
+        format!("{cpu_hours:.0}"),
+        "95,000".into(),
+    ]);
+    t.row(&[
+        "avg processors active".into(),
+        format!("{avg:.0}"),
+        "653".into(),
+    ]);
+    t.row(&[
+        "peak processors active".into(),
+        format!("{peak:.0}"),
+        "1007".into(),
+    ]);
+    t.row(&[
+        "worker tasks completed".into(),
+        format!("{tasks}"),
+        "(540e9 LAPs total)".into(),
+    ]);
+    t.row(&[
+        "glideins started".into(),
+        format!("{}", m.counter("glidein.started")),
         "-".into(),
     ]);
-    t.row(&["checkpoints".into(), format!("{}", m.counter("condor.checkpoints")), "-".into()]);
+    t.row(&[
+        "preemptions survived".into(),
+        format!(
+            "{}",
+            m.counter("condor.vacated") + m.counter("site.vacated")
+        ),
+        "-".into(),
+    ]);
+    t.row(&[
+        "checkpoints".into(),
+        format!("{}", m.counter("condor.checkpoints")),
+        "-".into(),
+    ]);
     t.row(&[
         "tasks lost or duplicated".into(),
         format!(
@@ -102,11 +136,11 @@ fn main() {
 
     println!("per-site delivered CPU (glidein allocations occupying site slots):");
     let mut t = Table::new(&["site", "cpus", "avg busy", "utilization %"]);
-    for (name, spec_cpus) in site_names.iter().zip(
-        paper_sites().iter().map(|s| s.cpus),
-    ) {
+    for (name, spec_cpus) in site_names.iter().zip(paper_sites().iter().map(|s| s.cpus)) {
         let s = tb.world.metrics().series(&format!("site.{name}.busy"));
-        let avg = s.map(|s| s.time_weighted_mean(SimTime::ZERO, end)).unwrap_or(0.0);
+        let avg = s
+            .map(|s| s.time_weighted_mean(SimTime::ZERO, end))
+            .unwrap_or(0.0);
         t.row(&[
             name.clone(),
             format!("{spec_cpus}"),

@@ -20,8 +20,8 @@ use condor_g_suite::gridsim::{AnyMsg, Config, World};
 use condor_g_suite::gsi::{CertificateAuthority, GridMap, ProxyCredential};
 use condor_g_suite::site::policy::Fifo;
 use condor_g_suite::site::Lrm;
-use workloads::stats::Table;
 use std::collections::BTreeMap;
+use workloads::stats::Table;
 
 const JOBS: u64 = 200;
 
@@ -146,7 +146,13 @@ fn run(loss: f64, two_phase: bool, retry: bool, seed: u64) -> Outcome {
 
 fn main() {
     let mut table = Table::new(&[
-        "loss %", "protocol", "submitted", "executed", "lost", "duplicates", "exactly-once",
+        "loss %",
+        "protocol",
+        "submitted",
+        "executed",
+        "lost",
+        "duplicates",
+        "exactly-once",
     ]);
     for loss in [0.0, 0.05, 0.10, 0.20, 0.30] {
         let rows: Vec<(&str, bool, bool)> = vec![

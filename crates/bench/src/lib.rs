@@ -45,7 +45,9 @@ pub fn replicate<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> 
         }
     })
     .expect("replication threads");
-    out.into_iter().map(|v| v.expect("thread filled slot")).collect()
+    out.into_iter()
+        .map(|v| v.expect("thread filled slot"))
+        .collect()
 }
 
 #[cfg(test)]

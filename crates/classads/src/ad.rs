@@ -84,7 +84,9 @@ impl ClassAd {
     /// Remove an attribute; returns whether it existed.
     pub fn remove(&mut self, name: &str) -> bool {
         let key = name.to_ascii_lowercase();
-        let Some(pos) = self.index.remove(&key) else { return false };
+        let Some(pos) = self.index.remove(&key) else {
+            return false;
+        };
         self.entries.remove(pos);
         // Re-index everything after the removed slot.
         for (i, (n, _)) in self.entries.iter().enumerate().skip(pos) {

@@ -30,7 +30,10 @@ pub struct EvalCtx<'a> {
 impl<'a> EvalCtx<'a> {
     /// Context for evaluating `my` against `target`.
     pub fn matching(my: &'a ClassAd, target: &'a ClassAd) -> EvalCtx<'a> {
-        EvalCtx { my, target: Some(target) }
+        EvalCtx {
+            my,
+            target: Some(target),
+        }
     }
 
     /// Context with no target ad (plain attribute evaluation).
@@ -103,13 +106,15 @@ impl<'a> EvalCtx<'a> {
                 _ => Value::Error,
             },
             Expr::Call(name, args) => {
-                let vals: Vec<Value> =
-                    args.iter().map(|a| self.eval_depth(a, depth + 1)).collect();
+                let vals: Vec<Value> = args.iter().map(|a| self.eval_depth(a, depth + 1)).collect();
                 funcs::call(name, &vals)
             }
-            Expr::List(items) => {
-                Value::List(items.iter().map(|e| self.eval_depth(e, depth + 1)).collect())
-            }
+            Expr::List(items) => Value::List(
+                items
+                    .iter()
+                    .map(|e| self.eval_depth(e, depth + 1))
+                    .collect(),
+            ),
         }
     }
 
@@ -309,10 +314,7 @@ pub fn rank(a: &ClassAd, b: &ClassAd) -> f64 {
         Some(r) => match EvalCtx::matching(a, b).eval(r) {
             Value::Int(i) => i as f64,
             Value::Real(f) => f,
-            Value::Bool(bv)
-                if bv => {
-                    1.0
-                }
+            Value::Bool(bv) if bv => 1.0,
             _ => 0.0,
         },
     }
@@ -395,7 +397,10 @@ mod tests {
         // MY wins for shared names.
         assert_eq!(ctx.eval(&parse_expr("Common").unwrap()), Value::Int(10));
         assert_eq!(ctx.eval(&parse_expr("MY.Common").unwrap()), Value::Int(10));
-        assert_eq!(ctx.eval(&parse_expr("TARGET.Common").unwrap()), Value::Int(20));
+        assert_eq!(
+            ctx.eval(&parse_expr("TARGET.Common").unwrap()),
+            Value::Int(20)
+        );
         assert_eq!(ctx.eval(&parse_expr("TARGET.X").unwrap()), Value::Undefined);
     }
 
@@ -415,9 +420,7 @@ mod tests {
 
     #[test]
     fn cycles_error_out() {
-        let ad = ClassAd::new()
-            .with_parsed("A", "B")
-            .with_parsed("B", "A");
+        let ad = ClassAd::new().with_parsed("A", "B").with_parsed("B", "A");
         assert_eq!(ad.eval_attr("A"), Value::Error);
         let selfref = ClassAd::new().with_parsed("X", "X + 1");
         assert_eq!(selfref.eval_attr("X"), Value::Error);

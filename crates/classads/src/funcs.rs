@@ -27,13 +27,21 @@ pub fn call(name: &str, args: &[Value]) -> Value {
             Value::Int(i) => Value::Int(*i),
             Value::Real(r) if r.is_finite() => Value::Int(*r as i64),
             Value::Bool(b) => Value::Int(*b as i64),
-            Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Error),
+            Value::Str(s) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Error),
             _ => Value::Error,
         }),
         "real" => arity1(args, |v| match v {
             Value::Int(i) => Value::Real(*i as f64),
             Value::Real(r) => Value::Real(*r),
-            Value::Str(s) => s.trim().parse::<f64>().map(Value::Real).unwrap_or(Value::Error),
+            Value::Str(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Real)
+                .unwrap_or(Value::Error),
             _ => Value::Error,
         }),
         "string" => arity1(args, |v| match v {
@@ -66,9 +74,7 @@ pub fn call(name: &str, args: &[Value]) -> Value {
             for a in args {
                 match a {
                     Value::Str(s) => out.push_str(s),
-                    Value::Int(_) | Value::Real(_) | Value::Bool(_) => {
-                        out.push_str(&a.to_string())
-                    }
+                    Value::Int(_) | Value::Real(_) | Value::Bool(_) => out.push_str(&a.to_string()),
                     _ => return Value::Error,
                 }
             }
@@ -115,9 +121,7 @@ pub fn call(name: &str, args: &[Value]) -> Value {
                 _ => return Value::Error,
             };
             match split_list(args, 1) {
-                Some(items) => {
-                    Value::Bool(items.iter().any(|x| x.eq_ignore_ascii_case(item)))
-                }
+                Some(items) => Value::Bool(items.iter().any(|x| x.eq_ignore_ascii_case(item))),
                 None => Value::Error,
             }
         }
@@ -137,7 +141,9 @@ pub fn call(name: &str, args: &[Value]) -> Value {
             }
         }
         "member" => {
-            let [item, Value::List(list)] = args else { return Value::Error };
+            let [item, Value::List(list)] = args else {
+                return Value::Error;
+            };
             Value::Bool(list.iter().any(|x| x.loose_eq(item) == Some(true)))
         }
 
@@ -247,9 +253,18 @@ mod tests {
         assert_eq!(call("ceiling", &[Value::Real(2.1)]), Value::Int(3));
         assert_eq!(call("round", &[Value::Real(2.5)]), Value::Int(3));
         assert_eq!(call("abs", &[Value::Int(-4)]), Value::Int(4));
-        assert_eq!(call("min", &[Value::Int(3), Value::Int(1), Value::Int(2)]), Value::Int(1));
-        assert_eq!(call("max", &[Value::Int(1), Value::Real(2.5)]), Value::Real(2.5));
-        assert_eq!(call("pow", &[Value::Int(2), Value::Int(10)]), Value::Real(1024.0));
+        assert_eq!(
+            call("min", &[Value::Int(3), Value::Int(1), Value::Int(2)]),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call("max", &[Value::Int(1), Value::Real(2.5)]),
+            Value::Real(2.5)
+        );
+        assert_eq!(
+            call("pow", &[Value::Int(2), Value::Int(10)]),
+            Value::Real(1024.0)
+        );
     }
 
     #[test]
@@ -258,7 +273,10 @@ mod tests {
         assert_eq!(call("size", &[s("hello")]), Value::Int(5));
         assert_eq!(call("toUpper", &[s("pbs")]), s("PBS"));
         assert_eq!(call("toLower", &[s("LSF")]), s("lsf"));
-        assert_eq!(call("substr", &[s("gatekeeper"), Value::Int(4)]), s("keeper"));
+        assert_eq!(
+            call("substr", &[s("gatekeeper"), Value::Int(4)]),
+            s("keeper")
+        );
         assert_eq!(
             call("substr", &[s("gatekeeper"), Value::Int(0), Value::Int(4)]),
             s("gate")
@@ -278,24 +296,30 @@ mod tests {
             Value::Bool(false)
         );
         assert_eq!(call("stringListSize", &[s("a, b, c")]), Value::Int(3));
-        assert_eq!(
-            call("stringListSize", &[s("a|b"), s("|")]),
-            Value::Int(2)
-        );
+        assert_eq!(call("stringListSize", &[s("a|b"), s("|")]), Value::Int(2));
     }
 
     #[test]
     fn misc() {
         assert_eq!(
-            call("ifThenElse", &[Value::Bool(true), Value::Int(1), Value::Int(2)]),
+            call(
+                "ifThenElse",
+                &[Value::Bool(true), Value::Int(1), Value::Int(2)]
+            ),
             Value::Int(1)
         );
         assert_eq!(
-            call("ifThenElse", &[Value::Undefined, Value::Int(1), Value::Int(2)]),
+            call(
+                "ifThenElse",
+                &[Value::Undefined, Value::Int(1), Value::Int(2)]
+            ),
             Value::Undefined
         );
         let list = Value::List(vec![Value::Int(1), Value::Int(2)]);
-        assert_eq!(call("member", &[Value::Int(2), list.clone()]), Value::Bool(true));
+        assert_eq!(
+            call("member", &[Value::Int(2), list.clone()]),
+            Value::Bool(true)
+        );
         assert_eq!(call("member", &[Value::Int(5), list]), Value::Bool(false));
         assert_eq!(call("nosuchfunction", &[]), Value::Error);
     }

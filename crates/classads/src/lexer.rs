@@ -404,7 +404,11 @@ mod tests {
         let toks = lex("MY.Memory").unwrap();
         assert_eq!(
             toks,
-            vec![Token::Ident("MY".into()), Token::Dot, Token::Ident("Memory".into())]
+            vec![
+                Token::Ident("MY".into()),
+                Token::Dot,
+                Token::Ident("Memory".into())
+            ]
         );
     }
 

@@ -23,7 +23,9 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { message: e.to_string() }
+        ParseError {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -233,7 +235,11 @@ impl Parser {
                             })
                         }
                     };
-                    let scope = if lower == "my" { Scope::My } else { Scope::Target };
+                    let scope = if lower == "my" {
+                        Scope::My
+                    } else {
+                        Scope::Target
+                    };
                     return Ok(Expr::Attr(scope, attr));
                 }
                 // Function call?
@@ -252,7 +258,9 @@ impl Parser {
                 }
                 Ok(Expr::Attr(Scope::Unqualified, name))
             }
-            other => Err(ParseError { message: format!("unexpected token {other:?}") }),
+            other => Err(ParseError {
+                message: format!("unexpected token {other:?}"),
+            }),
         }
     }
 }
@@ -313,7 +321,10 @@ mod tests {
     fn keywords_case_insensitive() {
         assert_eq!(parse_expr("TRUE").unwrap(), Expr::lit(true));
         assert_eq!(parse_expr("False").unwrap(), Expr::lit(false));
-        assert_eq!(parse_expr("Undefined").unwrap(), Expr::Lit(Value::Undefined));
+        assert_eq!(
+            parse_expr("Undefined").unwrap(),
+            Expr::Lit(Value::Undefined)
+        );
         assert_eq!(parse_expr("ERROR").unwrap(), Expr::Lit(Value::Error));
     }
 
@@ -352,7 +363,10 @@ mod tests {
     fn ad_parsing() {
         let ad = parse_ad("[ A = 1; B = \"x\"; Requirements = TARGET.Y > A ]").unwrap();
         assert_eq!(ad.len(), 3);
-        assert!(ad.get("a").is_some(), "attribute lookup is case-insensitive");
+        assert!(
+            ad.get("a").is_some(),
+            "attribute lookup is case-insensitive"
+        );
         assert!(ad.get("REQUIREMENTS").is_some());
     }
 

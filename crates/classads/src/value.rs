@@ -257,7 +257,10 @@ mod tests {
 
     #[test]
     fn ordering() {
-        assert_eq!(Value::Int(1).loose_cmp(&Value::Real(2.0)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(1).loose_cmp(&Value::Real(2.0)),
+            Some(Ordering::Less)
+        );
         assert_eq!(
             Value::from("abc").loose_cmp(&Value::from("ABD")),
             Some(Ordering::Less)

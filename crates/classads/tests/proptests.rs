@@ -24,30 +24,31 @@ fn arb_value() -> impl Strategy<Value = Value> {
 fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         arb_value().prop_map(Expr::Lit),
-        "[a-zA-Z_][a-zA-Z0-9_]{0,8}".prop_filter("not a keyword", |s| {
-            !matches!(
-                s.to_ascii_lowercase().as_str(),
-                "true" | "false" | "undefined" | "error" | "my" | "target"
-            )
-        })
-        .prop_map(|s| Expr::attr(&s)),
+        "[a-zA-Z_][a-zA-Z0-9_]{0,8}"
+            .prop_filter("not a keyword", |s| {
+                !matches!(
+                    s.to_ascii_lowercase().as_str(),
+                    "true" | "false" | "undefined" | "error" | "my" | "target"
+                )
+            })
+            .prop_map(|s| Expr::attr(&s)),
         "[a-zA-Z_][a-zA-Z0-9_]{0,8}".prop_map(|s| Expr::my(&s)),
         "[a-zA-Z_][a-zA-Z0-9_]{0,8}".prop_map(|s| Expr::target(&s)),
     ];
     leaf.prop_recursive(4, 48, 4, |inner| {
         prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| {
-                Expr::Binary(op, Box::new(a), Box::new(b))
-            }),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, a, b)| {
-                Expr::Cond(Box::new(c), Box::new(a), Box::new(b))
-            }),
+            (arb_binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| { Expr::Binary(op, Box::new(a), Box::new(b)) }),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| { Expr::Cond(Box::new(c), Box::new(a), Box::new(b)) }),
             inner
                 .clone()
                 .prop_map(|e| Expr::Unary(classads::UnOp::Not, Box::new(e))),
             prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::List),
-            (prop::sample::select(vec!["strcat", "min", "isUndefined"]),
-             prop::collection::vec(inner, 0..3))
+            (
+                prop::sample::select(vec!["strcat", "min", "isUndefined"]),
+                prop::collection::vec(inner, 0..3)
+            )
                 .prop_map(|(name, args)| Expr::Call(name.to_string(), args)),
         ]
     })

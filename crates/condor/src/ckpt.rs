@@ -58,7 +58,13 @@ impl Component for CkptServer {
         }
         if let Ok(fetch) = msg.downcast::<FetchCkpt>() {
             let done_work = self.images.get(&fetch.global_id).map(|&(w, _)| w);
-            ctx.send(from, CkptImage { request_id: fetch.request_id, done_work });
+            ctx.send(
+                from,
+                CkptImage {
+                    request_id: fetch.request_id,
+                    done_work,
+                },
+            );
         }
     }
 }
@@ -89,8 +95,20 @@ mod tests {
             ctx.set_timer(Duration::from_mins(1), 0);
         }
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, _tag: u64) {
-            ctx.send(self.server, FetchCkpt { request_id: 9, global_id: "schedd1#1".into() });
-            ctx.send(self.server, FetchCkpt { request_id: 10, global_id: "nope".into() });
+            ctx.send(
+                self.server,
+                FetchCkpt {
+                    request_id: 9,
+                    global_id: "schedd1#1".into(),
+                },
+            );
+            ctx.send(
+                self.server,
+                FetchCkpt {
+                    request_id: 10,
+                    global_id: "nope".into(),
+                },
+            );
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
             if let Ok(img) = msg.downcast::<CkptImage>() {

@@ -34,7 +34,11 @@ impl Component for Collector {
             ctx.metrics().incr("collector.advertisements", 1);
             self.tables.insert(
                 (ad.kind, ad.name.clone()),
-                Entry { contact: ad.contact, ad: ad.ad.clone(), expires: ctx.now() + ad.ttl },
+                Entry {
+                    contact: ad.contact,
+                    ad: ad.ad.clone(),
+                    expires: ctx.now() + ad.ttl,
+                },
             );
             return;
         }
@@ -42,14 +46,26 @@ impl Component for Collector {
             self.tables.remove(&(inv.kind, inv.name.clone()));
             return;
         }
-        let Ok(query) = msg.downcast::<CollectorQuery>() else { return };
-        let CollectorQuery { request_id, kind, constraint } = *query;
+        let Ok(query) = msg.downcast::<CollectorQuery>() else {
+            return;
+        };
+        let CollectorQuery {
+            request_id,
+            kind,
+            constraint,
+        } = *query;
         let now = ctx.now();
         self.tables.retain(|_, e| e.expires > now);
         let expr = match classads::parse_expr(&constraint) {
             Ok(e) => e,
             Err(_) => {
-                ctx.send(from, CollectorAds { request_id, ads: Vec::new() });
+                ctx.send(
+                    from,
+                    CollectorAds {
+                        request_id,
+                        ads: Vec::new(),
+                    },
+                );
                 return;
             }
         };
@@ -83,7 +99,9 @@ mod tests {
                 Advertise {
                     kind: AdKind::Machine,
                     name: "m1".into(),
-                    ad: ClassAd::new().with("State", "Unclaimed").with("Memory", 64i64),
+                    ad: ClassAd::new()
+                        .with("State", "Unclaimed")
+                        .with("Memory", 64i64),
                     ttl: Duration::from_mins(5),
                     contact: me,
                 },
@@ -93,7 +111,9 @@ mod tests {
                 Advertise {
                     kind: AdKind::Machine,
                     name: "m2".into(),
-                    ad: ClassAd::new().with("State", "Claimed").with("Memory", 128i64),
+                    ad: ClassAd::new()
+                        .with("State", "Claimed")
+                        .with("Memory", 128i64),
                     ttl: Duration::from_mins(5),
                     contact: me,
                 },
@@ -144,7 +164,14 @@ mod tests {
         let nc = w.add_node("central");
         let nd = w.add_node("driver");
         let collector = w.add_component(nc, "collector", Collector::new());
-        w.add_component(nd, "driver", Driver { collector, script: 0 });
+        w.add_component(
+            nd,
+            "driver",
+            Driver {
+                collector,
+                script: 0,
+            },
+        );
         w.run_until_quiescent();
         let names: Vec<String> = w.store().get(nd, "result").unwrap();
         assert_eq!(names, vec!["m1"]);
@@ -156,7 +183,14 @@ mod tests {
         let nc = w.add_node("central");
         let nd = w.add_node("driver");
         let collector = w.add_component(nc, "collector", Collector::new());
-        w.add_component(nd, "driver", Driver { collector, script: 1 });
+        w.add_component(
+            nd,
+            "driver",
+            Driver {
+                collector,
+                script: 1,
+            },
+        );
         w.run_until_quiescent();
         let names: Vec<String> = w.store().get(nd, "result").unwrap();
         assert!(names.is_empty(), "stale ads served: {names:?}");

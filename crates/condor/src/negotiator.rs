@@ -46,13 +46,21 @@ impl Negotiator {
     /// A matchmaker for the pool rooted at `collector`, cycling every
     /// `period`.
     pub fn new(collector: Addr, period: Duration) -> Negotiator {
-        Negotiator { collector, period, cycle: 0, phase: Phase::Idle }
+        Negotiator {
+            collector,
+            period,
+            cycle: 0,
+            phase: Phase::Idle,
+        }
     }
 
     fn start_cycle(&mut self, ctx: &mut Ctx<'_>) {
         self.cycle += 1;
         ctx.metrics().incr("negotiator.cycles", 1);
-        self.phase = Phase::Collecting { machines: None, submitters: None };
+        self.phase = Phase::Collecting {
+            machines: None,
+            submitters: None,
+        };
         ctx.send(
             self.collector,
             CollectorQuery {
@@ -73,8 +81,16 @@ impl Negotiator {
     }
 
     fn maybe_negotiate(&mut self, ctx: &mut Ctx<'_>) {
-        let Phase::Collecting { machines, submitters } = &mut self.phase else { return };
-        let (Some(_), Some(_)) = (machines.as_ref(), submitters.as_ref()) else { return };
+        let Phase::Collecting {
+            machines,
+            submitters,
+        } = &mut self.phase
+        else {
+            return;
+        };
+        let (Some(_), Some(_)) = (machines.as_ref(), submitters.as_ref()) else {
+            return;
+        };
         let machines = machines.take().unwrap();
         let submitters = submitters.take().unwrap();
         if machines.is_empty() || submitters.is_empty() {
@@ -85,7 +101,11 @@ impl Negotiator {
         for (_, schedd, _) in &submitters {
             ctx.send(*schedd, NegotiationRequest { cycle: self.cycle });
         }
-        self.phase = Phase::Negotiating { machines, outstanding, jobs: Vec::new() };
+        self.phase = Phase::Negotiating {
+            machines,
+            outstanding,
+            jobs: Vec::new(),
+        };
     }
 
     fn finish_cycle(&mut self, ctx: &mut Ctx<'_>) {
@@ -112,7 +132,14 @@ impl Negotiator {
                 let (name, startd, machine_ad) = free.remove(i);
                 matched += 1;
                 ctx.trace("negotiator.match", format!("{job} -> {name}"));
-                ctx.send(schedd, MatchNotify { job, startd, machine_ad });
+                ctx.send(
+                    schedd,
+                    MatchNotify {
+                        job,
+                        startd,
+                        machine_ad,
+                    },
+                );
             }
         }
         ctx.metrics().incr("negotiator.matches", matched);
@@ -138,7 +165,11 @@ impl Component for Negotiator {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
         if msg.is::<CollectorAds>() {
             let ads = msg.downcast::<CollectorAds>().expect("checked");
-            if let Phase::Collecting { machines, submitters } = &mut self.phase {
+            if let Phase::Collecting {
+                machines,
+                submitters,
+            } = &mut self.phase
+            {
                 match ads.request_id {
                     REQ_MACHINES => *machines = Some(ads.ads),
                     REQ_SUBMITTERS => *submitters = Some(ads.ads),
@@ -152,7 +183,10 @@ impl Component for Negotiator {
             if idle.cycle != self.cycle {
                 return; // stale answer from a previous cycle
             }
-            if let Phase::Negotiating { outstanding, jobs, .. } = &mut self.phase {
+            if let Phase::Negotiating {
+                outstanding, jobs, ..
+            } = &mut self.phase
+            {
                 for (id, ad) in idle.jobs {
                     jobs.push((from, id, ad));
                 }

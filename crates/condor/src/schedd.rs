@@ -69,20 +69,24 @@ impl Schedd {
     /// were Running return to Idle (their shadows died with the machine)
     /// but keep their checkpointed progress. Terminal jobs stay on disk as
     /// history and are not reloaded into the live queue.
-    pub fn recover(name: &str, collectors: Vec<Addr>, store: &gridsim::store::StableStore, node: NodeId) -> Schedd {
+    pub fn recover(
+        name: &str,
+        collectors: Vec<Addr>,
+        store: &gridsim::store::StableStore,
+        node: NodeId,
+    ) -> Schedd {
         let mut schedd = Schedd::new(name, collectors);
         let prefix = schedd.job_key_prefix();
         for key in store.keys_with_prefix(node, &prefix) {
-            let Some(rec) = store.get::<JobRecDisk>(node, &key) else { continue };
+            let Some(rec) = store.get::<JobRecDisk>(node, &key) else {
+                continue;
+            };
             schedd.next_id = schedd.next_id.max(rec.id + 1);
             let state = match rec.state {
                 PoolJobState::Running => PoolJobState::Idle,
                 s => s,
             };
-            if matches!(
-                state,
-                PoolJobState::Completed | PoolJobState::Removed
-            ) {
+            if matches!(state, PoolJobState::Completed | PoolJobState::Removed) {
                 continue;
             }
             schedd.jobs.insert(
@@ -130,7 +134,11 @@ impl Schedd {
         let rec = &self.jobs[&job];
         ctx.send(
             rec.submitter,
-            PoolJobEvent { job, state: rec.state, at: ctx.now() },
+            PoolJobEvent {
+                job,
+                state: rec.state,
+                at: ctx.now(),
+            },
         );
     }
 
@@ -194,7 +202,13 @@ impl Component for Schedd {
                 },
             );
             self.persist_job(ctx, job);
-            ctx.send(from, PoolSubmitted { client_id: submit.client_id, job });
+            ctx.send(
+                from,
+                PoolSubmitted {
+                    client_id: submit.client_id,
+                    job,
+                },
+            );
             self.notify(ctx, job);
             return;
         }
@@ -205,13 +219,21 @@ impl Component for Schedd {
                 .filter(|(_, r)| r.state == PoolJobState::Idle)
                 .map(|(id, r)| (*id, r.ad.clone()))
                 .collect();
-            ctx.send(from, IdleJobs { cycle: req.cycle, jobs });
+            ctx.send(
+                from,
+                IdleJobs {
+                    cycle: req.cycle,
+                    jobs,
+                },
+            );
             return;
         }
         if let Some(m) = msg.downcast_ref::<MatchNotify>() {
             let name = self.name.clone();
             let me = ctx.self_addr();
-            let Some(rec) = self.jobs.get_mut(&m.job) else { return };
+            let Some(rec) = self.jobs.get_mut(&m.job) else {
+                return;
+            };
             if rec.state != PoolJobState::Idle {
                 return; // raced with another pool's negotiator (flocking)
             }
@@ -303,7 +325,13 @@ mod tests {
     impl Component for User {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             for (i, ad) in self.jobs.drain(..).enumerate() {
-                ctx.send(self.schedd, PoolSubmit { client_id: i as u64, ad });
+                ctx.send(
+                    self.schedd,
+                    PoolSubmit {
+                        client_id: i as u64,
+                        ad,
+                    },
+                );
             }
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
@@ -311,7 +339,10 @@ mod tests {
                 self.ids.insert(sub.job.0, sub.client_id);
             } else if let Some(ev) = msg.downcast_ref::<PoolJobEvent>() {
                 let client = self.ids.get(&ev.job.0).copied().unwrap_or(u64::MAX);
-                self.events.entry(client).or_default().push(format!("{:?}", ev.state));
+                self.events
+                    .entry(client)
+                    .or_default()
+                    .push(format!("{:?}", ev.state));
                 let node = ctx.node();
                 let flat: Vec<(u64, Vec<String>)> =
                     self.events.iter().map(|(k, v)| (*k, v.clone())).collect();
@@ -343,9 +374,9 @@ mod tests {
             let n = w.add_node(&format!("exec{i}"));
             let mut startd = Startd::new(&format!("exec{i}"), machine_ad(), collector);
             if let Some(m) = &owner_model {
-                startd = startd.with_owner_model(m.clone()).with_ckpt_interval(Some(
-                    Duration::from_mins(5),
-                ));
+                startd = startd
+                    .with_owner_model(m.clone())
+                    .with_ckpt_interval(Some(Duration::from_mins(5)));
             }
             w.add_component(n, "startd", startd);
         }
@@ -353,9 +384,11 @@ mod tests {
     }
 
     fn events_for(w: &World, node: NodeId, client: u64) -> Vec<String> {
-        let flat: Vec<(u64, Vec<String>)> =
-            w.store().get(node, "pool_events").unwrap_or_default();
-        flat.into_iter().find(|(k, _)| *k == client).map(|(_, v)| v).unwrap_or_default()
+        let flat: Vec<(u64, Vec<String>)> = w.store().get(node, "pool_events").unwrap_or_default();
+        flat.into_iter()
+            .find(|(k, _)| *k == client)
+            .map(|(_, v)| v)
+            .unwrap_or_default()
     }
 
     #[test]
@@ -377,7 +410,11 @@ mod tests {
         w.run_until(SimTime::ZERO + Duration::from_hours(6));
         for c in 0..6 {
             let evs = events_for(&w, ns, c);
-            assert_eq!(evs.last().map(String::as_str), Some("Completed"), "job {c}: {evs:?}");
+            assert_eq!(
+                evs.last().map(String::as_str),
+                Some("Completed"),
+                "job {c}: {evs:?}"
+            );
         }
         assert_eq!(w.metrics().counter("schedd.completed"), 6);
         // 6 jobs × 30 min on 3 machines ≥ 1 hour; matches took ≥2 cycles.
@@ -416,7 +453,10 @@ mod tests {
             w.metrics().counter("schedd.vacated"),
             w.metrics().counter("condor.checkpoints"),
         );
-        assert!(w.metrics().counter("condor.vacated") > 0, "no preemption happened");
+        assert!(
+            w.metrics().counter("condor.vacated") > 0,
+            "no preemption happened"
+        );
         assert!(w.metrics().counter("condor.checkpoints") > 0);
         // Conservation: total machine-busy time across every attempt must
         // cover the total work at least once (re-done work after a vacate
@@ -429,7 +469,10 @@ mod tests {
             .expect("busy gauge")
             .integral(SimTime::ZERO, w.now());
         let vacates = w.metrics().counter("condor.vacated") as f64;
-        assert!(busy >= total_work * 0.999, "busy {busy} < work {total_work}");
+        assert!(
+            busy >= total_work * 0.999,
+            "busy {busy} < work {total_work}"
+        );
         let max_waste = vacates * (5.0 * 60.0) + 1.0;
         assert!(
             busy <= total_work + max_waste,
@@ -482,7 +525,10 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
                 ctx.send(
                     self.schedd,
-                    PoolSubmit { client_id: 0, ad: super::tests::job_ad(100_000) },
+                    PoolSubmit {
+                        client_id: 0,
+                        ad: super::tests::job_ad(100_000),
+                    },
                 );
                 ctx.set_timer(Duration::from_mins(30), 0);
             }

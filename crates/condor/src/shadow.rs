@@ -54,8 +54,7 @@ impl Shadow {
         done_work: Duration,
         startd: Addr,
     ) -> Shadow {
-        let total_work =
-            Duration::from_secs_f64(job_ad.get_real("TotalWork").unwrap_or(1.0));
+        let total_work = Duration::from_secs_f64(job_ad.get_real("TotalWork").unwrap_or(1.0));
         Shadow {
             schedd,
             job,
@@ -83,7 +82,10 @@ impl Component for Shadow {
         self.last_heard = ctx.now();
         ctx.send(
             self.startd,
-            RequestClaim { job_ad: self.job_ad.clone(), job: self.job },
+            RequestClaim {
+                job_ad: self.job_ad.clone(),
+                job: self.job,
+            },
         );
         ctx.set_timer(Duration::from_mins(5), TAG_CLAIM_TIMEOUT);
     }
@@ -107,7 +109,10 @@ impl Component for Shadow {
                         let done_work = self.done_work;
                         self.finish(
                             ctx,
-                            ShadowReport::Vacated { job: self.job, done_work },
+                            ShadowReport::Vacated {
+                                job: self.job,
+                                done_work,
+                            },
                         );
                     } else {
                         ctx.set_timer(self.watchdog, TAG_WATCHDOG);

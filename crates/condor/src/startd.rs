@@ -199,7 +199,9 @@ impl Startd {
 
     fn do_checkpoint(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
-        let State::Busy(run) = &mut self.state else { return };
+        let State::Busy(run) = &mut self.state else {
+            return;
+        };
         let done = Startd::progress(run, now);
         run.ckpt_work = done;
         let image_bytes = 8_000_000; // a paper-era checkpoint image
@@ -211,7 +213,9 @@ impl Startd {
         };
         ctx.metrics().incr("condor.checkpoints", 1);
         let shadow = run.shadow;
-        let next = self.ckpt_interval.map(|every| ctx.set_timer(every, TAG_CKPT));
+        let next = self
+            .ckpt_interval
+            .map(|every| ctx.set_timer(every, TAG_CKPT));
         ctx.send_bulk(shadow, image_bytes, ckpt.clone());
         if let Some(server) = self.ckpt_server {
             ctx.send_bulk(server, image_bytes, ckpt);
@@ -241,7 +245,10 @@ impl Startd {
             }
             ctx.send(
                 run.shadow,
-                VacateNotice { job: run.job, checkpointed_work: run.ckpt_work },
+                VacateNotice {
+                    job: run.job,
+                    checkpointed_work: run.ckpt_work,
+                },
             );
         }
         self.idle_since = now;
@@ -253,7 +260,10 @@ impl Startd {
         self.vacate(ctx, State::Owner);
         ctx.send(
             self.collector,
-            Invalidate { kind: AdKind::Machine, name: self.name.clone() },
+            Invalidate {
+                kind: AdKind::Machine,
+                name: self.name.clone(),
+            },
         );
         ctx.kill(ctx.self_addr());
     }
@@ -283,7 +293,9 @@ impl Component for Startd {
                 ctx.set_timer(self.advertise_period, TAG_ADVERTISE);
             }
             TAG_OWNER => {
-                let Some(model) = self.owner_model.clone() else { return };
+                let Some(model) = self.owner_model.clone() else {
+                    return;
+                };
                 match self.state {
                     State::Owner => {
                         // Owner leaves: machine available again.
@@ -303,8 +315,7 @@ impl Component for Startd {
             }
             TAG_END => {
                 let now = ctx.now();
-                if let State::Busy(run) = std::mem::replace(&mut self.state, State::Unclaimed)
-                {
+                if let State::Busy(run) = std::mem::replace(&mut self.state, State::Unclaimed) {
                     let cpu_time = now - run.started;
                     ctx.metrics().incr("condor.jobs_finished", 1);
                     ctx.metrics()
@@ -317,7 +328,14 @@ impl Component for Startd {
                         ctx.cancel_timer(t);
                     }
                     self.enter_claimed(ctx, run.shadow);
-                    ctx.send(run.shadow, JobExited { job: run.job, ok: true, cpu_time });
+                    ctx.send(
+                        run.shadow,
+                        JobExited {
+                            job: run.job,
+                            ok: true,
+                            cpu_time,
+                        },
+                    );
                     ctx.metrics().gauge_delta("condor.busy_startds", now, -1.0);
                 }
             }
@@ -327,9 +345,14 @@ impl Component for Startd {
                 }
             }
             TAG_IO => {
-                let State::Busy(run) = &mut self.state else { return };
+                let State::Busy(run) = &mut self.state else {
+                    return;
+                };
                 run.io_seq += 1;
-                let batch = SyscallBatch { bytes: run.io_bytes, seq: run.io_seq };
+                let batch = SyscallBatch {
+                    bytes: run.io_bytes,
+                    seq: run.io_seq,
+                };
                 ctx.metrics().incr("condor.syscall_batches", 1);
                 ctx.metrics().incr("condor.syscall_bytes", run.io_bytes);
                 let (shadow, bytes, interval) = (run.shadow, run.io_bytes, run.io_interval);
@@ -350,12 +373,13 @@ impl Component for Startd {
                 // Idle-claim lease expired: if the claim is still the same
                 // one and never activated, release the machine.
                 && t - TAG_CLAIM_LEASE_BASE == self.claim_seq
-                    && matches!(self.state, State::Claimed { .. }) => {
-                        ctx.metrics().incr("condor.claim_leases_expired", 1);
-                        self.state = State::Unclaimed;
-                        self.idle_since = ctx.now();
-                        self.advertise(ctx);
-                    }
+                    && matches!(self.state, State::Claimed { .. }) =>
+            {
+                ctx.metrics().incr("condor.claim_leases_expired", 1);
+                self.state = State::Unclaimed;
+                self.idle_since = ctx.now();
+                self.advertise(ctx);
+            }
             TAG_IDLE => {
                 let should_exit = matches!(self.state, State::Unclaimed)
                     && self
@@ -377,7 +401,10 @@ impl Component for Startd {
         self.vacate(ctx, State::Owner);
         ctx.send(
             self.collector,
-            Invalidate { kind: AdKind::Machine, name: self.name.clone() },
+            Invalidate {
+                kind: AdKind::Machine,
+                name: self.name.clone(),
+            },
         );
     }
 
@@ -407,10 +434,10 @@ impl Component for Startd {
                     self.claim_seq += 1; // activation voids the idle lease
                     let remaining = act.total_work.saturating_sub(act.done_work);
                     let end_timer = ctx.set_timer(remaining, TAG_END);
-                    let ckpt_timer =
-                        self.ckpt_interval.map(|every| ctx.set_timer(every, TAG_CKPT));
-                    let io_timer =
-                        act.io_interval.map(|every| ctx.set_timer(every, TAG_IO));
+                    let ckpt_timer = self
+                        .ckpt_interval
+                        .map(|every| ctx.set_timer(every, TAG_CKPT));
+                    let io_timer = act.io_interval.map(|every| ctx.set_timer(every, TAG_IO));
                     ctx.set_timer(KEEPALIVE, TAG_KEEPALIVE);
                     self.state = State::Busy(Box::new(Running {
                         shadow,
@@ -433,7 +460,10 @@ impl Component for Startd {
                     // activate): bounce the job back with no progress made.
                     ctx.send(
                         from,
-                        VacateNotice { job: act.job, checkpointed_work: act.done_work },
+                        VacateNotice {
+                            job: act.job,
+                            checkpointed_work: act.done_work,
+                        },
                     );
                 }
             }

@@ -97,7 +97,10 @@ impl GridJobSpec {
 
     /// A pool-universe (GlideIn) job.
     pub fn pool(name: &str, executable: &str, runtime: Duration) -> GridJobSpec {
-        GridJobSpec { universe: Universe::Pool, ..GridJobSpec::grid(name, executable, runtime) }
+        GridJobSpec {
+            universe: Universe::Pool,
+            ..GridJobSpec::grid(name, executable, runtime)
+        }
     }
 
     /// Builder: stdout size.
@@ -174,7 +177,10 @@ pub enum JobStatus {
 impl JobStatus {
     /// True for states a job never leaves.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobStatus::Done | JobStatus::Failed(_) | JobStatus::Removed)
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed(_) | JobStatus::Removed
+        )
     }
 }
 

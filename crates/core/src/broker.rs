@@ -95,7 +95,11 @@ pub struct MdsBroker {
 impl MdsBroker {
     /// A broker dropping ads older than `max_age`.
     pub fn new(max_age: gridsim::Duration) -> MdsBroker {
-        MdsBroker { ads: Vec::new(), max_age, recent: Default::default() }
+        MdsBroker {
+            ads: Vec::new(),
+            max_age,
+            recent: Default::default(),
+        }
     }
 
     fn job_ad(spec: &GridJobSpec) -> ClassAd {
@@ -137,7 +141,11 @@ impl Broker for MdsBroker {
                 best = Some((
                     r,
                     headroom,
-                    GatekeeperInfo { site, addr: *gk, ad: ad.clone() },
+                    GatekeeperInfo {
+                        site,
+                        addr: *gk,
+                        ad: ad.clone(),
+                    },
                 ));
             }
         }
@@ -164,7 +172,10 @@ mod tests {
     use gridsim::{CompId, NodeId};
 
     fn addr(n: u32) -> Addr {
-        Addr { node: NodeId(n), comp: CompId(n) }
+        Addr {
+            node: NodeId(n),
+            comp: CompId(n),
+        }
     }
 
     fn spec() -> GridJobSpec {
@@ -172,14 +183,19 @@ mod tests {
     }
 
     fn info(site: &str, n: u32) -> GatekeeperInfo {
-        GatekeeperInfo { site: site.into(), addr: addr(n), ad: ClassAd::new() }
+        GatekeeperInfo {
+            site: site.into(),
+            addr: addr(n),
+            ad: ClassAd::new(),
+        }
     }
 
     #[test]
     fn static_list_round_robins() {
         let mut b = StaticListBroker::new(vec![info("a", 1), info("b", 2), info("c", 3)]);
-        let picks: Vec<String> =
-            (0..6).map(|_| b.select(&spec(), &[]).unwrap().site).collect();
+        let picks: Vec<String> = (0..6)
+            .map(|_| b.select(&spec(), &[]).unwrap().site)
+            .collect();
         assert_eq!(picks, ["a", "b", "c", "a", "b", "c"]);
     }
 
@@ -229,12 +245,8 @@ mod tests {
         let pick = b.select(&spec, &["intel-big".to_string()]).unwrap();
         assert_eq!(pick.site, "intel-small");
         // Nothing matches when requirements rule all out.
-        let impossible = super::super::api::GridJobSpec::grid(
-            "j",
-            "/x",
-            Duration::from_mins(1),
-        )
-        .with_requirements("TARGET.Arch == \"ALPHA\"");
+        let impossible = super::super::api::GridJobSpec::grid("j", "/x", Duration::from_mins(1))
+            .with_requirements("TARGET.Arch == \"ALPHA\"");
         assert!(b.select(&impossible, &[]).is_none());
     }
 

@@ -66,7 +66,13 @@ mod tests {
     fn fresh_proxy_needs_nothing() {
         let p = proxy(12);
         assert_eq!(
-            analyze(&p, at(1), Duration::from_hours(2), Duration::from_mins(15), None),
+            analyze(
+                &p,
+                at(1),
+                Duration::from_hours(2),
+                Duration::from_mins(15),
+                None
+            ),
             CredentialAction::Nothing
         );
     }
@@ -87,7 +93,13 @@ mod tests {
         );
         // Past expiry: hold.
         assert_eq!(
-            analyze(&p, at(13), Duration::from_hours(2), Duration::from_mins(15), None),
+            analyze(
+                &p,
+                at(13),
+                Duration::from_hours(2),
+                Duration::from_mins(15),
+                None
+            ),
             CredentialAction::Hold
         );
     }

@@ -58,7 +58,11 @@ impl DagSpec {
 
     /// Add a node; returns its index.
     pub fn add(&mut self, name: &str, spec: GridJobSpec) -> usize {
-        self.nodes.push(DagNode { name: name.to_string(), spec, retries: 0 });
+        self.nodes.push(DagNode {
+            name: name.to_string(),
+            spec,
+            retries: 0,
+        });
         self.nodes.len() - 1
     }
 
@@ -88,8 +92,7 @@ impl DagSpec {
         for &(_, c) in &self.edges {
             indegree[c] += 1;
         }
-        let mut ready: Vec<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut seen = 0;
         while let Some(u) = ready.pop() {
             seen += 1;
@@ -138,8 +141,7 @@ impl DagSpec {
                     if dag.index_of(name).is_some() {
                         return Err(err(format!("duplicate node {name}")));
                     }
-                    let mut spec =
-                        GridJobSpec::grid(name, "/bin/job", Duration::from_secs(60));
+                    let mut spec = GridJobSpec::grid(name, "/bin/job", Duration::from_secs(60));
                     for opt in words {
                         let (k, v) = opt
                             .split_once('=')
@@ -162,9 +164,7 @@ impl DagSpec {
                                 spec.universe = match v {
                                     "grid" => Universe::Grid,
                                     "pool" => Universe::Pool,
-                                    other => {
-                                        return Err(err(format!("bad universe {other}")))
-                                    }
+                                    other => return Err(err(format!("bad universe {other}"))),
                                 }
                             }
                             other => return Err(err(format!("unknown option {other}"))),
@@ -197,7 +197,9 @@ impl DagSpec {
                     }
                 }
                 "RETRY" => {
-                    let name = words.next().ok_or_else(|| err("RETRY needs a name".into()))?;
+                    let name = words
+                        .next()
+                        .ok_or_else(|| err("RETRY needs a name".into()))?;
                     let n: u32 = words
                         .next()
                         .and_then(|v| v.parse().ok())
@@ -299,7 +301,10 @@ impl DagMan {
             ctx.metrics().incr("dag.submitted", 1);
             ctx.send(
                 self.scheduler,
-                UserCmd::Submit { id: self.next_cmd, spec: self.dag.nodes[i].spec.clone() },
+                UserCmd::Submit {
+                    id: self.next_cmd,
+                    spec: self.dag.nodes[i].spec.clone(),
+                },
             );
         }
         self.persist(ctx);
@@ -320,7 +325,11 @@ impl DagMan {
         if all_done || stuck {
             self.finished = true;
             ctx.metrics().incr(
-                if all_done { "dag.completed" } else { "dag.failed" },
+                if all_done {
+                    "dag.completed"
+                } else {
+                    "dag.failed"
+                },
                 1,
             );
             ctx.trace(
@@ -332,15 +341,23 @@ impl DagMan {
     }
 
     fn persist(&self, ctx: &mut Ctx<'_>) {
-        let done = self.states.iter().filter(|s| **s == NodeState::Done).count() as u64;
-        let failed =
-            self.states.iter().filter(|s| **s == NodeState::Failed).count() as u64;
+        let done = self
+            .states
+            .iter()
+            .filter(|s| **s == NodeState::Done)
+            .count() as u64;
+        let failed = self
+            .states
+            .iter()
+            .filter(|s| **s == NodeState::Failed)
+            .count() as u64;
         let node = ctx.node();
         ctx.store().put(node, "dag/done_nodes", &done);
         ctx.store().put(node, "dag/failed_nodes", &failed);
         ctx.store().put(node, "dag/finished", &self.finished);
         let all_done = done as usize == self.states.len();
-        ctx.store().put(node, "dag/success", &(self.finished && all_done));
+        ctx.store()
+            .put(node, "dag/success", &(self.finished && all_done));
     }
 }
 
@@ -356,7 +373,9 @@ impl Component for DagMan {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
-        let Some(event) = msg.downcast_ref::<UserEvent>() else { return };
+        let Some(event) = msg.downcast_ref::<UserEvent>() else {
+            return;
+        };
         match event {
             UserEvent::Submitted { id, job } => {
                 if let Some(node) = self.pending_ids.remove(id) {
@@ -364,7 +383,9 @@ impl Component for DagMan {
                 }
             }
             UserEvent::Status { job, status, .. } => {
-                let Some(&node) = self.job_map.get(job) else { return };
+                let Some(&node) = self.job_map.get(job) else {
+                    return;
+                };
                 if self.states[node] != NodeState::Submitted {
                     return;
                 }

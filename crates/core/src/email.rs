@@ -38,7 +38,9 @@ impl Mailer {
 
 impl Component for Mailer {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
-        let Ok(mail) = msg.downcast::<Email>() else { return };
+        let Ok(mail) = msg.downcast::<Email>() else {
+            return;
+        };
         self.delivered += 1;
         ctx.metrics().incr("mail.delivered", 1);
         ctx.trace("mail", format!("to={} subject={}", mail.to, mail.subject));
@@ -71,7 +73,11 @@ mod tests {
             );
             ctx.send(
                 self.mailer,
-                Email { to: "jane".into(), subject: "jobs complete".into(), body: "done".into() },
+                Email {
+                    to: "jane".into(),
+                    subject: "jobs complete".into(),
+                    body: "done".into(),
+                },
             );
         }
     }
@@ -84,8 +90,7 @@ mod tests {
         let mailer = w.add_component(nm, "mailer", Mailer::new());
         w.add_component(ns, "sender", Sender { mailer });
         w.run_until_quiescent();
-        let inbox: Vec<(String, String)> =
-            w.store().get(nm, &Mailer::inbox_key("jane")).unwrap();
+        let inbox: Vec<(String, String)> = w.store().get(nm, &Mailer::inbox_key("jane")).unwrap();
         assert_eq!(inbox.len(), 2);
         assert!(inbox[0].0.contains("held"));
         assert_eq!(w.metrics().counter("mail.delivered"), 2);

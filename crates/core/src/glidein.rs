@@ -51,7 +51,10 @@ enum SlotPhase {
     /// Committed; waiting for the allocation to start. Keeps the session
     /// so an unacknowledged commit can be retransmitted.
     Waiting(JobContact, SubmitSession),
-    Running { contact: JobContact, startd: Addr },
+    Running {
+        contact: JobContact,
+        startd: Addr,
+    },
     Dead,
 }
 
@@ -128,9 +131,7 @@ impl GlideinFactory {
     fn live_at(&self, site_idx: usize) -> u32 {
         self.slots
             .iter()
-            .filter(|s| {
-                s.site_idx == site_idx && !matches!(s.phase, SlotPhase::Dead)
-            })
+            .filter(|s| s.site_idx == site_idx && !matches!(s.phase, SlotPhase::Dead))
             .count() as u32
     }
 
@@ -186,7 +187,10 @@ impl GlideinFactory {
             SlotPhase::Running { contact: c, .. } => *c,
             _ => JobContact(u64::MAX),
         };
-        slot.phase = SlotPhase::Running { contact, startd: addr };
+        slot.phase = SlotPhase::Running {
+            contact,
+            startd: addr,
+        };
     }
 
     fn slot_dead(&mut self, ctx: &mut Ctx<'_>, slot_idx: usize) {
@@ -224,12 +228,13 @@ impl Component for GlideinFactory {
         for i in 0..self.slots.len() {
             match &mut self.slots[i].phase {
                 SlotPhase::Submitting(session, last)
-                    if session.awaiting_reply() && now - *last >= Duration::from_secs(30) => {
-                        let req = session.request();
-                        *last = now;
-                        let gk = self.sites[self.slots[i].site_idx].gatekeeper;
-                        ctx.send(gk, req);
-                    }
+                    if session.awaiting_reply() && now - *last >= Duration::from_secs(30) =>
+                {
+                    let req = session.request();
+                    *last = now;
+                    let gk = self.sites[self.slots[i].site_idx].gatekeeper;
+                    ctx.send(gk, req);
+                }
                 SlotPhase::Waiting(_, session) => {
                     if let Some((jm, msg)) = session.commit_retry() {
                         ctx.send(jm, msg);
@@ -251,14 +256,17 @@ impl Component for GlideinFactory {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
         if let Some(reply) = msg.downcast_ref::<GramReply>() {
             match reply {
-                GramReply::Submitted { seq, contact, jobmanager } => {
+                GramReply::Submitted {
+                    seq,
+                    contact,
+                    jobmanager,
+                } => {
                     let Some(idx) = self.slots.iter().position(|s| s.seq == *seq) else {
                         return;
                     };
                     if let SlotPhase::Submitting(session, _) = &mut self.slots[idx].phase {
                         use gram::client::SubmitAction;
-                        if let SubmitAction::SendCommit { jobmanager, .. } =
-                            session.on_reply(reply)
+                        if let SubmitAction::SendCommit { jobmanager, .. } = session.on_reply(reply)
                         {
                             ctx.send(jobmanager, JmMsg::Commit);
                             let session = session.clone();

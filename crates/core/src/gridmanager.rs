@@ -170,7 +170,10 @@ enum Phase {
     NeedSite,
     /// Two-phase submit in flight (boxed: the session dwarfs the other
     /// variants).
-    Submitting { session: Box<SubmitSession>, last_send: SimTime },
+    Submitting {
+        session: Box<SubmitSession>,
+        last_send: SimTime,
+    },
     /// JobManager known and believed alive.
     Live {
         jm: Addr,
@@ -288,19 +291,31 @@ impl GridManager {
     }
 
     fn report(&mut self, ctx: &mut Ctx<'_>, job: GridJobId, status: JobStatus) {
-        let Some(j) = self.jobs.get_mut(&job) else { return };
+        let Some(j) = self.jobs.get_mut(&job) else {
+            return;
+        };
         if j.reported == status {
             return;
         }
         j.reported = status.clone();
+        // Span milestone for terminal states; intermediate statuses are
+        // covered by the jobmanager-side milestones.
+        let terminal = match &status {
+            JobStatus::Done => Some("done"),
+            JobStatus::Failed(_) => Some("failed"),
+            JobStatus::Removed => Some("removed"),
+            _ => None,
+        };
+        if let Some(milestone) = terminal {
+            ctx.trace("span", format!("job={} phase={milestone}", job.0));
+        }
         ctx.send_local(self.scheduler, GmUpdate { job, status });
     }
 
     fn rsl_for(&self, job: GridJobId, spec: &GridJobSpec) -> RslSpec {
         let exe_url = GassUrl::gass(self.gass, &spec.executable);
         let stdout_path = format!("/condor_g/out/{job}");
-        let mut rsl = RslSpec::job(&exe_url.to_string(), spec.runtime)
-            .with_count(spec.count);
+        let mut rsl = RslSpec::job(&exe_url.to_string(), spec.runtime).with_count(spec.count);
         rsl.arguments = spec.arguments.clone();
         if spec.stdout_size > 0 {
             let out_url = GassUrl::gass(self.gass, &stdout_path);
@@ -323,7 +338,9 @@ impl GridManager {
         let Some(j) = self.jobs.get(&job) else { return };
         let spec = j.spec.clone();
         let excluded = j.excluded.clone();
-        let Some(broker) = self.broker.as_mut() else { return };
+        let Some(broker) = self.broker.as_mut() else {
+            return;
+        };
         let Some(target) = broker.select(&spec, &excluded) else {
             // No resource available yet (e.g. MDS cache still empty).
             return;
@@ -343,13 +360,20 @@ impl GridManager {
         );
         ctx.metrics().incr("gm.submissions", 1);
         ctx.trace("gm.submit", format!("{job} -> {} (seq {seq})", target.site));
+        ctx.trace(
+            "span",
+            format!("job={} seq={seq} phase=submit site={}", job.0, target.site),
+        );
         ctx.send(target.addr, session.request());
         let j = self.jobs.get_mut(&job).expect("job exists");
         j.seq = Some(seq);
         j.site = Some(target.site);
         j.gatekeeper = Some(target.addr);
         j.stdout_path = format!("/condor_g/out/{job}");
-        j.phase = Phase::Submitting { session: Box::new(session), last_send: ctx.now() };
+        j.phase = Phase::Submitting {
+            session: Box::new(session),
+            last_send: ctx.now(),
+        };
         self.persist_job(ctx, job);
         self.report(ctx, job, JobStatus::Pending);
     }
@@ -358,7 +382,9 @@ impl GridManager {
     /// or give up after the retry budget.
     fn attempt_failed(&mut self, ctx: &mut Ctx<'_>, job: GridJobId, why: &str) {
         let max_retries = self.config.max_retries;
-        let Some(j) = self.jobs.get_mut(&job) else { return };
+        let Some(j) = self.jobs.get_mut(&job) else {
+            return;
+        };
         if matches!(j.phase, Phase::Terminal) {
             return;
         }
@@ -402,7 +428,9 @@ impl GridManager {
     /// Bytes of this job's stdout already present on the local GASS server
     /// (used to resume output staging after a restart, §3.2).
     fn stdout_have(&self, ctx: &mut Ctx<'_>, job: GridJobId) -> u64 {
-        let Some(j) = self.jobs.get(&job) else { return 0 };
+        let Some(j) = self.jobs.get(&job) else {
+            return 0;
+        };
         let key = format!("gass/size{}", j.stdout_path);
         ctx.store().get::<u64>(self.gass.node, &key).unwrap_or(0)
     }
@@ -475,7 +503,12 @@ impl GridManager {
             })
             .collect();
         for (_, jm) in &targets {
-            ctx.send(*jm, JmMsg::RefreshCredential { credential: self.credential.clone() });
+            ctx.send(
+                *jm,
+                JmMsg::RefreshCredential {
+                    credential: self.credential.clone(),
+                },
+            );
         }
         if self.held {
             self.held = false;
@@ -521,7 +554,9 @@ impl GridManager {
         let now = ctx.now();
         let probe_interval = self.config.probe_interval;
         let submit_retry = self.config.submit_retry;
-        let Some(j) = self.jobs.get_mut(&job) else { return };
+        let Some(j) = self.jobs.get_mut(&job) else {
+            return;
+        };
         match &mut j.phase {
             Phase::NeedSite => {
                 if !self.held {
@@ -575,10 +610,7 @@ impl GridManager {
                             .is_some();
                         if alternative {
                             ctx.metrics().incr("gm.migrations", 1);
-                            ctx.trace(
-                                "gm.migrate",
-                                format!("{job} stuck queued at {:?}", j.site),
-                            );
+                            ctx.trace("gm.migrate", format!("{job} stuck queued at {:?}", j.site));
                             j.migrating = true;
                             ctx.send(*jm, JmMsg::Cancel);
                         }
@@ -653,7 +685,10 @@ impl GridManager {
 
     fn maybe_exit(&mut self, ctx: &mut Ctx<'_>) {
         if self.jobs.is_empty()
-            || !self.jobs.values().all(|j| matches!(j.phase, Phase::Terminal))
+            || !self
+                .jobs
+                .values()
+                .all(|j| matches!(j.phase, Phase::Terminal))
         {
             return;
         }
@@ -770,7 +805,9 @@ impl Component for GridManager {
                         (Some(_), Some(gk)) if !matches!(rec.phase, Phase::Terminal) => {
                             ctx.metrics().incr("gm.job_recoveries", 1);
                             ctx.send(gk, GramRequest::Ping { nonce: job.0 });
-                            rec.phase = Phase::PingingGk { last_ping: ctx.now() };
+                            rec.phase = Phase::PingingGk {
+                                last_ping: ctx.now(),
+                            };
                             self.jobs.insert(*job, rec);
                         }
                         _ => {
@@ -783,7 +820,9 @@ impl Component for GridManager {
                     }
                 }
                 GmCmd::Cancel { job } => {
-                    let Some(j) = self.jobs.get_mut(job) else { return };
+                    let Some(j) = self.jobs.get_mut(job) else {
+                        return;
+                    };
                     match &j.phase {
                         Phase::Live { jm, .. } => {
                             ctx.send(*jm, JmMsg::Cancel);
@@ -804,8 +843,14 @@ impl Component for GridManager {
         }
         if let Some(reply) = msg.downcast_ref::<GramReply>() {
             match reply {
-                GramReply::Submitted { seq, contact, jobmanager } => {
-                    let Some(job) = self.job_by_seq(*seq) else { return };
+                GramReply::Submitted {
+                    seq,
+                    contact,
+                    jobmanager,
+                } => {
+                    let Some(job) = self.job_by_seq(*seq) else {
+                        return;
+                    };
                     let j = self.jobs.get_mut(&job).expect("job exists");
                     if let Phase::Submitting { session, .. } = &mut j.phase {
                         use gram::client::SubmitAction;
@@ -826,8 +871,10 @@ impl Component for GridManager {
                             }
                             SubmitAction::GiveUp(_) | SubmitAction::Ignore => {}
                         }
-                    } else if matches!(j.phase, Phase::PingingGk { .. } | Phase::AwaitRestart { .. })
-                    {
+                    } else if matches!(
+                        j.phase,
+                        Phase::PingingGk { .. } | Phase::AwaitRestart { .. }
+                    ) {
                         // A duplicate submit answer can double as recovery.
                         j.contact = Some(*contact);
                         j.phase = Phase::Live {
@@ -843,12 +890,16 @@ impl Component for GridManager {
                     }
                 }
                 GramReply::SubmitFailed { seq, error } => {
-                    let Some(job) = self.job_by_seq(*seq) else { return };
+                    let Some(job) = self.job_by_seq(*seq) else {
+                        return;
+                    };
                     self.attempt_failed(ctx, job, &format!("submit failed: {error}"));
                 }
                 GramReply::Pong { nonce } => {
                     let job = GridJobId(*nonce);
-                    let Some(j) = self.jobs.get_mut(&job) else { return };
+                    let Some(j) = self.jobs.get_mut(&job) else {
+                        return;
+                    };
                     if let Phase::PingingGk { .. } = j.phase {
                         // "If the GateKeeper responds... attempts to start a
                         // new JobManager to resume watching the job."
@@ -873,8 +924,13 @@ impl Component for GridManager {
                         j.phase = Phase::AwaitRestart { since: ctx.now() };
                     }
                 }
-                GramReply::Restarted { contact, jobmanager } => {
-                    let Some(job) = self.job_by_contact(*contact) else { return };
+                GramReply::Restarted {
+                    contact,
+                    jobmanager,
+                } => {
+                    let Some(job) = self.job_by_contact(*contact) else {
+                        return;
+                    };
                     let have = self.stdout_have(ctx, job);
                     // Re-point the JobManager at our (possibly new) GASS
                     // server and re-forward the current credential.
@@ -887,7 +943,9 @@ impl Component for GridManager {
                     );
                     ctx.send(
                         *jobmanager,
-                        JmMsg::RefreshCredential { credential: self.credential.clone() },
+                        JmMsg::RefreshCredential {
+                            credential: self.credential.clone(),
+                        },
                     );
                     ctx.metrics().incr("gm.jm_restarted", 1);
                     let j = self.jobs.get_mut(&job).expect("job exists");
@@ -903,7 +961,9 @@ impl Component for GridManager {
                     self.persist_job(ctx, job);
                 }
                 GramReply::RestartFailed { contact, error } => {
-                    let Some(job) = self.job_by_contact(*contact) else { return };
+                    let Some(job) = self.job_by_contact(*contact) else {
+                        return;
+                    };
                     self.attempt_failed(ctx, job, &format!("restart failed: {error}"));
                     let _ = error;
                 }
@@ -912,8 +972,15 @@ impl Component for GridManager {
         }
         if let Some(jm_msg) = msg.downcast_ref::<JmMsg>() {
             match jm_msg {
-                JmMsg::Callback { contact, state, exit_ok, .. } => {
-                    let Some(job) = self.job_by_contact(*contact) else { return };
+                JmMsg::Callback {
+                    contact,
+                    state,
+                    exit_ok,
+                    ..
+                } => {
+                    let Some(job) = self.job_by_contact(*contact) else {
+                        return;
+                    };
                     let j = self.jobs.get_mut(&job).expect("job exists");
                     if let Phase::Live {
                         last_contact,
@@ -925,15 +992,13 @@ impl Component for GridManager {
                     {
                         *last_contact = ctx.now();
                         *commit_acked = true; // progress implies the commit landed
-                        // Track time-in-queue for migration decisions.
+                                              // Track time-in-queue for migration decisions.
                         let was_queued = matches!(
                             gram_state,
                             GramJobState::Pending | GramJobState::PendingCommit
                         );
-                        let is_queued = matches!(
-                            state,
-                            GramJobState::Pending | GramJobState::PendingCommit
-                        );
+                        let is_queued =
+                            matches!(state, GramJobState::Pending | GramJobState::PendingCommit);
                         if is_queued && !was_queued {
                             *pending_since = Some(ctx.now());
                         } else if !is_queued {
@@ -992,18 +1057,32 @@ impl Component for GridManager {
                     }
                 }
                 JmMsg::CommitAck { contact } => {
-                    let Some(job) = self.job_by_contact(*contact) else { return };
+                    let Some(job) = self.job_by_contact(*contact) else {
+                        return;
+                    };
                     let j = self.jobs.get_mut(&job).expect("job exists");
-                    if let Phase::Live { commit_acked, last_contact, .. } = &mut j.phase {
+                    if let Phase::Live {
+                        commit_acked,
+                        last_contact,
+                        ..
+                    } = &mut j.phase
+                    {
                         *commit_acked = true;
                         *last_contact = ctx.now();
                     }
                 }
                 JmMsg::ProbeReply { contact, state, .. } => {
-                    let Some(job) = self.job_by_contact(*contact) else { return };
+                    let Some(job) = self.job_by_contact(*contact) else {
+                        return;
+                    };
                     let j = self.jobs.get_mut(&job).expect("job exists");
-                    if let Phase::Live { probe_sent, last_contact, missed, gram_state, .. } =
-                        &mut j.phase
+                    if let Phase::Live {
+                        probe_sent,
+                        last_contact,
+                        missed,
+                        gram_state,
+                        ..
+                    } = &mut j.phase
                     {
                         *probe_sent = None;
                         *missed = 0;
@@ -1053,7 +1132,9 @@ impl Component for GridManager {
             return;
         }
         if msg.is::<GripReply>() {
-            let Ok(reply) = msg.downcast::<GripReply>() else { return };
+            let Ok(reply) = msg.downcast::<GripReply>() else {
+                return;
+            };
             if let GripReply::Ads { ads, .. } = *reply {
                 let parsed: Vec<(Addr, classads::ClassAd)> = ads
                     .into_iter()

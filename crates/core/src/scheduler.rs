@@ -11,8 +11,8 @@ use crate::api::{GridJobId, GridJobSpec, JobStatus, Universe, UserCmd, UserEvent
 use crate::broker::Broker;
 use crate::email::Email;
 use crate::gridmanager::{GmCmd, GmConfig, GmUpdate, GridManager};
-use condor::{PoolJobEvent, PoolJobState, PoolRemove, PoolSubmit, PoolSubmitted};
 use classads::ClassAd;
+use condor::{PoolJobEvent, PoolJobState, PoolRemove, PoolSubmit, PoolSubmitted};
 use gridsim::prelude::*;
 use gridsim::AnyMsg;
 use gsi::ProxyCredential;
@@ -89,7 +89,9 @@ impl Scheduler {
         s.recovered = true;
         let prefix = s.job_key_prefix();
         for key in store.keys_with_prefix(node, &prefix) {
-            let Some((id, rec)) = store.get::<(u64, JobRec)>(node, &key) else { continue };
+            let Some((id, rec)) = store.get::<(u64, JobRec)>(node, &key) else {
+                continue;
+            };
             s.next_id = s.next_id.max(id + 1);
             s.jobs.insert(GridJobId(id), rec);
         }
@@ -108,14 +110,17 @@ impl Scheduler {
         chunks.sort_by_key(|&(i, _)| i);
         for (_, chunk) in chunks {
             s.log.extend(
-                chunk.into_iter().map(|(t, j, m)| (SimTime(t), GridJobId(j), m)),
+                chunk
+                    .into_iter()
+                    .map(|(t, j, m)| (SimTime(t), GridJobId(j), m)),
             );
         }
         let pm_prefix = format!("condor_g/{}/pm/", s.config.user);
         for key in store.keys_with_prefix(node, &pm_prefix) {
-            if let (Ok(pool_id), Some(grid)) =
-                (key[pm_prefix.len()..].parse::<u64>(), store.get::<u64>(node, &key))
-            {
+            if let (Ok(pool_id), Some(grid)) = (
+                key[pm_prefix.len()..].parse::<u64>(),
+                store.get::<u64>(node, &key),
+            ) {
                 s.pool_map.insert(pool_id, GridJobId(grid));
             }
         }
@@ -128,7 +133,9 @@ impl Scheduler {
 
     /// Persist one job record (O(1) per event).
     fn persist_job(&self, ctx: &mut Ctx<'_>, job: GridJobId) {
-        let Some(rec) = self.jobs.get(&job) else { return };
+        let Some(rec) = self.jobs.get(&job) else {
+            return;
+        };
         let key = format!("{}{:012}", self.job_key_prefix(), job.0);
         let node = ctx.node();
         ctx.store().put(node, &key, &(job.0, rec.clone()));
@@ -162,11 +169,20 @@ impl Scheduler {
     }
 
     fn push_status(&mut self, ctx: &mut Ctx<'_>, job: GridJobId) {
-        let Some(rec) = self.jobs.get(&job) else { return };
+        let Some(rec) = self.jobs.get(&job) else {
+            return;
+        };
         let status = rec.status.clone();
         let name = rec.spec.name.clone();
         if let Some(user) = self.config.user_addr {
-            ctx.send(user, UserEvent::Status { job, status: status.clone(), at: ctx.now() });
+            ctx.send(
+                user,
+                UserEvent::Status {
+                    job,
+                    status: status.clone(),
+                    at: ctx.now(),
+                },
+            );
         }
         if status.is_terminal() && self.config.email_on_termination {
             if let Some(mailer) = self.config.mailer {
@@ -188,7 +204,10 @@ impl Scheduler {
         }
         // "creating a new GridManager daemon... One GridManager process
         // handles all jobs for a single user."
-        let broker = self.broker.take().expect("broker available for a new GridManager");
+        let broker = self
+            .broker
+            .take()
+            .expect("broker available for a new GridManager");
         let gm = GridManager::new(
             self.config.gm.clone(),
             self.config.credential.clone(),
@@ -209,7 +228,13 @@ impl Scheduler {
         match rec.spec.universe {
             Universe::Grid => {
                 let gm = self.ensure_gridmanager(ctx);
-                ctx.send_local(gm, GmCmd::Manage { job, spec: rec.spec });
+                ctx.send_local(
+                    gm,
+                    GmCmd::Manage {
+                        job,
+                        spec: rec.spec,
+                    },
+                );
             }
             Universe::Pool => {
                 let Some(schedd) = self.config.pool_schedd else {
@@ -233,23 +258,28 @@ impl Scheduler {
                 } else if let Some(arch) = &rec.spec.required_arch {
                     // A binary's architecture constrains matchmaking even
                     // when the user wrote no explicit Requirements.
-                    ad.set_parsed(
-                        "Requirements",
-                        &format!("TARGET.Arch == \"{arch}\""),
-                    )
-                    .ok();
+                    ad.set_parsed("Requirements", &format!("TARGET.Arch == \"{arch}\""))
+                        .ok();
                 }
                 if let Some(rank) = &rec.spec.rank {
                     ad.set_parsed("Rank", rank).ok();
                 }
-                ctx.send_local(schedd, PoolSubmit { client_id: job.0, ad });
+                ctx.send_local(
+                    schedd,
+                    PoolSubmit {
+                        client_id: job.0,
+                        ad,
+                    },
+                );
             }
         }
     }
 
     fn set_status(&mut self, ctx: &mut Ctx<'_>, job: GridJobId, status: JobStatus) {
         let now = ctx.now();
-        let Some(rec) = self.jobs.get_mut(&job) else { return };
+        let Some(rec) = self.jobs.get_mut(&job) else {
+            return;
+        };
         if rec.status == status {
             return;
         }
@@ -261,7 +291,8 @@ impl Scheduler {
             ctx.metrics().observe_duration("condor_g.active_wait", wait);
         }
         if status == JobStatus::Done {
-            ctx.metrics().gauge_delta("condor_g.done_over_time", now, 1.0);
+            ctx.metrics()
+                .gauge_delta("condor_g.done_over_time", now, 1.0);
         }
         self.log_event(ctx, job, format!("status -> {status:?}"));
         self.persist_job(ctx, job);
@@ -334,10 +365,19 @@ impl Component for Scheduler {
                         .get(job)
                         .map(|r| r.status.clone())
                         .unwrap_or(JobStatus::Failed("unknown job".into()));
-                    ctx.send(from, UserEvent::Status { job: *job, status, at: ctx.now() });
+                    ctx.send(
+                        from,
+                        UserEvent::Status {
+                            job: *job,
+                            status,
+                            at: ctx.now(),
+                        },
+                    );
                 }
                 UserCmd::Cancel { job } => {
-                    let Some(rec) = self.jobs.get(job) else { return };
+                    let Some(rec) = self.jobs.get(job) else {
+                        return;
+                    };
                     match rec.spec.universe {
                         Universe::Grid => {
                             if let Some(gm) = self.gridmanager {
@@ -353,7 +393,9 @@ impl Component for Scheduler {
                                 {
                                     ctx.send_local(
                                         schedd,
-                                        PoolRemove { job: condor::JobId(*pool_id) },
+                                        PoolRemove {
+                                            job: condor::JobId(*pool_id),
+                                        },
                                     );
                                 }
                             }
@@ -361,7 +403,12 @@ impl Component for Scheduler {
                     }
                 }
                 UserCmd::GetLog => {
-                    ctx.send(from, UserEvent::Log { entries: self.log.clone() });
+                    ctx.send(
+                        from,
+                        UserEvent::Log {
+                            entries: self.log.clone(),
+                        },
+                    );
                 }
                 UserCmd::RefreshProxy { credential } => {
                     self.config.credential = credential.clone();
@@ -369,7 +416,9 @@ impl Component for Scheduler {
                     if let Some(gm) = self.gridmanager {
                         ctx.send_local(
                             gm,
-                            GmCmd::RefreshProxy { credential: credential.clone() },
+                            GmCmd::RefreshProxy {
+                                credential: credential.clone(),
+                            },
                         );
                     }
                 }
@@ -397,7 +446,9 @@ impl Component for Scheduler {
             return;
         }
         if let Some(ev) = msg.downcast_ref::<PoolJobEvent>() {
-            let Some(&job) = self.pool_map.get(&ev.job.0) else { return };
+            let Some(&job) = self.pool_map.get(&ev.job.0) else {
+                return;
+            };
             let status = match ev.state {
                 PoolJobState::Idle => JobStatus::Pending,
                 PoolJobState::Running => JobStatus::Active,

@@ -40,9 +40,10 @@ impl FileData {
     pub fn to_disk(&self) -> FileDisk {
         match self {
             FileData::Inline(b) => FileDisk::Inline(b.to_vec()),
-            FileData::Bulk { len, checksum } => {
-                FileDisk::Bulk { len: *len, checksum: *checksum }
-            }
+            FileData::Bulk { len, checksum } => FileDisk::Bulk {
+                len: *len,
+                checksum: *checksum,
+            },
         }
     }
 
@@ -62,7 +63,10 @@ impl FileData {
     /// Synthetic bulk data of `len` bytes with a fingerprint derived from
     /// `tag`.
     pub fn bulk(len: u64, tag: u64) -> FileData {
-        FileData::Bulk { len, checksum: tag ^ len.rotate_left(17) }
+        FileData::Bulk {
+            len,
+            checksum: tag ^ len.rotate_left(17),
+        }
     }
 
     /// Size in bytes.
@@ -98,7 +102,10 @@ impl FileData {
             FileData::Bulk { len, checksum } => {
                 let start = offset.min(*len);
                 let n = limit.min(len - start);
-                FileData::Bulk { len: n, checksum: checksum ^ start.rotate_left(7) }
+                FileData::Bulk {
+                    len: n,
+                    checksum: checksum ^ start.rotate_left(7),
+                }
             }
         }
     }
@@ -143,7 +150,13 @@ impl FileStore {
 
     /// Create or replace a file.
     pub fn write(&mut self, path: &str, data: FileData, now: SimTime) {
-        self.files.insert(path.to_string(), File { data, modified: now });
+        self.files.insert(
+            path.to_string(),
+            File {
+                data,
+                modified: now,
+            },
+        );
     }
 
     /// Append to a file, creating it if needed (G-Cat and stdout streaming).
@@ -273,7 +286,10 @@ mod tests {
             FileData::inline("a").checksum(),
             FileData::inline("b").checksum()
         );
-        assert_ne!(FileData::bulk(10, 1).checksum(), FileData::bulk(10, 2).checksum());
+        assert_ne!(
+            FileData::bulk(10, 1).checksum(),
+            FileData::bulk(10, 2).checksum()
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! chunk is in flight at a time, preserving order; back-pressure is
 //! absorbed by the scratch buffer, exactly the paper's design.
 
-use crate::proto::{GassReply, GassRequest};
 use crate::file::FileData;
+use crate::proto::{GassReply, GassRequest};
 use gridsim::prelude::*;
 use gridsim::AnyMsg;
 use gsi::ProxyCredential;
@@ -66,12 +66,7 @@ const RETRY_FLOOR_BW: u64 = 50_000;
 
 impl GCat {
     /// Create a streamer shipping to `remote_path` on `mss`.
-    pub fn new(
-        mss: Addr,
-        remote_path: &str,
-        credential: ProxyCredential,
-        poll: Duration,
-    ) -> GCat {
+    pub fn new(mss: Addr, remote_path: &str, credential: ProxyCredential, poll: Duration) -> GCat {
         GCat {
             mss,
             remote_path: remote_path.to_string(),
@@ -108,11 +103,12 @@ impl GCat {
 
     /// (Re)send the in-flight chunk as an idempotent positioned write.
     fn transmit(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(chunk) = self.in_flight.clone() else { return };
+        let Some(chunk) = self.in_flight.clone() else {
+            return;
+        };
         let bytes = chunk.len();
         self.next_request += 1;
-        self.in_flight_deadline = ctx.now()
-            + Duration::from_secs(30 + bytes / RETRY_FLOOR_BW);
+        self.in_flight_deadline = ctx.now() + Duration::from_secs(30 + bytes / RETRY_FLOOR_BW);
         ctx.send_bulk(
             self.mss,
             bytes,
@@ -161,7 +157,13 @@ impl Component for GCat {
             return;
         }
         if let Some(q) = msg.downcast_ref::<GCatQuery>() {
-            ctx.send(from, GCatVisible { request_id: q.request_id, bytes: self.shipped });
+            ctx.send(
+                from,
+                GCatVisible {
+                    request_id: q.request_id,
+                    bytes: self.shipped,
+                },
+            );
             return;
         }
         if let Ok(reply) = msg.downcast::<GassReply>() {
@@ -247,7 +249,10 @@ mod tests {
         );
         w.run_until(SimTime::ZERO + Duration::from_mins(20));
         // Everything shipped, nothing stuck in scratch.
-        assert_eq!(w.store().get::<u64>(n_exec, "gcat/shipped"), Some(2_250_000));
+        assert_eq!(
+            w.store().get::<u64>(n_exec, "gcat/shipped"),
+            Some(2_250_000)
+        );
         assert_eq!(w.store().get::<u64>(n_exec, "gcat/buffered"), Some(0));
         // MSS sees the full file (mirrored size key from the server).
         assert_eq!(
@@ -277,18 +282,16 @@ mod tests {
             "job",
             Producer {
                 gcat,
-                bursts: (0..60)
-                    .map(|i| (Duration::from_mins(i), 100_000))
-                    .collect(),
+                bursts: (0..60).map(|i| (Duration::from_mins(i), 100_000)).collect(),
             },
         );
         // Stop mid-run (job produces until t=59 min).
         w.run_until(SimTime::ZERO + Duration::from_mins(30));
-        let visible = w
-            .store()
-            .get::<u64>(n_mss, "gass/size/out")
-            .unwrap_or(0);
-        assert!(visible >= 2_000_000, "only {visible} bytes visible at MSS mid-run");
+        let visible = w.store().get::<u64>(n_mss, "gass/size/out").unwrap_or(0);
+        assert!(
+            visible >= 2_000_000,
+            "only {visible} bytes visible at MSS mid-run"
+        );
         assert!(visible <= 3_100_000);
     }
 }

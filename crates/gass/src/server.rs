@@ -22,12 +22,20 @@ pub struct GassServer {
 impl GassServer {
     /// An authenticated server trusting `trust`.
     pub fn new(trust: TrustRoot) -> GassServer {
-        GassServer { files: FileStore::new(), trust, authenticate: true }
+        GassServer {
+            files: FileStore::new(),
+            trust,
+            authenticate: true,
+        }
     }
 
     /// An unauthenticated server (used as plain HTTP/FTP in §3.4).
     pub fn open() -> GassServer {
-        GassServer { files: FileStore::new(), trust: TrustRoot::new(), authenticate: false }
+        GassServer {
+            files: FileStore::new(),
+            trust: TrustRoot::new(),
+            authenticate: false,
+        }
     }
 
     /// Pre-load a file before the simulation starts. (Preloads are also
@@ -47,9 +55,13 @@ impl GassServer {
     ) -> GassServer {
         let mut server = GassServer::new(trust);
         for key in store.keys_with_prefix(node, "gassfs") {
-            let Some(disk) = store.get::<FileDisk>(node, &key) else { continue };
+            let Some(disk) = store.get::<FileDisk>(node, &key) else {
+                continue;
+            };
             let path = &key["gassfs".len()..];
-            server.files.write(path, FileData::from_disk(disk), SimTime::ZERO);
+            server
+                .files
+                .write(path, FileData::from_disk(disk), SimTime::ZERO);
         }
         server
     }
@@ -118,7 +130,9 @@ impl Component for GassServer {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
-        let Ok(req) = msg.downcast::<GassRequest>() else { return };
+        let Ok(req) = msg.downcast::<GassRequest>() else {
+            return;
+        };
         let now = ctx.now();
         let request_id = req.request_id();
         // Authenticate first — every GASS operation is GSI-authenticated.
@@ -143,7 +157,13 @@ impl Component for GassServer {
             }
         }
         match *req {
-            GassRequest::Get { request_id, path, offset, limit, .. } => {
+            GassRequest::Get {
+                request_id,
+                path,
+                offset,
+                limit,
+                ..
+            } => {
                 match self.files.read(&path) {
                     None => {
                         ctx.metrics().incr("gass.not_found", 1);
@@ -160,38 +180,103 @@ impl Component for GassServer {
                         let data = f.data.slice(offset, limit);
                         ctx.metrics().incr("gass.gets", 1);
                         ctx.trace("gass.get", format!("{path} [{offset}..+{}]", data.len()));
+                        ctx.trace(
+                            "span",
+                            format!("phase=transfer op=get path={path} bytes={}", data.len()),
+                        );
                         // The reply pays for the bytes it carries.
                         let bytes = data.len();
-                        ctx.send_bulk(from, bytes, GassReply::Data { request_id, data, total_size });
+                        ctx.send_bulk(
+                            from,
+                            bytes,
+                            GassReply::Data {
+                                request_id,
+                                data,
+                                total_size,
+                            },
+                        );
                     }
                 }
             }
-            GassRequest::Put { request_id, path, data, .. } => {
+            GassRequest::Put {
+                request_id,
+                path,
+                data,
+                ..
+            } => {
                 ctx.metrics().incr("gass.puts", 1);
                 ctx.trace("gass.put", format!("{path} ({} bytes)", data.len()));
+                ctx.trace(
+                    "span",
+                    format!("phase=transfer op=put path={path} bytes={}", data.len()),
+                );
                 self.write_through(ctx, &path, FsOp::Put(data));
                 let new_size = self.files.size(&path).unwrap_or(0);
-                ctx.send(from, GassReply::Ok { request_id, new_size });
+                ctx.send(
+                    from,
+                    GassReply::Ok {
+                        request_id,
+                        new_size,
+                    },
+                );
             }
-            GassRequest::Append { request_id, path, data, .. } => {
+            GassRequest::Append {
+                request_id,
+                path,
+                data,
+                ..
+            } => {
                 ctx.metrics().incr("gass.appends", 1);
                 self.write_through(ctx, &path, FsOp::Append(data));
                 let new_size = self.files.size(&path).unwrap_or(0);
                 ctx.trace("gass.append", format!("{path} -> {new_size} bytes"));
-                ctx.send(from, GassReply::Ok { request_id, new_size });
+                ctx.send(
+                    from,
+                    GassReply::Ok {
+                        request_id,
+                        new_size,
+                    },
+                );
             }
-            GassRequest::WriteAt { request_id, path, offset, data, .. } => {
+            GassRequest::WriteAt {
+                request_id,
+                path,
+                offset,
+                data,
+                ..
+            } => {
                 ctx.metrics().incr("gass.write_ats", 1);
+                ctx.trace(
+                    "span",
+                    format!(
+                        "phase=transfer op=write_at path={path} bytes={}",
+                        data.len()
+                    ),
+                );
                 self.write_through(ctx, &path, FsOp::WriteAt(offset, data));
                 let new_size = self.files.size(&path).unwrap_or(0);
-                ctx.trace("gass.write_at", format!("{path} @{offset} -> {new_size} bytes"));
-                ctx.send(from, GassReply::Ok { request_id, new_size });
+                ctx.trace(
+                    "gass.write_at",
+                    format!("{path} @{offset} -> {new_size} bytes"),
+                );
+                ctx.send(
+                    from,
+                    GassReply::Ok {
+                        request_id,
+                        new_size,
+                    },
+                );
             }
-            GassRequest::Stat { request_id, path, .. } => match self.files.size(&path) {
+            GassRequest::Stat {
+                request_id, path, ..
+            } => match self.files.size(&path) {
                 Some(size) => ctx.send(from, GassReply::Size { request_id, size }),
                 None => ctx.send(
                     from,
-                    GassReply::Failed { request_id, error: TransferError::NotFound(path) },
+                    GassReply::Failed {
+                        request_id,
+                        error: TransferError::NotFound(path),
+                    },
                 ),
             },
         }
@@ -236,34 +321,58 @@ mod tests {
             }
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
-            let Ok(reply) = msg.downcast::<GassReply>() else { return };
+            let Ok(reply) = msg.downcast::<GassReply>() else {
+                return;
+            };
             let node = ctx.node();
             match *reply {
-                GassReply::Data { request_id, data, total_size } => {
+                GassReply::Data {
+                    request_id,
+                    data,
+                    total_size,
+                } => {
                     ctx.store().put(
                         node,
                         &format!("reply/{request_id}"),
                         &format!("data len={} total={total_size}", data.len()),
                     );
                 }
-                GassReply::Ok { request_id, new_size } => {
-                    ctx.store()
-                        .put(node, &format!("reply/{request_id}"), &format!("ok size={new_size}"));
+                GassReply::Ok {
+                    request_id,
+                    new_size,
+                } => {
+                    ctx.store().put(
+                        node,
+                        &format!("reply/{request_id}"),
+                        &format!("ok size={new_size}"),
+                    );
                 }
                 GassReply::Size { request_id, size } => {
-                    ctx.store()
-                        .put(node, &format!("reply/{request_id}"), &format!("size={size}"));
+                    ctx.store().put(
+                        node,
+                        &format!("reply/{request_id}"),
+                        &format!("size={size}"),
+                    );
                 }
                 GassReply::Failed { request_id, error } => {
-                    ctx.store()
-                        .put(node, &format!("reply/{request_id}"), &format!("err {error}"));
+                    ctx.store().put(
+                        node,
+                        &format!("reply/{request_id}"),
+                        &format!("err {error}"),
+                    );
                 }
             }
         }
         fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _id: TimerId, _tag: u64) {}
     }
 
-    fn setup() -> (World, Addr, gridsim::NodeId, gsi::ProxyCredential, TrustRoot) {
+    fn setup() -> (
+        World,
+        Addr,
+        gridsim::NodeId,
+        gsi::ProxyCredential,
+        TrustRoot,
+    ) {
         let mut ca = CertificateAuthority::new("/CN=CA", 1);
         let id = ca.issue_identity("/CN=jane", Duration::from_days(30));
         let cred = id.new_proxy(SimTime::ZERO, Duration::from_hours(12));
@@ -410,7 +519,10 @@ mod tests {
         {
             let trust = trust.clone();
             w.set_boot(ns, move |b| {
-                b.add_component("gass", GassServer::recover(trust.clone(), b.store(), b.node()));
+                b.add_component(
+                    "gass",
+                    GassServer::recover(trust.clone(), b.store(), b.node()),
+                );
             });
         }
         // Phase 1: write a file, then crash the server for 10 minutes.
@@ -454,18 +566,30 @@ mod tests {
                 }
             }
             fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
-                if let Some(GassReply::Data { request_id, total_size, .. }) =
-                    msg.downcast_ref::<GassReply>()
+                if let Some(GassReply::Data {
+                    request_id,
+                    total_size,
+                    ..
+                }) = msg.downcast_ref::<GassReply>()
                 {
                     let node = ctx.node();
-                    ctx.store().put(node, &format!("got/{request_id}"), total_size);
+                    ctx.store()
+                        .put(node, &format!("got/{request_id}"), total_size);
                 }
             }
         }
         w.add_component(nc, "reader", LateReader { server, cred });
         w.run_until_quiescent();
-        assert_eq!(w.store().get::<u64>(nc, "got/10"), Some(10), "preload lost in crash");
-        assert_eq!(w.store().get::<u64>(nc, "got/11"), Some(7), "written file lost in crash");
+        assert_eq!(
+            w.store().get::<u64>(nc, "got/10"),
+            Some(10),
+            "preload lost in crash"
+        );
+        assert_eq!(
+            w.store().get::<u64>(nc, "got/11"),
+            Some(7),
+            "written file lost in crash"
+        );
     }
 
     #[test]
@@ -480,8 +604,7 @@ mod tests {
         let server = w.add_component(
             ns,
             "gass",
-            GassServer::new(ca.trust_root())
-                .preload("/events", FileData::bulk(10_000_000, 1)),
+            GassServer::new(ca.trust_root()).preload("/events", FileData::bulk(10_000_000, 1)),
         );
         w.add_component(
             nc,

@@ -46,12 +46,20 @@ pub struct GassUrl {
 impl GassUrl {
     /// A `gass://` URL.
     pub fn gass(server: Addr, path: &str) -> GassUrl {
-        GassUrl { scheme: Scheme::Gass, server, path: path.to_string() }
+        GassUrl {
+            scheme: Scheme::Gass,
+            server,
+            path: path.to_string(),
+        }
     }
 
     /// A `gsiftp://` URL.
     pub fn gsiftp(server: Addr, path: &str) -> GassUrl {
-        GassUrl { scheme: Scheme::GsiFtp, server, path: path.to_string() }
+        GassUrl {
+            scheme: Scheme::GsiFtp,
+            server,
+            path: path.to_string(),
+        }
     }
 }
 
@@ -109,8 +117,15 @@ impl FromStr for GassUrl {
             .ok_or_else(|| UrlError(format!("bad comp in {host}")))?;
         Ok(GassUrl {
             scheme,
-            server: Addr { node: NodeId(node), comp: CompId(comp) },
-            path: if path.is_empty() { "/".to_string() } else { path.to_string() },
+            server: Addr {
+                node: NodeId(node),
+                comp: CompId(comp),
+            },
+            path: if path.is_empty() {
+                "/".to_string()
+            } else {
+                path.to_string()
+            },
         })
     }
 }
@@ -120,7 +135,10 @@ mod tests {
     use super::*;
 
     fn addr(n: u32, c: u32) -> Addr {
-        Addr { node: NodeId(n), comp: CompId(c) }
+        Addr {
+            node: NodeId(n),
+            comp: CompId(c),
+        }
     }
 
     #[test]

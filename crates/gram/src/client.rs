@@ -131,7 +131,11 @@ impl SubmitSession {
     /// Feed a gatekeeper reply; returns what to do next.
     pub fn on_reply(&mut self, reply: &GramReply) -> SubmitAction {
         match reply {
-            GramReply::Submitted { seq, contact, jobmanager } if *seq == self.seq => {
+            GramReply::Submitted {
+                seq,
+                contact,
+                jobmanager,
+            } if *seq == self.seq => {
                 if let SessionState::Committed { .. } = self.state {
                     // Duplicate reply to a retransmission: already handled.
                     return SubmitAction::Ignore;
@@ -141,7 +145,10 @@ impl SubmitSession {
                     jobmanager: *jobmanager,
                     acked: false,
                 };
-                SubmitAction::SendCommit { jobmanager: *jobmanager, contact: *contact }
+                SubmitAction::SendCommit {
+                    jobmanager: *jobmanager,
+                    contact: *contact,
+                }
             }
             GramReply::SubmitFailed { seq, error } if *seq == self.seq => {
                 if matches!(self.state, SessionState::Committed { .. }) {
@@ -173,9 +180,11 @@ impl SubmitSession {
     /// to retransmit.
     pub fn commit_retry(&self) -> Option<(Addr, JmMsg)> {
         match &self.state {
-            SessionState::Committed { jobmanager, acked: false, .. } => {
-                Some((*jobmanager, JmMsg::Commit))
-            }
+            SessionState::Committed {
+                jobmanager,
+                acked: false,
+                ..
+            } => Some((*jobmanager, JmMsg::Commit)),
             _ => None,
         }
     }
@@ -185,12 +194,15 @@ impl SubmitSession {
 mod session_tests {
     use super::*;
     use gass::Scheme;
+    use gridsim::time::{Duration, SimTime};
     use gridsim::{CompId, NodeId};
     use gsi::CertificateAuthority;
-    use gridsim::time::{Duration, SimTime};
 
     fn addr(n: u32, c: u32) -> Addr {
-        Addr { node: NodeId(n), comp: CompId(c) }
+        Addr {
+            node: NodeId(n),
+            comp: CompId(c),
+        }
     }
 
     fn session() -> SubmitSession {
@@ -202,7 +214,11 @@ mod session_tests {
             "&(executable=/x)".into(),
             cred,
             addr(0, 0),
-            GassUrl { scheme: Scheme::Gass, server: addr(0, 1), path: "/".into() },
+            GassUrl {
+                scheme: Scheme::Gass,
+                server: addr(0, 1),
+                path: "/".into(),
+            },
         )
     }
 
@@ -229,7 +245,10 @@ mod session_tests {
         };
         assert_eq!(
             s.on_reply(&reply),
-            SubmitAction::SendCommit { jobmanager: addr(1, 9), contact: JobContact(3) }
+            SubmitAction::SendCommit {
+                jobmanager: addr(1, 9),
+                contact: JobContact(3)
+            }
         );
         // A duplicate reply (retransmission raced the first answer) is inert.
         assert_eq!(s.on_reply(&reply), SubmitAction::Ignore);
@@ -258,8 +277,14 @@ mod session_tests {
     fn failure_reported_once() {
         let mut s = session();
         let _ = s.request();
-        let reply = GramReply::SubmitFailed { seq: 7, error: GramError::UnknownJob };
-        assert_eq!(s.on_reply(&reply), SubmitAction::GiveUp(GramError::UnknownJob));
+        let reply = GramReply::SubmitFailed {
+            seq: 7,
+            error: GramError::UnknownJob,
+        };
+        assert_eq!(
+            s.on_reply(&reply),
+            SubmitAction::GiveUp(GramError::UnknownJob)
+        );
         assert_eq!(s.state, SessionState::Failed(GramError::UnknownJob));
     }
 }

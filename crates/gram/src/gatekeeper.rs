@@ -76,11 +76,7 @@ impl Gatekeeper {
 
     fn persist(&self, ctx: &mut Ctx<'_>) {
         let node = ctx.node();
-        let flat: DedupMap = self
-            .dedup
-            .iter()
-            .map(|(k, v)| (k.clone(), v.0))
-            .collect();
+        let flat: DedupMap = self.dedup.iter().map(|(k, v)| (k.clone(), v.0)).collect();
         let (dk, ck) = (self.dedup_key(), self.contact_key());
         let next = self.next_contact;
         ctx.store().put(node, &dk, &flat);
@@ -90,10 +86,7 @@ impl Gatekeeper {
     /// Recover dedup state after a machine restart (used from boot hooks).
     pub fn recover(mut self, store: &gridsim::store::StableStore, node: NodeId) -> Gatekeeper {
         if let Some(flat) = store.get::<DedupMap>(node, &self.dedup_key()) {
-            self.dedup = flat
-                .into_iter()
-                .map(|(k, v)| (k, JobContact(v)))
-                .collect();
+            self.dedup = flat.into_iter().map(|(k, v)| (k, JobContact(v))).collect();
         }
         if let Some(next) = store.get::<u64>(node, &self.contact_key()) {
             self.next_contact = next;
@@ -123,12 +116,7 @@ impl Gatekeeper {
         Err(GramError::AuthorizationFailed(dn))
     }
 
-    fn spawn_jobmanager(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        contact: JobContact,
-        jm: JobManager,
-    ) -> Addr {
+    fn spawn_jobmanager(&mut self, ctx: &mut Ctx<'_>, contact: JobContact, jm: JobManager) -> Addr {
         let addr = ctx.spawn(ctx.node(), &format!("jm-{contact}"), jm);
         self.jobmanagers.insert(contact, addr);
         addr
@@ -137,21 +125,30 @@ impl Gatekeeper {
 
 impl Component for Gatekeeper {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
-        let Ok(req) = msg.downcast::<GramRequest>() else { return };
+        let Ok(req) = msg.downcast::<GramRequest>() else {
+            return;
+        };
         match *req {
             GramRequest::Ping { nonce } => {
                 ctx.send(from, GramReply::Pong { nonce });
             }
-            GramRequest::Submit { seq, credential, rsl, callback, gass, capability } => {
+            GramRequest::Submit {
+                seq,
+                credential,
+                rsl,
+                callback,
+                gass,
+                capability,
+            } => {
                 let (dn, local_user) =
                     match self.authenticate(ctx, &credential, capability.as_ref()) {
-                    Ok(v) => v,
-                    Err(error) => {
-                        ctx.metrics().incr("gram.rejected", 1);
-                        ctx.send(from, GramReply::SubmitFailed { seq, error });
-                        return;
-                    }
-                };
+                        Ok(v) => v,
+                        Err(error) => {
+                            ctx.metrics().incr("gram.rejected", 1);
+                            ctx.send(from, GramReply::SubmitFailed { seq, error });
+                            return;
+                        }
+                    };
                 // Exactly-once: a duplicate (DN, seq) gets the original
                 // answer, never a second job.
                 if self.two_phase {
@@ -159,7 +156,14 @@ impl Component for Gatekeeper {
                         ctx.metrics().incr("gram.duplicate_submits", 1);
                         ctx.trace("gram.dedup", format!("dn={dn} seq={seq} -> {contact}"));
                         if let Some(&jm) = self.jobmanagers.get(&contact) {
-                            ctx.send(from, GramReply::Submitted { seq, contact, jobmanager: jm });
+                            ctx.send(
+                                from,
+                                GramReply::Submitted {
+                                    seq,
+                                    contact,
+                                    jobmanager: jm,
+                                },
+                            );
                         } else {
                             // JobManager gone (e.g. machine restarted):
                             // restart it from its log.
@@ -169,11 +173,22 @@ impl Component for Gatekeeper {
                                     let jm = self.spawn_jobmanager(
                                         ctx,
                                         contact,
-                                        JobManager::recover(log, self.lrm, callback, gass, credential.clone(), 0),
+                                        JobManager::recover(
+                                            log,
+                                            self.lrm,
+                                            callback,
+                                            gass,
+                                            credential.clone(),
+                                            0,
+                                        ),
                                     );
                                     ctx.send(
                                         from,
-                                        GramReply::Submitted { seq, contact, jobmanager: jm },
+                                        GramReply::Submitted {
+                                            seq,
+                                            contact,
+                                            jobmanager: jm,
+                                        },
                                     );
                                 }
                                 None => {
@@ -195,7 +210,10 @@ impl Component for Gatekeeper {
                     Err(e) => {
                         ctx.send(
                             from,
-                            GramReply::SubmitFailed { seq, error: GramError::BadRsl(e.to_string()) },
+                            GramReply::SubmitFailed {
+                                seq,
+                                error: GramError::BadRsl(e.to_string()),
+                            },
                         );
                         return;
                     }
@@ -206,6 +224,10 @@ impl Component for Gatekeeper {
                 ctx.trace(
                     "gram.submit",
                     format!("{} dn={dn} seq={seq} -> {contact}", self.site),
+                );
+                ctx.trace(
+                    "span",
+                    format!("seq={seq} contact={} phase=auth", contact.0),
                 );
                 let jm = JobManager::new(
                     contact,
@@ -223,7 +245,14 @@ impl Component for Gatekeeper {
                     self.dedup.insert((dn, seq), contact);
                     self.persist(ctx);
                 }
-                ctx.send(from, GramReply::Submitted { seq, contact, jobmanager: jm_addr });
+                ctx.send(
+                    from,
+                    GramReply::Submitted {
+                        seq,
+                        contact,
+                        jobmanager: jm_addr,
+                    },
+                );
             }
             GramRequest::RestartJobManager {
                 contact,
@@ -252,14 +281,30 @@ impl Component for Gatekeeper {
                         let jm = self.spawn_jobmanager(
                             ctx,
                             contact,
-                            JobManager::recover(log, self.lrm, callback, gass, credential, stdout_have),
+                            JobManager::recover(
+                                log,
+                                self.lrm,
+                                callback,
+                                gass,
+                                credential,
+                                stdout_have,
+                            ),
                         );
-                        ctx.send(from, GramReply::Restarted { contact, jobmanager: jm });
+                        ctx.send(
+                            from,
+                            GramReply::Restarted {
+                                contact,
+                                jobmanager: jm,
+                            },
+                        );
                     }
                     None => {
                         ctx.send(
                             from,
-                            GramReply::RestartFailed { contact, error: GramError::UnknownJob },
+                            GramReply::RestartFailed {
+                                contact,
+                                error: GramError::UnknownJob,
+                            },
                         );
                     }
                 }

@@ -177,7 +177,12 @@ impl JobManager {
         ctx.trace("jm.state", format!("{} -> {state:?}", self.contact));
         ctx.send(
             self.client,
-            JmMsg::Callback { contact: self.contact, state, exit_ok: self.exit_ok, at: ctx.now() },
+            JmMsg::Callback {
+                contact: self.contact,
+                state,
+                exit_ok: self.exit_ok,
+                at: ctx.now(),
+            },
         );
     }
 
@@ -217,6 +222,7 @@ impl JobManager {
 
     fn begin_stage_in(&mut self, ctx: &mut Ctx<'_>) {
         self.committed = true;
+        ctx.trace("span", format!("contact={} phase=commit", self.contact.0));
         if self.send_stage_requests(ctx) == 0 {
             // Everything is site-local: no staging needed.
             self.staging = Staging::Done;
@@ -228,12 +234,7 @@ impl JobManager {
 
     fn submit_to_lrm(&mut self, ctx: &mut Ctx<'_>) {
         let estimate = self.rsl.max_wall_time.unwrap_or(self.rsl.sim_runtime);
-        let required_arch = self
-            .rsl
-            .extra
-            .get("arch")
-            .and_then(|v| v.first())
-            .cloned();
+        let required_arch = self.rsl.extra.get("arch").and_then(|v| v.first()).cloned();
         let spec = JobSpec {
             cpus: self.rsl.count,
             runtime: self.rsl.sim_runtime,
@@ -241,7 +242,17 @@ impl JobManager {
             owner: self.local_user.clone(),
             required_arch,
         };
-        ctx.send(self.lrm, LrmRequest::Submit { client_job: self.contact.0, spec });
+        ctx.trace(
+            "span",
+            format!("contact={} phase=stage_in_done", self.contact.0),
+        );
+        ctx.send(
+            self.lrm,
+            LrmRequest::Submit {
+                client_job: self.contact.0,
+                spec,
+            },
+        );
     }
 
     fn begin_stage_out(&mut self, ctx: &mut Ctx<'_>) {
@@ -257,6 +268,10 @@ impl JobManager {
             self.callback(ctx, GramJobState::Done);
             return;
         }
+        ctx.trace(
+            "span",
+            format!("contact={} phase=stage_out", self.contact.0),
+        );
         self.callback(ctx, GramJobState::StageOut);
         match stdout_url.parse::<GassUrl>() {
             Ok(_) => self.send_stdout_chunk(ctx),
@@ -272,8 +287,12 @@ impl JobManager {
     /// Send (or re-send) the remaining stdout bytes as an idempotent
     /// positioned write; arms the retry timer.
     fn send_stdout_chunk(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(stdout_url) = self.rsl.stdout.clone() else { return };
-        let Ok(url) = stdout_url.parse::<GassUrl>() else { return };
+        let Some(stdout_url) = self.rsl.stdout.clone() else {
+            return;
+        };
+        let Ok(url) = stdout_url.parse::<GassUrl>() else {
+            return;
+        };
         let remaining = self.rsl.stdout_size.saturating_sub(self.stdout_sent);
         if remaining == 0 {
             return;
@@ -305,6 +324,7 @@ impl JobManager {
         match ev.state {
             LrmJobState::Running => {
                 ctx.metrics().incr("gram.jobs_started", 1);
+                ctx.trace("span", format!("contact={} phase=active", self.contact.0));
                 self.callback(ctx, GramJobState::Active);
             }
             LrmJobState::Queued => {
@@ -363,18 +383,16 @@ impl Component for JobManager {
                     self.send_stage_requests(ctx);
                 }
             }
-            TAG_STAGE_OUT
-                if self.stdout_req.is_some() => {
-                    ctx.metrics().incr("gram.stage_retries", 1);
-                    self.send_stdout_chunk(ctx);
+            TAG_STAGE_OUT if self.stdout_req.is_some() => {
+                ctx.metrics().incr("gram.stage_retries", 1);
+                self.send_stdout_chunk(ctx);
+            }
+            TAG_STATUS_POLL if !self.state.is_terminal() => {
+                if let Some(local_id) = self.local_id {
+                    ctx.send(self.lrm, LrmRequest::Status { local_id });
                 }
-            TAG_STATUS_POLL
-                if !self.state.is_terminal() => {
-                    if let Some(local_id) = self.local_id {
-                        ctx.send(self.lrm, LrmRequest::Status { local_id });
-                    }
-                    ctx.set_timer(STATUS_POLL, TAG_STATUS_POLL);
-                }
+                ctx.set_timer(STATUS_POLL, TAG_STATUS_POLL);
+            }
             _ => {}
         }
     }
@@ -384,7 +402,12 @@ impl Component for JobManager {
         if let Some(jm) = msg.downcast_ref::<JmMsg>() {
             match jm {
                 JmMsg::Commit => {
-                    ctx.send(from, JmMsg::CommitAck { contact: self.contact });
+                    ctx.send(
+                        from,
+                        JmMsg::CommitAck {
+                            contact: self.contact,
+                        },
+                    );
                     if self.state == GramJobState::PendingCommit && !self.committed {
                         ctx.metrics().incr("gram.commits", 1);
                         self.begin_stage_in(ctx);
@@ -458,9 +481,7 @@ impl Component for JobManager {
                             }
                         }
                         Some(LrmJobState::Completed) => {
-                            if self.state != GramJobState::StageOut
-                                || self.stdout_req.is_none()
-                            {
+                            if self.state != GramJobState::StageOut || self.stdout_req.is_none() {
                                 self.begin_stage_out(ctx);
                             }
                         }

@@ -43,7 +43,10 @@ pub enum GramJobState {
 impl GramJobState {
     /// True for states a job never leaves.
     pub fn is_terminal(self) -> bool {
-        matches!(self, GramJobState::Done | GramJobState::Failed | GramJobState::Removed)
+        matches!(
+            self,
+            GramJobState::Done | GramJobState::Failed | GramJobState::Removed
+        )
     }
 }
 

@@ -70,7 +70,11 @@ impl Default for RslSpec {
 impl RslSpec {
     /// Builder: a job running `executable` for `runtime`.
     pub fn job(executable: &str, runtime: Duration) -> RslSpec {
-        RslSpec { executable: executable.to_string(), sim_runtime: runtime, ..RslSpec::default() }
+        RslSpec {
+            executable: executable.to_string(),
+            sim_runtime: runtime,
+            ..RslSpec::default()
+        }
     }
 
     /// Builder: set processor count.
@@ -216,7 +220,10 @@ fn apply(spec: &mut RslSpec, name: &str, values: Vec<String>) -> Result<(), RslE
     let one = |values: &[String]| -> Result<String, RslError> {
         match values {
             [v] => Ok(v.clone()),
-            _ => Err(RslError(format!("{name} expects one value, got {}", values.len()))),
+            _ => Err(RslError(format!(
+                "{name} expects one value, got {}",
+                values.len()
+            ))),
         }
     };
     match name {
@@ -401,7 +408,8 @@ mod tests {
     #[test]
     fn display_round_trips_extra_attributes() {
         let mut s = RslSpec::job("/x", Duration::from_secs(10));
-        s.extra.insert("queue".into(), vec!["batch".into(), "low pri".into()]);
+        s.extra
+            .insert("queue".into(), vec!["batch".into(), "low pri".into()]);
         let back = parse(&s.to_string()).unwrap();
         assert_eq!(back.extra["queue"], vec!["batch", "low pri"]);
     }

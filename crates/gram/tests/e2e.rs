@@ -51,8 +51,11 @@ impl TestClient {
 
     fn persist(&self, ctx: &mut Ctx<'_>) {
         let node = ctx.node();
-        let flat: Vec<(u64, Vec<String>)> =
-            self.callbacks.iter().map(|(k, v)| (*k, v.clone())).collect();
+        let flat: Vec<(u64, Vec<String>)> = self
+            .callbacks
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
         ctx.store().put(node, "callbacks", &flat);
     }
 }
@@ -125,7 +128,11 @@ impl Component for TestClient {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
         if let Some(reply) = msg.downcast_ref::<GramReply>() {
             match reply {
-                GramReply::Submitted { seq, contact, jobmanager } => {
+                GramReply::Submitted {
+                    seq,
+                    contact,
+                    jobmanager,
+                } => {
                     self.contacts.insert(contact.0, *seq);
                     self.jobmanagers.insert(*seq, *jobmanager);
                     if let Some(s) = self.sessions.get_mut(seq) {
@@ -142,14 +149,19 @@ impl Component for TestClient {
                         .push(format!("SubmitFailed:{error}"));
                     self.persist(ctx);
                 }
-                GramReply::Restarted { contact, jobmanager } => {
+                GramReply::Restarted {
+                    contact,
+                    jobmanager,
+                } => {
                     if let Some(&seq) = self.contacts.get(&contact.0) {
                         self.jobmanagers.insert(seq, *jobmanager);
                         // Re-forward credential and GASS location, as the
                         // GridManager does after reconnecting.
                         ctx.send(
                             *jobmanager,
-                            JmMsg::RefreshCredential { credential: self.credential.clone() },
+                            JmMsg::RefreshCredential {
+                                credential: self.credential.clone(),
+                            },
                         );
                     }
                 }
@@ -157,8 +169,12 @@ impl Component for TestClient {
             }
             return;
         }
-        if let Some(JmMsg::Callback { contact, state, exit_ok, .. }) =
-            msg.downcast_ref::<JmMsg>()
+        if let Some(JmMsg::Callback {
+            contact,
+            state,
+            exit_ok,
+            ..
+        }) = msg.downcast_ref::<JmMsg>()
         {
             let seq = self.contacts.get(&contact.0).copied().unwrap_or(u64::MAX);
             self.callbacks
@@ -224,7 +240,13 @@ fn rig(seed: u64, jobs: Vec<RslSpec>, configure: impl FnOnce(&mut TestClient, &m
     client.jobs = jobs;
     configure(&mut client, &mut w);
     let client_addr = w.add_component(submit, "client", client);
-    Rig { world: w, client_node: submit, gk_node: interface, client: client_addr, gatekeeper: gk }
+    Rig {
+        world: w,
+        client_node: submit,
+        gk_node: interface,
+        client: client_addr,
+        gatekeeper: gk,
+    }
 }
 
 fn job_rsl(gass: &GassUrl, runtime_secs: u64, stdout_size: u64) -> RslSpec {
@@ -239,7 +261,10 @@ fn job_rsl(gass: &GassUrl, runtime_secs: u64, stdout_size: u64) -> RslSpec {
 
 fn callbacks_of(w: &World, node: NodeId, seq: u64) -> Vec<String> {
     let flat: Vec<(u64, Vec<String>)> = w.store().get(node, "callbacks").unwrap_or_default();
-    flat.into_iter().find(|(k, _)| *k == seq).map(|(_, v)| v).unwrap_or_default()
+    flat.into_iter()
+        .find(|(k, _)| *k == seq)
+        .map(|(_, v)| v)
+        .unwrap_or_default()
 }
 
 #[test]
@@ -247,7 +272,10 @@ fn figure1_happy_path() {
     // The Figure-1 ladder: submit -> stage-in -> pending -> active ->
     // stage-out -> done, with stdout landing back on the submit machine.
     let placeholder = GassUrl::gass(
-        Addr { node: NodeId(0), comp: CompId(0) },
+        Addr {
+            node: NodeId(0),
+            comp: CompId(0),
+        },
         "",
     );
     let _ = placeholder;
@@ -265,7 +293,8 @@ fn figure1_happy_path() {
     );
     // stdout visible on the submit machine's GASS server.
     assert_eq!(
-        w.store().get::<u64>(r.client_node, "gass/size/home/jane/out.dat"),
+        w.store()
+            .get::<u64>(r.client_node, "gass/size/home/jane/out.dat"),
         Some(4096)
     );
     assert_eq!(w.metrics().counter("gram.submits"), 1);
@@ -278,14 +307,20 @@ fn figure1_happy_path() {
 #[test]
 fn many_jobs_all_complete() {
     let r = rig(8, vec![], |client, _| {
-        let jobs = (0..10).map(|_| job_rsl(&client.gass_url, 1200, 1024)).collect();
+        let jobs = (0..10)
+            .map(|_| job_rsl(&client.gass_url, 1200, 1024))
+            .collect();
         client.jobs = jobs;
     });
     let mut w = r.world;
     w.run_until_quiescent();
     for seq in 0..10 {
         let cbs = callbacks_of(&w, r.client_node, seq);
-        assert_eq!(cbs.last().map(String::as_str), Some("Done+"), "job {seq}: {cbs:?}");
+        assert_eq!(
+            cbs.last().map(String::as_str),
+            Some("Done+"),
+            "job {seq}: {cbs:?}"
+        );
     }
     // 10 jobs on 4 CPUs: three serial waves.
     assert_eq!(w.metrics().counter("site.completed"), 10);
@@ -377,7 +412,11 @@ fn exactly_once_when_retransmits_cross_a_gatekeeper_crash() {
     w.run_until_quiescent();
     let cbs = callbacks_of(&w, r.client_node, 0);
     assert_eq!(cbs.last().map(String::as_str), Some("Done+"), "{cbs:?}");
-    assert_eq!(w.metrics().counter("gram.submits"), 1, "dedup table lost in crash");
+    assert_eq!(
+        w.metrics().counter("gram.submits"),
+        1,
+        "dedup table lost in crash"
+    );
     assert!(w.metrics().counter("gram.duplicate_submits") >= 1);
     assert_eq!(w.metrics().counter("site.completed"), 1);
     let _ = (r.client, r.gatekeeper);
@@ -397,7 +436,10 @@ fn gatekeeper_crash_recovery_resumes_the_job() {
     // Let the job get submitted and start.
     w.run_until(SimTime::ZERO + Duration::from_mins(5));
     let cbs = callbacks_of(&w, r.client_node, 0);
-    assert!(cbs.contains(&"Active".to_string()), "job not started yet: {cbs:?}");
+    assert!(
+        cbs.contains(&"Active".to_string()),
+        "job not started yet: {cbs:?}"
+    );
     // Interface machine crashes for 30 min (job finishes at t=30min while
     // the gatekeeper is down).
     w.crash_node_now(r.gk_node);
@@ -409,7 +451,8 @@ fn gatekeeper_crash_recovery_resumes_the_job() {
     assert_eq!(w.metrics().counter("gram.jm_restarts"), 1);
     // stdout staged despite the crash.
     assert_eq!(
-        w.store().get::<u64>(r.client_node, "gass/size/home/jane/out.dat"),
+        w.store()
+            .get::<u64>(r.client_node, "gass/size/home/jane/out.dat"),
         Some(2048)
     );
     let _ = (r.client, r.gatekeeper);
@@ -457,7 +500,10 @@ fn unauthorized_user_rejected() {
     w.run_until_quiescent();
     let cbs = callbacks_of(&w, cn, 0);
     assert_eq!(cbs.len(), 1);
-    assert!(cbs[0].contains("no gridmap entry for /CN=mallory"), "{cbs:?}");
+    assert!(
+        cbs[0].contains("no gridmap entry for /CN=mallory"),
+        "{cbs:?}"
+    );
     assert_eq!(w.metrics().counter("gram.rejected"), 1);
 }
 
@@ -467,8 +513,8 @@ fn capability_grants_access_without_gridmap_entry() {
     // basis of capabilities supplied with the request". A visitor with no
     // gridmap entry runs a job by presenting a site-signed capability;
     // without one (or with a forged one) they are refused.
-    use gsi::CapabilityIssuer;
     use gridsim::time::SimTime;
+    use gsi::CapabilityIssuer;
 
     let mut ca = CertificateAuthority::new("/CN=Globus CA", 1);
     let visitor = ca.issue_identity("/CN=visiting scientist", Duration::from_days(30));

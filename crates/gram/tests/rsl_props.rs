@@ -36,9 +36,8 @@ const RESERVED: &[&str] = &[
 
 fn extra_map() -> impl Strategy<Value = BTreeMap<String, Vec<String>>> {
     proptest::collection::btree_map(
-        "[a-z][a-z0-9]{0,10}".prop_filter("reserved attribute", |k| {
-            !RESERVED.contains(&k.as_str())
-        }),
+        "[a-z][a-z0-9]{0,10}"
+            .prop_filter("reserved attribute", |k| !RESERVED.contains(&k.as_str())),
         proptest::collection::vec(quoted_value(), 0..3),
         0..4,
     )

@@ -45,7 +45,10 @@ pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
 
 /// Deserialize a `T` from bytes produced by [`to_bytes`].
 pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
-    let mut de = Decoder { input: bytes, pos: 0 };
+    let mut de = Decoder {
+        input: bytes,
+        pos: 0,
+    };
     let value = T::deserialize(&mut de)?;
     if de.pos != bytes.len() {
         return Err(CodecError(format!(
@@ -401,7 +404,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let len = self.take_len()?;
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -409,7 +415,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -423,7 +432,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let len = self.take_len()?;
-        visitor.visit_map(Counted { de: self, remaining: len })
+        visitor.visit_map(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -448,11 +460,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         Err(CodecError("identifiers are not encoded".into()))
     }
 
-    fn deserialize_ignored_any<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        Err(CodecError("cannot skip values in a positional format".into()))
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError(
+            "cannot skip values in a positional format".into(),
+        ))
     }
 }
 
@@ -529,7 +540,11 @@ impl<'a, 'de> de::VariantAccess<'de> for EnumAccess<'a, 'de> {
     ) -> Result<T::Value, CodecError> {
         seed.deserialize(self.de)
     }
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
         de::Deserializer::deserialize_tuple(self.de, len, visitor)
     }
     fn struct_variant<V: Visitor<'de>>(
@@ -601,14 +616,20 @@ mod tests {
     #[test]
     fn structs_and_enums() {
         round_trip(JobState::Idle);
-        round_trip(JobState::Running { on: "gatekeeper.wisc.edu".into(), cpus: 64 });
+        round_trip(JobState::Running {
+            on: "gatekeeper.wisc.edu".into(),
+            cpus: 64,
+        });
         round_trip(JobState::Held("credential expired".into()));
         round_trip(JobState::Done(-1, true));
         let mut env = BTreeMap::new();
         env.insert("GASS_URL".to_string(), "gass://n0:9000".to_string());
         round_trip(Record {
             id: 42,
-            state: JobState::Running { on: "pbs".into(), cpus: 8 },
+            state: JobState::Running {
+                on: "pbs".into(),
+                cpus: 8,
+            },
             attempts: vec![1, 2, 3],
             note: None,
             env,

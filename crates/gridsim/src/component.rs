@@ -137,15 +137,43 @@ pub trait Component: 'static {
 
 /// An effect requested by a handler, applied by the kernel afterwards.
 pub(crate) enum Effect {
-    Send { to: Addr, msg: AnyMsg },
-    SendLocal { to: Addr, msg: AnyMsg },
-    SendBulk { to: Addr, bytes: u64, msg: AnyMsg },
-    SetTimer { id: TimerId, after: Duration, tag: u64 },
-    CancelTimer { id: TimerId },
-    Spawn { node: NodeId, name: String, comp: Box<dyn Component>, id: CompId },
-    Kill { addr: Addr },
-    CrashNode { node: NodeId },
-    RestartNode { node: NodeId, after: Duration },
+    Send {
+        to: Addr,
+        msg: AnyMsg,
+    },
+    SendLocal {
+        to: Addr,
+        msg: AnyMsg,
+    },
+    SendBulk {
+        to: Addr,
+        bytes: u64,
+        msg: AnyMsg,
+    },
+    SetTimer {
+        id: TimerId,
+        after: Duration,
+        tag: u64,
+    },
+    CancelTimer {
+        id: TimerId,
+    },
+    Spawn {
+        node: NodeId,
+        name: String,
+        comp: Box<dyn Component>,
+        id: CompId,
+    },
+    Kill {
+        addr: Addr,
+    },
+    CrashNode {
+        node: NodeId,
+    },
+    RestartNode {
+        node: NodeId,
+        after: Duration,
+    },
     Halt,
 }
 
@@ -189,7 +217,10 @@ impl<'w> Ctx<'w> {
     /// partitions apply; same-node sends use the loopback path and are
     /// reliable).
     pub fn send<M: Message>(&mut self, to: Addr, msg: M) {
-        self.effects.push(Effect::Send { to, msg: Box::new(msg) });
+        self.effects.push(Effect::Send {
+            to,
+            msg: Box::new(msg),
+        });
     }
 
     /// Send `bytes` of bulk data to `to`, delivering `msg` when the
@@ -198,7 +229,11 @@ impl<'w> Ctx<'w> {
     /// the network model says it should. Loss/partition rules apply once,
     /// to the whole transfer.
     pub fn send_bulk<M: Message>(&mut self, to: Addr, bytes: u64, msg: M) {
-        self.effects.push(Effect::SendBulk { to, bytes, msg: Box::new(msg) });
+        self.effects.push(Effect::SendBulk {
+            to,
+            bytes,
+            msg: Box::new(msg),
+        });
     }
 
     /// Send a message to a component on this same node, bypassing the
@@ -206,7 +241,10 @@ impl<'w> Ctx<'w> {
     /// never lost).
     pub fn send_local<M: Message>(&mut self, to: Addr, msg: M) {
         debug_assert_eq!(to.node, self.self_addr.node, "send_local across nodes");
-        self.effects.push(Effect::SendLocal { to, msg: Box::new(msg) });
+        self.effects.push(Effect::SendLocal {
+            to,
+            msg: Box::new(msg),
+        });
     }
 
     /// Schedule a timer to fire on this component after `after`, carrying
@@ -320,7 +358,10 @@ mod tests {
 
     #[test]
     fn addr_display() {
-        let a = Addr { node: NodeId(3), comp: CompId(9) };
+        let a = Addr {
+            node: NodeId(3),
+            comp: CompId(9),
+        };
         assert_eq!(format!("{a}"), "n3/c9");
     }
 }

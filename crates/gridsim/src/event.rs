@@ -109,7 +109,10 @@ pub struct EventQueue {
 impl EventQueue {
     /// An empty queue.
     pub fn new() -> EventQueue {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedule `kind` at `time`.
@@ -149,7 +152,10 @@ mod tests {
         q.push(
             SimTime(t),
             EventKind::Timer {
-                on: Addr { node: NodeId(0), comp: CompId(0) },
+                on: Addr {
+                    node: NodeId(0),
+                    comp: CompId(0),
+                },
                 id: TimerId(tag),
                 tag,
                 epoch: 0,
@@ -159,7 +165,11 @@ mod tests {
 
     fn pop_tag(q: &mut EventQueue) -> (u64, u64) {
         match q.pop().unwrap() {
-            Event { time, kind: EventKind::Timer { tag, .. }, .. } => (time.0, tag),
+            Event {
+                time,
+                kind: EventKind::Timer { tag, .. },
+                ..
+            } => (time.0, tag),
             other => panic!("unexpected {other:?}"),
         }
     }

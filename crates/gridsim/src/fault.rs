@@ -57,8 +57,11 @@ impl FaultPlan {
         start: SimTime,
         length: Duration,
     ) -> FaultPlan {
-        self.at(start, FaultAction::Partition(group_a.clone(), group_b.clone()))
-            .at(start + length, FaultAction::Heal(group_a, group_b))
+        self.at(
+            start,
+            FaultAction::Partition(group_a.clone(), group_b.clone()),
+        )
+        .at(start + length, FaultAction::Heal(group_a, group_b))
     }
 
     /// Generate exponential crash/repair cycles for each node over
@@ -117,14 +120,17 @@ mod tests {
 
     #[test]
     fn crash_restart_pairs() {
-        let plan = FaultPlan::new().crash_restart(
-            NodeId(3),
-            SimTime(100),
-            Duration::from_micros(50),
-        );
+        let plan =
+            FaultPlan::new().crash_restart(NodeId(3), SimTime(100), Duration::from_micros(50));
         assert_eq!(plan.len(), 2);
-        assert_eq!(plan.actions()[0], (SimTime(100), FaultAction::Crash(NodeId(3))));
-        assert_eq!(plan.actions()[1], (SimTime(150), FaultAction::Restart(NodeId(3))));
+        assert_eq!(
+            plan.actions()[0],
+            (SimTime(100), FaultAction::Crash(NodeId(3)))
+        );
+        assert_eq!(
+            plan.actions()[1],
+            (SimTime(150), FaultAction::Restart(NodeId(3)))
+        );
     }
 
     #[test]

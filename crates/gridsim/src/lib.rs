@@ -64,6 +64,7 @@ pub mod event;
 pub mod fault;
 pub mod metrics;
 pub mod network;
+pub mod obs;
 pub mod rng;
 pub mod store;
 pub mod time;
@@ -78,7 +79,7 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::store::StableStore;
     pub use crate::time::{Duration, SimTime};
-    pub use crate::trace::TraceEvent;
+    pub use crate::trace::{TraceEvent, TraceSubscriber};
     pub use crate::world::{Config, World};
 }
 

@@ -41,12 +41,22 @@ impl Histogram {
         self.samples.iter().sum()
     }
 
-    /// Largest observation (0 when empty).
+    /// Largest observation. Empty histograms report 0 by convention ("no
+    /// data" reads as zero in experiment tables), so an all-negative sample
+    /// set is distinguishable from no samples only via [`Histogram::count`].
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(0.0, f64::max)
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
     }
 
-    /// Smallest observation (0 when empty).
+    /// Smallest observation (0 when empty, same convention as
+    /// [`Histogram::max`]).
     pub fn min(&self) -> f64 {
         if self.samples.is_empty() {
             0.0
@@ -103,9 +113,18 @@ impl TimeSeries {
         self.points.last().map_or(0.0, |&(_, v)| v)
     }
 
-    /// Maximum recorded value (0 when empty).
+    /// Maximum recorded value. Empty series report 0 by convention (same
+    /// as [`Histogram::max`]); an all-negative series returns its true
+    /// (negative) maximum.
     pub fn max(&self) -> f64 {
-        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
     }
 
     /// Time-weighted average over `[start, end]`, treating the series as a
@@ -168,7 +187,10 @@ impl Metrics {
 
     /// Record a histogram observation.
     pub fn observe(&mut self, name: &str, v: f64) {
-        self.histograms.entry(name.to_string()).or_default().record(v);
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
     }
 
     /// Record a duration observation in seconds.
@@ -188,7 +210,10 @@ impl Metrics {
 
     /// Record a time-series point.
     pub fn gauge(&mut self, name: &str, t: SimTime, v: f64) {
-        self.series.entry(name.to_string()).or_default().record(t, v);
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .record(t, v);
     }
 
     /// Adjust a time-series by a delta relative to its last value — handy
@@ -207,6 +232,21 @@ impl Metrics {
     /// Names of all counters (sorted).
     pub fn counter_names(&self) -> impl Iterator<Item = &str> {
         self.counters.keys().map(String::as_str)
+    }
+
+    /// All counters with values, sorted by name (for exporters).
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, sorted by name (for exporters).
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All time series, sorted by name (for exporters).
+    pub fn all_series(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
     }
 }
 
@@ -244,6 +284,40 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.5), 0.0);
         assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn all_negative_histogram_max_is_not_clamped_to_zero() {
+        let mut h = Histogram::default();
+        for v in [-5.0, -1.0, -3.0] {
+            h.record(v);
+        }
+        assert_eq!(h.max(), -1.0);
+        assert_eq!(h.min(), -5.0);
+    }
+
+    #[test]
+    fn all_negative_series_max_is_not_clamped_to_zero() {
+        let mut s = TimeSeries::default();
+        s.record(SimTime(1), -4.0);
+        s.record(SimTime(2), -2.0);
+        s.record(SimTime(3), -9.0);
+        assert_eq!(s.max(), -2.0);
+        assert_eq!(TimeSeries::default().max(), 0.0);
+    }
+
+    #[test]
+    fn exporter_iterators_are_sorted() {
+        let mut m = Metrics::new();
+        m.incr("b", 2);
+        m.incr("a", 1);
+        m.observe("lat", 1.5);
+        m.gauge("busy", SimTime(1), 3.0);
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(m.histograms().count(), 1);
+        assert_eq!(m.all_series().count(), 1);
     }
 
     #[test]

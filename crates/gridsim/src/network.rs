@@ -36,7 +36,10 @@ impl Default for NetConfig {
     fn default() -> NetConfig {
         NetConfig {
             // Wide-area RTT ~60 ms in 2001 => ~30 ms one-way, with jitter.
-            default_latency: Dist::Uniform { lo: 0.020, hi: 0.040 },
+            default_latency: Dist::Uniform {
+                lo: 0.020,
+                hi: 0.040,
+            },
             loopback_latency: Dist::Constant(0.000_1),
             loss_rate: 0.0,
             // ~10 Mbit/s effective wide-area throughput, a fair match for
@@ -89,29 +92,38 @@ impl Network {
 
     /// Override the latency distribution for the directed link `from → to`.
     pub fn set_link_latency(&mut self, from: NodeId, to: NodeId, latency: Dist) {
-        self.overrides.entry((from, to)).or_insert(LinkOverride {
-            latency: None,
-            loss_rate: None,
-            bandwidth: None,
-        }).latency = Some(latency);
+        self.overrides
+            .entry((from, to))
+            .or_insert(LinkOverride {
+                latency: None,
+                loss_rate: None,
+                bandwidth: None,
+            })
+            .latency = Some(latency);
     }
 
     /// Override the loss probability for the directed link `from → to`.
     pub fn set_link_loss(&mut self, from: NodeId, to: NodeId, loss: f64) {
-        self.overrides.entry((from, to)).or_insert(LinkOverride {
-            latency: None,
-            loss_rate: None,
-            bandwidth: None,
-        }).loss_rate = Some(loss);
+        self.overrides
+            .entry((from, to))
+            .or_insert(LinkOverride {
+                latency: None,
+                loss_rate: None,
+                bandwidth: None,
+            })
+            .loss_rate = Some(loss);
     }
 
     /// Override the bandwidth for the directed link `from → to` (bytes/s).
     pub fn set_link_bandwidth(&mut self, from: NodeId, to: NodeId, bw: f64) {
-        self.overrides.entry((from, to)).or_insert(LinkOverride {
-            latency: None,
-            loss_rate: None,
-            bandwidth: None,
-        }).bandwidth = Some(bw);
+        self.overrides
+            .entry((from, to))
+            .or_insert(LinkOverride {
+                latency: None,
+                loss_rate: None,
+                bandwidth: None,
+            })
+            .bandwidth = Some(bw);
     }
 
     /// Set (or with `None`, clear) the dynamic global loss rate.
@@ -209,10 +221,15 @@ mod tests {
 
     #[test]
     fn loopback_is_fast_and_reliable() {
-        let mut net = Network::new(NetConfig { loss_rate: 1.0, ..NetConfig::default() });
+        let mut net = Network::new(NetConfig {
+            loss_rate: 1.0,
+            ..NetConfig::default()
+        });
         let mut r = rng();
         for _ in 0..100 {
-            let d = net.route(&mut r, NodeId(1), NodeId(1)).expect("loopback lost");
+            let d = net
+                .route(&mut r, NodeId(1), NodeId(1))
+                .expect("loopback lost");
             assert!(d <= Duration::from_millis(1));
         }
         assert_eq!(net.dropped, 0);
@@ -234,7 +251,10 @@ mod tests {
 
     #[test]
     fn loss_rate_approximated() {
-        let cfg = NetConfig { loss_rate: 0.25, ..NetConfig::default() };
+        let cfg = NetConfig {
+            loss_rate: 0.25,
+            ..NetConfig::default()
+        };
         let mut net = Network::new(cfg);
         let mut r = rng();
         let n = 20_000;
@@ -266,7 +286,9 @@ mod tests {
             ..NetConfig::default()
         });
         let mut r = rng();
-        let d = net.transfer_duration(&mut r, NodeId(0), NodeId(1), 10_000_000).unwrap();
+        let d = net
+            .transfer_duration(&mut r, NodeId(0), NodeId(1), 10_000_000)
+            .unwrap();
         assert_eq!(d, Duration::from_secs(10));
     }
 

@@ -1,0 +1,30 @@
+//! Observability: trace subscribers, job-lifecycle spans, metrics export,
+//! and the kernel profiler.
+//!
+//! The paper's results are observations — protocol ladders (Figures 1–2),
+//! CPU-hour integrals, failure/retry counts from week-long campaigns. This
+//! module family turns the kernel's raw trace and metrics sinks into those
+//! artifacts:
+//!
+//! * [`subscriber`] — pluggable [`crate::trace::TraceSubscriber`]s: a
+//!   bounded [`RingBuffer`], kind/node [`TraceFilter`]s, and a streaming
+//!   [`JsonlWriter`], so tracing stays on for long campaigns with bounded
+//!   memory.
+//! * [`span`] — the [`SpanCollector`] stitches `"span"` milestone events
+//!   into per-job submit → auth → commit → stage-in → queue → execute →
+//!   stage-out → terminal timelines, renders the generalized Figure-1
+//!   ladder, and reports per-phase duration histograms into
+//!   [`crate::metrics::Metrics`].
+//! * [`export`] — Prometheus-text and JSON snapshots of the metrics sink.
+//! * [`profiler`] — per-component event counts and handler wall time,
+//!   event-queue depth as a time series, events/sec summary.
+
+pub mod export;
+pub mod profiler;
+pub mod span;
+pub mod subscriber;
+
+pub use export::{json_snapshot, json_string, prometheus_snapshot};
+pub use profiler::{CompProfile, Profiler};
+pub use span::{AttemptSpan, JobSpan, SpanCollector, SpanPhase, PHASES, SPAN_KIND};
+pub use subscriber::{Filtered, JsonlWriter, RingBuffer, TraceFilter};

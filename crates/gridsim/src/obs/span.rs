@@ -1,0 +1,488 @@
+//! Job-lifecycle spans: stitching trace events into per-job timelines.
+//!
+//! Protocol components emit *span milestones* — trace events of kind
+//! `"span"` whose detail is a space-separated `key=value` list — at each
+//! boundary of the Figure-1 pipeline:
+//!
+//! | milestone       | emitted by          | meaning                                   |
+//! |-----------------|---------------------|-------------------------------------------|
+//! | `submit`        | `core::GridManager` | two-phase GRAM submit sent (opens attempt)|
+//! | `auth`          | `gram::Gatekeeper`  | GSI authentication + authorization passed |
+//! | `commit`        | `gram::JobManager`  | commit received, stage-in begins          |
+//! | `stage_in_done` | `gram::JobManager`  | executable staged, handed to site LRM     |
+//! | `active`        | `gram::JobManager`  | site scheduler started the job            |
+//! | `stage_out`     | `gram::JobManager`  | output staging back to the client began   |
+//! | `done`/`failed`/`removed` | `core::GridManager` | terminal state reported to user |
+//!
+//! Identity is threaded the way the protocols thread it: the `submit`
+//! milestone carries `job=<id> seq=<n>`, the gatekeeper's `auth` carries
+//! `seq=<n> contact=<c>`, and JobManager milestones carry `contact=<c>` —
+//! the [`SpanCollector`] joins them back into per-job [`JobSpan`]s with one
+//! [`AttemptSpan`] per (re)submission. GASS transfers annotate the span
+//! they belong to via the job-stdout path convention.
+//!
+//! The collector doubles as a [`TraceSubscriber`], so spans can be built
+//! online from a bounded pipeline, or offline from a recorded event vector
+//! via [`SpanCollector::from_events`].
+
+use crate::metrics::Metrics;
+use crate::time::{Duration, SimTime};
+use crate::trace::{TraceEvent, TraceSubscriber};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The trace-event kind span milestones are emitted under.
+pub const SPAN_KIND: &str = "span";
+
+/// Pipeline phases, in order. Each phase is the interval ending at the
+/// correspondingly named milestone (e.g. `Auth` spans submit→auth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanPhase {
+    /// Submit sent → gatekeeper authenticated (network + GSI handshake).
+    Auth,
+    /// Authenticated → commit received by the JobManager (two-phase commit).
+    Commit,
+    /// Commit → executable/stdin staged and job handed to the site LRM.
+    StageIn,
+    /// Handed to the LRM → the site scheduler started it (queue wait).
+    Queue,
+    /// Started → finished executing.
+    Execute,
+    /// Execution done → output staged back to the client.
+    StageOut,
+}
+
+impl SpanPhase {
+    /// Metric-friendly name (`span.phase.<name>` histograms).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanPhase::Auth => "auth",
+            SpanPhase::Commit => "commit",
+            SpanPhase::StageIn => "stage_in",
+            SpanPhase::Queue => "queue",
+            SpanPhase::Execute => "execute",
+            SpanPhase::StageOut => "stage_out",
+        }
+    }
+}
+
+/// All phases in pipeline order.
+pub const PHASES: [SpanPhase; 6] = [
+    SpanPhase::Auth,
+    SpanPhase::Commit,
+    SpanPhase::StageIn,
+    SpanPhase::Queue,
+    SpanPhase::Execute,
+    SpanPhase::StageOut,
+];
+
+/// The phase spanned by a consecutive milestone pair. `done` after
+/// `active` means execution with no output staging, so the pair decides.
+fn phase_between(prev: &str, next: &str) -> Option<SpanPhase> {
+    Some(match (prev, next) {
+        ("submit", "auth") => SpanPhase::Auth,
+        ("auth", "commit") => SpanPhase::Commit,
+        ("commit", "stage_in_done") => SpanPhase::StageIn,
+        ("stage_in_done", "active") => SpanPhase::Queue,
+        ("active", "stage_out") | ("active", "done") => SpanPhase::Execute,
+        ("stage_out", "done") => SpanPhase::StageOut,
+        _ => return None,
+    })
+}
+
+/// One (re)submission attempt of a job.
+#[derive(Debug, Clone, Default)]
+pub struct AttemptSpan {
+    /// GRAM submission sequence number.
+    pub seq: Option<u64>,
+    /// Site the broker chose.
+    pub site: Option<String>,
+    /// Job contact assigned by the gatekeeper.
+    pub contact: Option<u64>,
+    /// Milestones in arrival order: `(name, time)`.
+    pub milestones: Vec<(String, SimTime)>,
+    /// Bytes of output staged back, from GASS transfer annotations.
+    pub staged_out_bytes: u64,
+}
+
+impl AttemptSpan {
+    /// Time of the named milestone, if reached.
+    pub fn at(&self, milestone: &str) -> Option<SimTime> {
+        self.milestones
+            .iter()
+            .find(|(name, _)| name == milestone)
+            .map(|&(_, t)| t)
+    }
+
+    /// Duration of each completed phase, in pipeline order.
+    pub fn phase_durations(&self) -> Vec<(SpanPhase, Duration)> {
+        let mut out = Vec::new();
+        for pair in self.milestones.windows(2) {
+            let (ref prev, start) = pair[0];
+            let (ref next, end) = pair[1];
+            if let Some(phase) = phase_between(prev, next) {
+                out.push((phase, end - start));
+            }
+        }
+        out
+    }
+
+    /// The terminal milestone (`done`/`failed`/`removed`), if reached.
+    pub fn terminal(&self) -> Option<&str> {
+        self.milestones
+            .iter()
+            .rev()
+            .map(|(name, _)| name.as_str())
+            .find(|name| matches!(*name, "done" | "failed" | "removed"))
+    }
+}
+
+/// A job's full lifecycle: one or more attempts, last one authoritative.
+#[derive(Debug, Clone, Default)]
+pub struct JobSpan {
+    /// The job's queue id.
+    pub job: u64,
+    /// Submission attempts, in order.
+    pub attempts: Vec<AttemptSpan>,
+}
+
+impl JobSpan {
+    /// The last (authoritative) attempt.
+    pub fn last_attempt(&self) -> Option<&AttemptSpan> {
+        self.attempts.last()
+    }
+
+    /// Whether the full submit → done pipeline completed in some attempt.
+    pub fn completed(&self) -> bool {
+        self.attempts.iter().any(|a| a.terminal() == Some("done"))
+    }
+}
+
+/// Joins span milestones back into per-job timelines.
+///
+/// Also a [`TraceSubscriber`]: box a clone of a shared collector into the
+/// sink, or feed recorded events through [`SpanCollector::from_events`].
+#[derive(Debug, Default)]
+pub struct SpanCollector {
+    jobs: BTreeMap<u64, JobSpan>,
+    /// seq → job, registered by `submit` milestones.
+    seq_to_job: BTreeMap<u64, u64>,
+    /// contact → job, registered by `auth` milestones.
+    contact_to_job: BTreeMap<u64, u64>,
+    /// Span events that could not be attributed (unknown seq/contact).
+    pub orphans: u64,
+}
+
+/// Parse a `key=value` list; values cannot contain spaces (the emitters
+/// guarantee that for identity keys; free-text keys go last).
+fn field<'a>(detail: &'a str, key: &str) -> Option<&'a str> {
+    detail.split_whitespace().find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+impl SpanCollector {
+    /// An empty collector.
+    pub fn new() -> SpanCollector {
+        SpanCollector::default()
+    }
+
+    /// Build a collector from recorded events (offline reconstruction).
+    pub fn from_events(events: &[TraceEvent]) -> SpanCollector {
+        let mut c = SpanCollector::new();
+        for e in events {
+            c.ingest(e);
+        }
+        c
+    }
+
+    /// All reconstructed job spans, keyed by job id.
+    pub fn jobs(&self) -> &BTreeMap<u64, JobSpan> {
+        &self.jobs
+    }
+
+    /// Feed one event; non-span kinds are ignored.
+    pub fn ingest(&mut self, event: &TraceEvent) {
+        if event.kind != SPAN_KIND {
+            return;
+        }
+        let detail = event.detail.as_str();
+        // GASS transfer annotation: attribute via the stdout-path convention
+        // (`/condor_g/out/gj<job>`).
+        if field(detail, "phase") == Some("transfer") {
+            let Some(path) = field(detail, "path") else {
+                return;
+            };
+            let job: u64 = match path
+                .strip_prefix("/condor_g/out/gj")
+                .and_then(|s| s.parse().ok())
+            {
+                Some(job) => job,
+                // Stage-in and unrelated transfers carry no job id.
+                None => return,
+            };
+            let bytes: u64 = field(detail, "bytes")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            if let Some(attempt) = self.jobs.get_mut(&job).and_then(|j| j.attempts.last_mut()) {
+                attempt.staged_out_bytes += bytes;
+            }
+            return;
+        }
+        let Some(milestone) = field(detail, "phase").map(str::to_string) else {
+            self.orphans += 1;
+            return;
+        };
+        let seq: Option<u64> = field(detail, "seq").and_then(|s| s.parse().ok());
+        let contact: Option<u64> = field(detail, "contact").and_then(|s| s.parse().ok());
+        // Resolve the job: directly, via seq, or via contact.
+        let job: Option<u64> = field(detail, "job")
+            .and_then(|s| s.parse().ok())
+            .or_else(|| seq.and_then(|s| self.seq_to_job.get(&s).copied()))
+            .or_else(|| contact.and_then(|c| self.contact_to_job.get(&c).copied()));
+        let Some(job) = job else {
+            self.orphans += 1;
+            return;
+        };
+        let span = self.jobs.entry(job).or_insert_with(|| JobSpan {
+            job,
+            ..JobSpan::default()
+        });
+        if milestone == "submit" {
+            // A new attempt begins.
+            let mut attempt = AttemptSpan {
+                seq,
+                site: field(detail, "site").map(str::to_string),
+                ..AttemptSpan::default()
+            };
+            attempt.milestones.push((milestone, event.time));
+            span.attempts.push(attempt);
+            if let Some(seq) = seq {
+                self.seq_to_job.insert(seq, job);
+            }
+            return;
+        }
+        let Some(attempt) = span.attempts.last_mut() else {
+            self.orphans += 1;
+            return;
+        };
+        if milestone == "auth" {
+            if let Some(contact) = contact {
+                attempt.contact = Some(contact);
+                self.contact_to_job.insert(contact, job);
+            }
+        }
+        attempt.milestones.push((milestone, event.time));
+    }
+
+    /// Record per-phase duration histograms (`span.phase.<name>`, seconds)
+    /// and pipeline counters into `metrics`.
+    pub fn report_metrics(&self, metrics: &mut Metrics) {
+        for span in self.jobs.values() {
+            metrics.incr("span.jobs", 1);
+            metrics.incr("span.attempts", span.attempts.len() as u64);
+            if span.completed() {
+                metrics.incr("span.jobs_completed", 1);
+            }
+            for attempt in &span.attempts {
+                for (phase, d) in attempt.phase_durations() {
+                    metrics.observe_duration(&format!("span.phase.{}", phase.name()), d);
+                }
+                // End-to-end: submit to terminal, when both exist.
+                if let (Some((_, start)), Some(term)) =
+                    (attempt.milestones.first(), attempt.terminal())
+                {
+                    if let Some(end) = attempt.at(term) {
+                        metrics.observe_duration("span.end_to_end", end - *start);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Render the reconstructed timelines as a ladder, one job per block —
+    /// the generalization of the Figure-1/Figure-2 protocol ladder printer.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for span in self.jobs.values() {
+            let _ = writeln!(
+                out,
+                "gj{} ({} attempt{})",
+                span.job,
+                span.attempts.len(),
+                if span.attempts.len() == 1 { "" } else { "s" }
+            );
+            for (i, attempt) in span.attempts.iter().enumerate() {
+                let site = attempt.site.as_deref().unwrap_or("?");
+                let _ = write!(out, "  attempt {} via {site}", i + 1);
+                if let Some(seq) = attempt.seq {
+                    let _ = write!(out, " (seq {seq}");
+                    if let Some(c) = attempt.contact {
+                        let _ = write!(out, ", contact jc{c}");
+                    }
+                    out.push(')');
+                }
+                out.push('\n');
+                let mut prev: Option<SimTime> = None;
+                for (name, t) in &attempt.milestones {
+                    let _ = write!(out, "    {name:<14} at {t}");
+                    if let Some(p) = prev {
+                        let _ = write!(out, "  (+{})", *t - p);
+                    }
+                    out.push('\n');
+                    prev = Some(*t);
+                }
+                if attempt.staged_out_bytes > 0 {
+                    let _ = writeln!(out, "    staged out {} bytes", attempt.staged_out_bytes);
+                }
+            }
+        }
+        out
+    }
+
+    /// A per-phase summary table: `(phase name, samples, mean seconds)`.
+    pub fn phase_summary(&self) -> Vec<(&'static str, usize, f64)> {
+        let mut acc: BTreeMap<SpanPhase, (usize, f64)> = BTreeMap::new();
+        for span in self.jobs.values() {
+            for attempt in &span.attempts {
+                for (phase, d) in attempt.phase_durations() {
+                    let e = acc.entry(phase).or_insert((0, 0.0));
+                    e.0 += 1;
+                    e.1 += d.as_secs_f64();
+                }
+            }
+        }
+        PHASES
+            .iter()
+            .filter_map(|p| {
+                let &(n, sum) = acc.get(p)?;
+                Some((p.name(), n, sum / n as f64))
+            })
+            .collect()
+    }
+}
+
+impl TraceSubscriber for SpanCollector {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.ingest(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Addr, CompId, NodeId};
+
+    fn span_ev(t: u64, detail: &str) -> TraceEvent {
+        TraceEvent {
+            time: SimTime(t),
+            addr: Addr {
+                node: NodeId(0),
+                comp: CompId(0),
+            },
+            kind: SPAN_KIND,
+            detail: detail.to_string(),
+        }
+    }
+
+    fn full_pipeline() -> Vec<TraceEvent> {
+        vec![
+            span_ev(1_000_000, "job=0 seq=5 phase=submit site=anl"),
+            span_ev(2_000_000, "seq=5 contact=77 phase=auth"),
+            span_ev(3_000_000, "contact=77 phase=commit"),
+            span_ev(5_000_000, "contact=77 phase=stage_in_done"),
+            span_ev(9_000_000, "contact=77 phase=active"),
+            span_ev(20_000_000, "contact=77 phase=stage_out"),
+            span_ev(
+                21_000_000,
+                "phase=transfer op=put path=/condor_g/out/gj0 bytes=250000",
+            ),
+            span_ev(22_000_000, "job=0 phase=done"),
+        ]
+    }
+
+    #[test]
+    fn reconstructs_full_pipeline() {
+        let c = SpanCollector::from_events(&full_pipeline());
+        assert_eq!(c.orphans, 0);
+        let span = &c.jobs()[&0];
+        assert!(span.completed());
+        assert_eq!(span.attempts.len(), 1);
+        let a = &span.attempts[0];
+        assert_eq!(a.seq, Some(5));
+        assert_eq!(a.contact, Some(77));
+        assert_eq!(a.site.as_deref(), Some("anl"));
+        assert_eq!(a.staged_out_bytes, 250_000);
+        let phases: Vec<(SpanPhase, Duration)> = a.phase_durations();
+        assert_eq!(
+            phases,
+            vec![
+                (SpanPhase::Auth, Duration::from_secs(1)),
+                (SpanPhase::Commit, Duration::from_secs(1)),
+                (SpanPhase::StageIn, Duration::from_secs(2)),
+                (SpanPhase::Queue, Duration::from_secs(4)),
+                (SpanPhase::Execute, Duration::from_secs(11)),
+                (SpanPhase::StageOut, Duration::from_secs(2)),
+            ]
+        );
+        assert_eq!(a.terminal(), Some("done"));
+    }
+
+    #[test]
+    fn resubmission_opens_a_new_attempt() {
+        let events = vec![
+            span_ev(1_000_000, "job=3 seq=0 phase=submit site=a"),
+            span_ev(2_000_000, "seq=0 contact=10 phase=auth"),
+            span_ev(60_000_000, "job=3 seq=1 phase=submit site=b"),
+            span_ev(61_000_000, "seq=1 contact=11 phase=auth"),
+            span_ev(90_000_000, "job=3 phase=done"),
+        ];
+        let c = SpanCollector::from_events(&events);
+        let span = &c.jobs()[&3];
+        assert_eq!(span.attempts.len(), 2);
+        assert_eq!(span.attempts[0].site.as_deref(), Some("a"));
+        assert_eq!(span.attempts[1].site.as_deref(), Some("b"));
+        assert_eq!(span.attempts[1].contact, Some(11));
+        assert!(span.completed());
+    }
+
+    #[test]
+    fn unattributable_events_counted_not_crashed() {
+        let events = vec![
+            span_ev(1, "contact=999 phase=active"),
+            span_ev(2, "nonsense"),
+        ];
+        let c = SpanCollector::from_events(&events);
+        assert!(c.jobs().is_empty());
+        assert_eq!(c.orphans, 2);
+    }
+
+    #[test]
+    fn metrics_report_phase_histograms() {
+        let mut m = Metrics::new();
+        SpanCollector::from_events(&full_pipeline()).report_metrics(&mut m);
+        assert_eq!(m.counter("span.jobs"), 1);
+        assert_eq!(m.counter("span.jobs_completed"), 1);
+        let h = m
+            .histogram("span.phase.queue")
+            .expect("queue phase observed");
+        assert_eq!(h.count(), 1);
+        assert!((h.mean() - 4.0).abs() < 1e-9);
+        let e2e = m.histogram("span.end_to_end").expect("end-to-end observed");
+        assert!((e2e.mean() - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_shows_ladder() {
+        let c = SpanCollector::from_events(&full_pipeline());
+        let text = c.render();
+        assert!(text.contains("gj0 (1 attempt)"));
+        assert!(text.contains("attempt 1 via anl (seq 5, contact jc77)"));
+        assert!(text.contains("submit"));
+        assert!(text.contains("staged out 250000 bytes"));
+        let summary = c.phase_summary();
+        assert_eq!(summary.len(), 6, "all six pipeline phases completed");
+        assert_eq!(summary[0].0, "auth");
+    }
+}

@@ -1,0 +1,300 @@
+//! Trace subscribers: bounded ring buffer, kind/node filters, and a JSONL
+//! exporter.
+//!
+//! Each subscriber plugs into [`crate::trace::TraceSink::subscribe`] and
+//! observes every emitted [`TraceEvent`]; composition is by wrapping
+//! ([`Filtered`] around any inner subscriber).
+
+use crate::component::NodeId;
+use crate::trace::{TraceEvent, TraceSubscriber};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::rc::Rc;
+
+/// A predicate over trace events: which kinds (by prefix) and which nodes to
+/// keep. An empty filter matches everything.
+#[derive(Debug, Clone, Default)]
+pub struct TraceFilter {
+    kind_prefixes: Vec<String>,
+    nodes: Vec<NodeId>,
+}
+
+impl TraceFilter {
+    /// A filter matching every event.
+    pub fn any() -> TraceFilter {
+        TraceFilter::default()
+    }
+
+    /// Keep events whose kind starts with `prefix` (e.g. `"gram."` keeps
+    /// `gram.submit`, `gram.dedup`, ...). Multiple prefixes OR together.
+    pub fn kind_prefix(mut self, prefix: &str) -> TraceFilter {
+        self.kind_prefixes.push(prefix.to_string());
+        self
+    }
+
+    /// Keep only events attributed to components on `node`. Multiple nodes
+    /// OR together.
+    pub fn node(mut self, node: NodeId) -> TraceFilter {
+        self.nodes.push(node);
+        self
+    }
+
+    /// Whether `event` passes the filter.
+    pub fn matches(&self, event: &TraceEvent) -> bool {
+        let kind_ok = self.kind_prefixes.is_empty()
+            || self
+                .kind_prefixes
+                .iter()
+                .any(|p| event.kind.starts_with(p.as_str()));
+        let node_ok = self.nodes.is_empty() || self.nodes.contains(&event.addr.node);
+        kind_ok && node_ok
+    }
+}
+
+/// Wraps another subscriber, forwarding only events that pass a
+/// [`TraceFilter`].
+pub struct Filtered<S> {
+    filter: TraceFilter,
+    inner: S,
+}
+
+impl<S: TraceSubscriber> Filtered<S> {
+    /// Forward events matching `filter` to `inner`.
+    pub fn new(filter: TraceFilter, inner: S) -> Filtered<S> {
+        Filtered { filter, inner }
+    }
+}
+
+impl<S: TraceSubscriber> TraceSubscriber for Filtered<S> {
+    fn on_event(&mut self, event: &TraceEvent) {
+        if self.filter.matches(event) {
+            self.inner.on_event(event);
+        }
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
+struct RingInner {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    evicted: u64,
+}
+
+/// A bounded buffer of the most recent events: memory stays `O(capacity)`
+/// no matter how long the campaign runs.
+///
+/// Cloning yields a handle onto the same buffer, so the caller can keep one
+/// handle for inspection after boxing the other into the
+/// [`crate::trace::TraceSink`]:
+///
+/// ```
+/// use gridsim::obs::RingBuffer;
+/// let ring = RingBuffer::new(1000);
+/// let handle = ring.clone();
+/// // world.trace_mut().subscribe(Box::new(ring));
+/// // ... after the run: handle.snapshot()
+/// # let _ = handle.len();
+/// ```
+#[derive(Clone)]
+pub struct RingBuffer {
+    inner: Rc<RefCell<RingInner>>,
+}
+
+impl RingBuffer {
+    /// A ring holding at most `capacity` events (capacity 0 keeps nothing).
+    pub fn new(capacity: usize) -> RingBuffer {
+        RingBuffer {
+            inner: Rc::new(RefCell::new(RingInner {
+                capacity,
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                evicted: 0,
+            })),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().capacity
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().events.is_empty()
+    }
+
+    /// How many events were evicted to stay within capacity.
+    pub fn evicted(&self) -> u64 {
+        self.inner.borrow().evicted
+    }
+
+    /// Copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.iter().cloned().collect()
+    }
+}
+
+impl TraceSubscriber for RingBuffer {
+    fn on_event(&mut self, event: &TraceEvent) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.capacity == 0 {
+            inner.evicted += 1;
+            return;
+        }
+        while inner.events.len() >= inner.capacity {
+            inner.events.pop_front();
+            inner.evicted += 1;
+        }
+        inner.events.push_back(event.clone());
+    }
+}
+
+/// Streams every event as one JSON object per line (JSONL) to a writer.
+///
+/// The encoding is fully determined by the event stream — same seed, same
+/// bytes — which is what the trace-determinism tests assert.
+pub struct JsonlWriter<W: Write> {
+    writer: W,
+    lines: u64,
+    errored: bool,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Export events to `writer`.
+    pub fn new(writer: W) -> JsonlWriter<W> {
+        JsonlWriter {
+            writer,
+            lines: 0,
+            errored: false,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// True if any write failed (export is best-effort; the simulation
+    /// never aborts on trace I/O errors).
+    pub fn errored(&self) -> bool {
+        self.errored
+    }
+}
+
+/// Render one event as a single JSONL line (without trailing newline).
+pub fn jsonl_line(event: &TraceEvent) -> String {
+    format!(
+        "{{\"t\":{},\"node\":{},\"comp\":{},\"kind\":{},\"detail\":{}}}",
+        event.time.micros(),
+        event.addr.node.0,
+        event.addr.comp.0,
+        crate::obs::export::json_string(event.kind),
+        crate::obs::export::json_string(&event.detail),
+    )
+}
+
+impl<W: Write> TraceSubscriber for JsonlWriter<W> {
+    fn on_event(&mut self, event: &TraceEvent) {
+        if self.errored {
+            return;
+        }
+        let line = jsonl_line(event);
+        if writeln!(self.writer, "{line}").is_err() {
+            self.errored = true;
+            return;
+        }
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) {
+        if self.writer.flush().is_err() {
+            self.errored = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Addr, CompId};
+    use crate::time::SimTime;
+
+    fn ev(t: u64, node: u32, kind: &'static str, detail: &str) -> TraceEvent {
+        TraceEvent {
+            time: SimTime(t),
+            addr: Addr {
+                node: NodeId(node),
+                comp: CompId(0),
+            },
+            kind,
+            detail: detail.to_string(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let mut ring = RingBuffer::new(3);
+        let handle = ring.clone();
+        for i in 0..10u64 {
+            ring.on_event(&ev(i, 0, "k", &i.to_string()));
+        }
+        assert_eq!(handle.len(), 3);
+        assert_eq!(handle.evicted(), 7);
+        let details: Vec<String> = handle.snapshot().into_iter().map(|e| e.detail).collect();
+        assert_eq!(details, vec!["7", "8", "9"]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_holds_nothing() {
+        let mut ring = RingBuffer::new(0);
+        ring.on_event(&ev(1, 0, "k", "x"));
+        assert!(ring.is_empty());
+        assert_eq!(ring.evicted(), 1);
+    }
+
+    #[test]
+    fn filter_by_kind_prefix_and_node() {
+        let f = TraceFilter::any().kind_prefix("gram.").node(NodeId(1));
+        assert!(f.matches(&ev(0, 1, "gram.submit", "")));
+        assert!(!f.matches(&ev(0, 2, "gram.submit", "")), "wrong node");
+        assert!(!f.matches(&ev(0, 1, "gass.get", "")), "wrong kind");
+        assert!(TraceFilter::any().matches(&ev(0, 9, "anything", "")));
+    }
+
+    #[test]
+    fn filtered_forwards_matching_only() {
+        let ring = RingBuffer::new(100);
+        let handle = ring.clone();
+        let mut sub = Filtered::new(TraceFilter::any().kind_prefix("a"), ring);
+        sub.on_event(&ev(1, 0, "abc", "yes"));
+        sub.on_event(&ev(2, 0, "xyz", "no"));
+        assert_eq!(handle.len(), 1);
+        assert_eq!(handle.snapshot()[0].detail, "yes");
+    }
+
+    #[test]
+    fn jsonl_escapes_and_counts_lines() {
+        let mut out = Vec::new();
+        {
+            let mut w = JsonlWriter::new(&mut out);
+            w.on_event(&ev(1_500_000, 3, "k", "say \"hi\"\nplease"));
+            w.flush();
+            assert_eq!(w.lines(), 1);
+            assert!(!w.errored());
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "{\"t\":1500000,\"node\":3,\"comp\":0,\"kind\":\"k\",\
+             \"detail\":\"say \\\"hi\\\"\\nplease\"}\n"
+        );
+    }
+}

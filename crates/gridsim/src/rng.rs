@@ -20,7 +20,9 @@ pub struct SimRng {
 impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn new(seed: u64) -> SimRng {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Derive an independent child stream. Useful to give a subsystem its
@@ -278,7 +280,10 @@ mod tests {
     #[test]
     fn duration_sampling_nonnegative() {
         let mut r = SimRng::new(3);
-        let d = Dist::Normal { mean: 0.001, std_dev: 10.0 };
+        let d = Dist::Normal {
+            mean: 0.001,
+            std_dev: 10.0,
+        };
         for _ in 0..1000 {
             // Must clamp to zero rather than panic on negative draws.
             let _ = r.duration(&d);
@@ -288,7 +293,11 @@ mod tests {
     #[test]
     fn pareto_mean_formula_matches_samples() {
         let mut r = SimRng::new(21);
-        let d = Dist::Pareto { min: 2.0, max: 200.0, alpha: 1.5 };
+        let d = Dist::Pareto {
+            min: 2.0,
+            max: 200.0,
+            alpha: 1.5,
+        };
         let n = 100_000;
         let m: f64 = (0..n).map(|_| r.sample(&d)).sum::<f64>() / n as f64;
         let expect = d.mean();

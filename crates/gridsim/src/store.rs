@@ -104,7 +104,10 @@ mod tests {
     #[test]
     fn typed_round_trip() {
         let mut s = StableStore::new();
-        let st = QueueState { jobs: vec![1, 2, 3], epoch: 9 };
+        let st = QueueState {
+            jobs: vec![1, 2, 3],
+            epoch: 9,
+        };
         s.put(NodeId(0), "schedd/queue", &st);
         let back: QueueState = s.get(NodeId(0), "schedd/queue").unwrap();
         assert_eq!(back, st);

@@ -11,15 +11,11 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An instant in virtual time (microseconds since simulation start).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time (microseconds).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Duration(pub u64);
 
 impl SimTime {
@@ -292,7 +288,10 @@ mod tests {
         assert_eq!(t - SimTime::ZERO, Duration::from_secs(5));
         // Saturating: subtracting a later time yields zero, not underflow.
         assert_eq!(SimTime::ZERO - t, Duration::ZERO);
-        assert_eq!(Duration::from_secs(3) - Duration::from_secs(5), Duration::ZERO);
+        assert_eq!(
+            Duration::from_secs(3) - Duration::from_secs(5),
+            Duration::ZERO
+        );
     }
 
     #[test]

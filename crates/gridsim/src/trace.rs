@@ -1,9 +1,20 @@
 //! Execution tracing.
 //!
-//! Traces serve two purposes: the determinism tests compare whole traces
-//! across runs, and the Figure-1/Figure-2 experiments print the protocol
+//! Traces serve three purposes: the determinism tests compare whole traces
+//! across runs, the Figure-1/Figure-2 experiments print the protocol
 //! "ladder" (who sent what to whom, and which state transitions followed) to
-//! show the reproduction walks the same path as the paper's diagrams.
+//! show the reproduction walks the same path as the paper's diagrams, and
+//! the [`crate::obs`] layer turns them into per-job lifecycle spans and
+//! exportable timelines.
+//!
+//! The sink has two delivery paths:
+//!
+//! * an in-memory vector (`enabled`) — unbounded, convenient for tests and
+//!   short experiments that inspect [`TraceSink::events`] afterwards;
+//! * pluggable [`TraceSubscriber`]s — each event is offered to every
+//!   subscriber as it is emitted, so a week-long campaign can stream to a
+//!   JSONL file or keep only a bounded ring of recent events without the
+//!   unbounded vector ever being turned on.
 
 use crate::component::Addr;
 use crate::time::SimTime;
@@ -24,38 +35,107 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:>8} {:<24} {}", self.time, self.addr.to_string(), self.kind, self.detail)
+        write!(
+            f,
+            "[{:>12}] {:>8} {:<24} {}",
+            self.time,
+            self.addr.to_string(),
+            self.kind,
+            self.detail
+        )
     }
 }
 
-/// Collects trace events. Disabled by default (tracing a week-long campaign
-/// would allocate heavily); experiments that need the ladder enable it.
-#[derive(Debug, Default)]
+/// A consumer of trace events, registered with [`TraceSink::subscribe`].
+///
+/// Subscribers see every emitted event (do their own filtering via
+/// [`crate::obs::Filtered`]) and run regardless of whether the sink's
+/// in-memory vector is enabled — that is what keeps memory bounded on long
+/// campaigns.
+pub trait TraceSubscriber {
+    /// Called once per emitted event, in emission order.
+    fn on_event(&mut self, event: &TraceEvent);
+
+    /// Flush any buffered output (e.g. an underlying file). Called by
+    /// [`TraceSink::flush`] at end of run; default is a no-op.
+    fn flush(&mut self) {}
+}
+
+/// Collects trace events and fans them out to subscribers.
+///
+/// The in-memory vector is disabled by default (tracing a week-long campaign
+/// would allocate heavily); experiments that need the full ladder enable it,
+/// campaigns attach bounded subscribers instead.
+#[derive(Default)]
 pub struct TraceSink {
     enabled: bool,
     events: Vec<TraceEvent>,
+    subscribers: Vec<Box<dyn TraceSubscriber>>,
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("enabled", &self.enabled)
+            .field("events", &self.events.len())
+            .field("subscribers", &self.subscribers.len())
+            .finish()
+    }
 }
 
 impl TraceSink {
-    /// A sink in the given state.
+    /// A sink in the given state, with no subscribers.
     pub fn new(enabled: bool) -> TraceSink {
-        TraceSink { enabled, events: Vec::new() }
+        TraceSink {
+            enabled,
+            events: Vec::new(),
+            subscribers: Vec::new(),
+        }
     }
 
-    /// Turn collection on/off.
+    /// Turn in-memory collection on/off (subscribers are unaffected).
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
     }
 
-    /// Whether events are being collected.
+    /// Whether events are being collected into the in-memory vector.
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
-    /// Record an event (no-op when disabled).
+    /// Register a subscriber; it sees every event emitted from now on.
+    pub fn subscribe(&mut self, sub: Box<dyn TraceSubscriber>) {
+        self.subscribers.push(sub);
+    }
+
+    /// Number of registered subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Flush all subscribers (call at end of run before reading exports).
+    pub fn flush(&mut self) {
+        for sub in &mut self.subscribers {
+            sub.flush();
+        }
+    }
+
+    /// Record an event (no-op when disabled and no subscriber is attached).
     pub fn emit(&mut self, time: SimTime, addr: Addr, kind: &'static str, detail: String) {
+        if !self.enabled && self.subscribers.is_empty() {
+            return;
+        }
+        let event = TraceEvent {
+            time,
+            addr,
+            kind,
+            detail,
+        };
+        for sub in &mut self.subscribers {
+            sub.on_event(&event);
+        }
         if self.enabled {
-            self.events.push(TraceEvent { time, addr, kind, detail });
+            self.events.push(event);
         }
     }
 
@@ -69,7 +149,7 @@ impl TraceSink {
         self.events.iter().filter(move |e| e.kind == kind)
     }
 
-    /// Drop all recorded events.
+    /// Drop all recorded events (subscribers keep what they already saw).
     pub fn clear(&mut self) {
         self.events.clear();
     }
@@ -81,7 +161,10 @@ mod tests {
     use crate::component::{CompId, NodeId};
 
     fn addr() -> Addr {
-        Addr { node: NodeId(0), comp: CompId(1) }
+        Addr {
+            node: NodeId(0),
+            comp: CompId(1),
+        }
     }
 
     #[test]
@@ -104,10 +187,32 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = TraceEvent { time: SimTime(1_500_000), addr: addr(), kind: "k", detail: "d".into() };
+        let e = TraceEvent {
+            time: SimTime(1_500_000),
+            addr: addr(),
+            kind: "k",
+            detail: "d".into(),
+        };
         let s = format!("{e}");
         assert!(s.contains("1.500s"));
         assert!(s.contains("n0/c1"));
         assert!(s.contains('k'));
+    }
+
+    #[test]
+    fn subscribers_see_events_even_when_vector_disabled() {
+        struct Counter(std::rc::Rc<std::cell::Cell<u32>>);
+        impl TraceSubscriber for Counter {
+            fn on_event(&mut self, _event: &TraceEvent) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut t = TraceSink::new(false);
+        t.subscribe(Box::new(Counter(count.clone())));
+        t.emit(SimTime(1), addr(), "a", "1".into());
+        t.emit(SimTime(2), addr(), "b", "2".into());
+        assert!(t.events().is_empty(), "vector stays off");
+        assert_eq!(count.get(), 2, "subscriber saw both events");
     }
 }

@@ -206,13 +206,30 @@ fn world_runs_are_reproducible() {
         let mut w = gridsim::World::new(
             gridsim::Config::default()
                 .seed(99)
-                .net(NetConfig { loss_rate: 0.05, ..NetConfig::default() })
+                .net(NetConfig {
+                    loss_rate: 0.05,
+                    ..NetConfig::default()
+                })
                 .with_trace(),
         );
         let a = w.add_node("a");
         let b = w.add_node("b");
-        let pb = w.add_component(b, "x", Chatter { peer: None, hops: 0 });
-        w.add_component(a, "y", Chatter { peer: Some(pb), hops: 0 });
+        let pb = w.add_component(
+            b,
+            "x",
+            Chatter {
+                peer: None,
+                hops: 0,
+            },
+        );
+        w.add_component(
+            a,
+            "y",
+            Chatter {
+                peer: Some(pb),
+                hops: 0,
+            },
+        );
         w.run_until_quiescent();
         (w.events_processed(), w.now(), w.trace().events().len())
     }

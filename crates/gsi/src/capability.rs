@@ -73,7 +73,10 @@ pub struct CapabilityIssuer {
 impl CapabilityIssuer {
     /// An authority for `site`, keyed by `seed`.
     pub fn new(site: &str, seed: u64) -> CapabilityIssuer {
-        CapabilityIssuer { site: site.to_string(), key: KeyPair::from_seed(seed ^ 0xCAFE) }
+        CapabilityIssuer {
+            site: site.to_string(),
+            key: KeyPair::from_seed(seed ^ 0xCAFE),
+        }
     }
 
     /// The verification key gatekeepers should be configured with.
@@ -84,10 +87,7 @@ impl CapabilityIssuer {
     /// Grant `subject` access as `local_user` until `not_after`.
     pub fn grant(&self, subject: &str, local_user: &str, not_after: SimTime) -> Capability {
         let signature = self.key.sign(&Capability::to_be_signed(
-            subject,
-            &self.site,
-            local_user,
-            not_after,
+            subject, &self.site, local_user, not_after,
         ));
         Capability {
             subject: subject.to_string(),

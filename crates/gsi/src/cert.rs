@@ -149,10 +149,7 @@ impl TrustRoot {
 
     /// Look up a trusted CA key by DN.
     pub fn key_for(&self, dn: &str) -> Option<PublicKey> {
-        self.roots
-            .iter()
-            .find(|(d, _)| d == dn)
-            .map(|&(_, k)| k)
+        self.roots.iter().find(|(d, _)| d == dn).map(|&(_, k)| k)
     }
 }
 
@@ -166,7 +163,11 @@ pub struct CertificateAuthority {
 impl CertificateAuthority {
     /// Create a CA with the given distinguished name and key seed.
     pub fn new(dn: &str, seed: u64) -> CertificateAuthority {
-        CertificateAuthority { dn: dn.to_string(), key: KeyPair::from_seed(seed), issued: 0 }
+        CertificateAuthority {
+            dn: dn.to_string(),
+            key: KeyPair::from_seed(seed),
+            issued: 0,
+        }
     }
 
     /// The CA's distinguished name.
@@ -193,7 +194,10 @@ impl CertificateAuthority {
             SimTime::ZERO,
             SimTime::ZERO + lifetime,
         );
-        Identity { cert, key: user_key }
+        Identity {
+            cert,
+            key: user_key,
+        }
     }
 }
 
@@ -268,7 +272,10 @@ mod tests {
         let ca_key = ca.trust_root().key_for("/CN=CA").unwrap();
         let mut extended = id.cert.clone();
         extended.not_after = SimTime::ZERO + Duration::from_days(1000);
-        assert!(!extended.signature_valid(ca_key), "extending lifetime breaks the signature");
+        assert!(
+            !extended.signature_valid(ca_key),
+            "extending lifetime breaks the signature"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl KeyPair {
     /// Derive a key pair from seed material (deterministic).
     pub fn from_seed(seed: u64) -> KeyPair {
         let secret = mix(seed ^ 0xA5A5_A5A5_5A5A_5A5A);
-        KeyPair { secret, public: PublicKey(mix(secret)) }
+        KeyPair {
+            secret,
+            public: PublicKey(mix(secret)),
+        }
     }
 
     /// The public half.

@@ -53,5 +53,5 @@ pub use capability::{Capability, CapabilityIssuer};
 pub use cert::{AuthError, Certificate, CertificateAuthority, Identity, TrustRoot};
 pub use gridmap::GridMap;
 pub use keys::{KeyPair, PublicKey, Signature};
-pub use myproxy::{MyProxyServer, MyProxyRequest, MyProxyReply};
+pub use myproxy::{MyProxyReply, MyProxyRequest, MyProxyServer};
 pub use proxy::ProxyCredential;

@@ -77,24 +77,36 @@ impl MyProxyServer {
 
 impl Component for MyProxyServer {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
-        let Ok(req) = msg.downcast::<MyProxyRequest>() else { return };
+        let Ok(req) = msg.downcast::<MyProxyRequest>() else {
+            return;
+        };
         match *req {
-            MyProxyRequest::Store { user, passphrase, credential } => {
+            MyProxyRequest::Store {
+                user,
+                passphrase,
+                credential,
+            } => {
                 ctx.trace("myproxy.store", format!("user={user}"));
                 ctx.metrics().incr("myproxy.stored", 1);
                 self.vault.insert(user.clone(), (passphrase, credential));
                 ctx.send(from, MyProxyReply::Stored { user });
             }
-            MyProxyRequest::Retrieve { user, passphrase, lifetime, request_id } => {
+            MyProxyRequest::Retrieve {
+                user,
+                passphrase,
+                lifetime,
+                request_id,
+            } => {
                 let now = ctx.now();
                 let reply = match self.vault.get(&user) {
                     None => MyProxyReply::Denied {
                         request_id,
                         reason: format!("no credential stored for {user}"),
                     },
-                    Some((stored_pass, _)) if *stored_pass != passphrase => {
-                        MyProxyReply::Denied { request_id, reason: "bad passphrase".into() }
-                    }
+                    Some((stored_pass, _)) if *stored_pass != passphrase => MyProxyReply::Denied {
+                        request_id,
+                        reason: "bad passphrase".into(),
+                    },
                     Some((_, cred)) if cred.is_expired(now) => MyProxyReply::Denied {
                         request_id,
                         reason: "stored credential has expired".into(),
@@ -155,8 +167,7 @@ mod tests {
             );
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
-            if let Some(MyProxyReply::Proxy { credential, .. }) =
-                msg.downcast_ref::<MyProxyReply>()
+            if let Some(MyProxyReply::Proxy { credential, .. }) = msg.downcast_ref::<MyProxyReply>()
             {
                 let node = ctx.node();
                 let expiry = credential.expires_at().micros();
@@ -195,7 +206,10 @@ mod tests {
             },
         );
         w.run_until_quiescent();
-        let expiry = w.store().get::<u64>(nc, "got_proxy_expiry").expect("retrieved");
+        let expiry = w
+            .store()
+            .get::<u64>(nc, "got_proxy_expiry")
+            .expect("retrieved");
         // Short proxy expires ~12h after the retrieve, far before the 7-day parent.
         let got = SimTime(expiry);
         assert!(got > SimTime::ZERO + Duration::from_hours(12));
@@ -246,7 +260,14 @@ mod tests {
                 }
             }
         }
-        w.add_component(nc, "client", BadClient { server, long_proxy: Some(long) });
+        w.add_component(
+            nc,
+            "client",
+            BadClient {
+                server,
+                long_proxy: Some(long),
+            },
+        );
         w.run_until_quiescent();
         assert_eq!(w.store().get::<bool>(nc, "denied"), Some(true));
         assert_eq!(w.metrics().counter("myproxy.denied"), 1);

@@ -71,9 +71,13 @@ impl ProxyCredential {
         let first = self.chain.first().ok_or(AuthError::EmptyChain)?;
         let ca_key = trust
             .key_for(&first.issuer)
-            .ok_or_else(|| AuthError::UntrustedIssuer { issuer: first.issuer.clone() })?;
+            .ok_or_else(|| AuthError::UntrustedIssuer {
+                issuer: first.issuer.clone(),
+            })?;
         if !first.signature_valid(ca_key) {
-            return Err(AuthError::BadSignature { subject: first.subject.clone() });
+            return Err(AuthError::BadSignature {
+                subject: first.subject.clone(),
+            });
         }
         if !first.valid_at(now) {
             return Err(AuthError::Expired {
@@ -84,10 +88,14 @@ impl ProxyCredential {
         for window in self.chain.windows(2) {
             let (parent, child) = (&window[0], &window[1]);
             if child.issuer != parent.subject {
-                return Err(AuthError::BrokenChain { subject: child.subject.clone() });
+                return Err(AuthError::BrokenChain {
+                    subject: child.subject.clone(),
+                });
             }
             if !child.signature_valid(parent.public_key) {
-                return Err(AuthError::BadSignature { subject: child.subject.clone() });
+                return Err(AuthError::BadSignature {
+                    subject: child.subject.clone(),
+                });
             }
             if !child.valid_at(now) {
                 return Err(AuthError::Expired {
@@ -119,7 +127,10 @@ impl ProxyCredential {
         );
         let mut chain = self.chain.clone();
         chain.push(cert);
-        ProxyCredential { chain, leaf_key: sub_key }
+        ProxyCredential {
+            chain,
+            leaf_key: sub_key,
+        }
     }
 
     /// Sign request data with the leaf key (used by GRAM/GASS requests).
@@ -165,9 +176,15 @@ mod tests {
         let (ca, id) = setup();
         let proxy = id.new_proxy(SimTime::ZERO, Duration::from_hours(12));
         // Remote delegation asks for 24h but can't outlive the parent.
-        let remote = proxy.delegate(SimTime::ZERO + Duration::from_hours(1), Duration::from_hours(24));
+        let remote = proxy.delegate(
+            SimTime::ZERO + Duration::from_hours(1),
+            Duration::from_hours(24),
+        );
         assert_eq!(remote.delegation_depth(), 2);
-        assert_eq!(remote.expires_at(), SimTime::ZERO + Duration::from_hours(12));
+        assert_eq!(
+            remote.expires_at(),
+            SimTime::ZERO + Duration::from_hours(12)
+        );
         assert!(remote
             .verify(SimTime::ZERO + Duration::from_hours(2), &ca.trust_root())
             .is_ok());

@@ -97,7 +97,10 @@ pub struct Giis {
 impl Giis {
     /// An index trusting `trust` for query authentication.
     pub fn new(trust: TrustRoot) -> Giis {
-        Giis { trust, entries: BTreeMap::new() }
+        Giis {
+            trust,
+            entries: BTreeMap::new(),
+        }
     }
 }
 
@@ -105,23 +108,39 @@ impl Component for Giis {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
         if let Some(reg) = msg.downcast_ref::<GrrpRegister>() {
             ctx.metrics().incr("mds.registrations", 1);
-            self.entries.insert(
-                reg.resource.clone(),
-                (reg.ad.clone(), ctx.now() + reg.ttl),
-            );
+            self.entries
+                .insert(reg.resource.clone(), (reg.ad.clone(), ctx.now() + reg.ttl));
             return;
         }
-        let Ok(query) = msg.downcast::<GripQuery>() else { return };
-        let GripQuery { request_id, credential, filter } = *query;
+        let Ok(query) = msg.downcast::<GripQuery>() else {
+            return;
+        };
+        let GripQuery {
+            request_id,
+            credential,
+            filter,
+        } = *query;
         if let Err(e) = credential.verify(ctx.now(), &self.trust) {
             ctx.metrics().incr("mds.denied", 1);
-            ctx.send(from, GripReply::Denied { request_id, reason: e.to_string() });
+            ctx.send(
+                from,
+                GripReply::Denied {
+                    request_id,
+                    reason: e.to_string(),
+                },
+            );
             return;
         }
         let expr = match classads::parse_expr(&filter) {
             Ok(e) => e,
             Err(e) => {
-                ctx.send(from, GripReply::Denied { request_id, reason: e.to_string() });
+                ctx.send(
+                    from,
+                    GripReply::Denied {
+                        request_id,
+                        reason: e.to_string(),
+                    },
+                );
                 return;
             }
         };
@@ -135,7 +154,10 @@ impl Component for Giis {
             .map(|(ad, _)| ad.clone())
             .collect();
         ctx.metrics().incr("mds.queries", 1);
-        ctx.trace("mds.query", format!("filter `{filter}` -> {} ads", ads.len()));
+        ctx.trace(
+            "mds.query",
+            format!("filter `{filter}` -> {} ads", ads.len()),
+        );
         ctx.send(from, GripReply::Ads { request_id, ads });
     }
 }
@@ -160,13 +182,7 @@ const POLL_TAG: u64 = 1;
 
 impl Gris {
     /// A provider registering `base_ad` (plus live load) as `resource`.
-    pub fn new(
-        resource: &str,
-        base_ad: ClassAd,
-        lrm: Addr,
-        giis: Addr,
-        period: Duration,
-    ) -> Gris {
+    pub fn new(resource: &str, base_ad: ClassAd, lrm: Addr, giis: Addr, period: Duration) -> Gris {
         Gris {
             resource: resource.to_string(),
             base_ad,
@@ -195,7 +211,9 @@ impl Component for Gris {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
-        let Some(LrmReply::Info(info)) = msg.downcast_ref::<LrmReply>() else { return };
+        let Some(LrmReply::Info(info)) = msg.downcast_ref::<LrmReply>() else {
+            return;
+        };
         let mut ad = self.base_ad.clone();
         ad.set("Name", self.resource.as_str());
         ad.set("TotalCpus", i64::from(info.total_cpus));
@@ -204,7 +222,11 @@ impl Component for Gris {
         ad.set("RunningJobs", i64::from(info.running));
         ctx.send(
             self.giis,
-            GrrpRegister { resource: self.resource.clone(), ad, ttl: self.ttl },
+            GrrpRegister {
+                resource: self.resource.clone(),
+                ad,
+                ttl: self.ttl,
+            },
         );
     }
 }
@@ -218,7 +240,10 @@ mod tests {
     use site::{JobSpec, Lrm};
 
     fn addr(n: u32, c: u32) -> Addr {
-        Addr { node: gridsim::NodeId(n), comp: gridsim::CompId(c) }
+        Addr {
+            node: gridsim::NodeId(n),
+            comp: gridsim::CompId(c),
+        }
     }
 
     #[test]
@@ -253,16 +278,18 @@ mod tests {
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
             let node = ctx.node();
-            if let Ok(reply) = msg.downcast::<GripReply>() { match *reply {
-                GripReply::Ads { ads, .. } => {
-                    let names: Vec<String> =
-                        ads.iter().filter_map(|a| a.get_str("Name")).collect();
-                    ctx.store().put(node, "matches", &names);
+            if let Ok(reply) = msg.downcast::<GripReply>() {
+                match *reply {
+                    GripReply::Ads { ads, .. } => {
+                        let names: Vec<String> =
+                            ads.iter().filter_map(|a| a.get_str("Name")).collect();
+                        ctx.store().put(node, "matches", &names);
+                    }
+                    GripReply::Denied { reason, .. } => {
+                        ctx.store().put(node, "denied", &reason);
+                    }
                 }
-                GripReply::Denied { reason, .. } => {
-                    ctx.store().put(node, "denied", &reason);
-                }
-            } }
+            }
         }
     }
 
@@ -284,7 +311,9 @@ mod tests {
         let lrm_a = w.add_component(n_a, "lrm", Lrm::new("siteA", 16, Fifo));
         let lrm_b = w.add_component(n_b, "lrm", Lrm::new("siteB", 4, Fifo));
         let ad_a = ClassAd::new().with("Arch", "INTEL").with("OpSys", "LINUX");
-        let ad_b = ClassAd::new().with("Arch", "SUN4u").with("OpSys", "SOLARIS");
+        let ad_b = ClassAd::new()
+            .with("Arch", "SUN4u")
+            .with("OpSys", "SOLARIS");
         w.add_component(
             n_a,
             "gris",
@@ -314,14 +343,29 @@ mod tests {
                     }
                 }
             }
-            w.add_component(n_c, "filler", Filler { lrm: lrm_b, n: busy_site_jobs });
+            w.add_component(
+                n_c,
+                "filler",
+                Filler {
+                    lrm: lrm_b,
+                    n: busy_site_jobs,
+                },
+            );
         }
         w.add_component(
             n_c,
             "query",
-            Query { giis, credential: cred, filter: filter.to_string(), at: query_at },
+            Query {
+                giis,
+                credential: cred,
+                filter: filter.to_string(),
+                at: query_at,
+            },
         );
-        Rig { world: w, client_node: n_c }
+        Rig {
+            world: w,
+            client_node: n_c,
+        }
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub struct ChurnModel {
 impl ChurnModel {
     /// Steady churn with no diurnal component.
     pub fn steady(interval: Dist, reclaimed: Dist) -> ChurnModel {
-        ChurnModel { interval, reclaimed, diurnal_amplitude: 0.0 }
+        ChurnModel {
+            interval,
+            reclaimed,
+            diurnal_amplitude: 0.0,
+        }
     }
 }
 
@@ -138,7 +142,8 @@ impl Lrm {
     fn record_busy(&mut self, ctx: &mut Ctx<'_>) {
         let t = ctx.now();
         let used = self.used_cpus() as f64;
-        ctx.metrics().gauge(&format!("site.{}.busy", self.site), t, used);
+        ctx.metrics()
+            .gauge(&format!("site.{}.busy", self.site), t, used);
         // A grid-wide busy-CPU series: every site contributes deltas, so
         // the sum is exact across sites (used by the E1 concurrency plot).
         let delta = used - self.last_busy;
@@ -168,9 +173,14 @@ impl Lrm {
             let running_view: Vec<RunningView> = self
                 .running
                 .values()
-                .map(|r| RunningView { cpus: r.spec.cpus, expected_end: r.expected_end })
+                .map(|r| RunningView {
+                    cpus: r.spec.cpus,
+                    expected_end: r.expected_end,
+                })
                 .collect();
-            let picks = self.policy.select(ctx.now(), &queue_view, &running_view, free);
+            let picks = self
+                .policy
+                .select(ctx.now(), &queue_view, &running_view, free);
             if picks.is_empty() {
                 break;
             }
@@ -213,11 +223,18 @@ impl Lrm {
         };
         ctx.trace(
             "lrm.start",
-            format!("{} job {} ({} cpus)", self.site, job.local_id, job.spec.cpus),
+            format!(
+                "{} job {} ({} cpus)",
+                self.site, job.local_id, job.spec.cpus
+            ),
         );
         ctx.send(
             job.submitter,
-            LrmEvent { local_id: job.local_id, state: LrmJobState::Running, at: now },
+            LrmEvent {
+                local_id: job.local_id,
+                state: LrmJobState::Running,
+                at: now,
+            },
         );
         self.running.insert(
             job.local_id,
@@ -231,13 +248,16 @@ impl Lrm {
         );
         // Remember whether this run will exceed the wall limit.
         if exceeded {
-            self.terminal.insert(job.local_id, LrmJobState::WallTimeExceeded);
+            self.terminal
+                .insert(job.local_id, LrmJobState::WallTimeExceeded);
         }
         self.record_busy(ctx);
     }
 
     fn finish_job(&mut self, ctx: &mut Ctx<'_>, local_id: u64) {
-        let Some(run) = self.running.remove(&local_id) else { return };
+        let Some(run) = self.running.remove(&local_id) else {
+            return;
+        };
         let now = ctx.now();
         // Was this completion actually a wall-limit kill?
         let state = match self.terminal.remove(&local_id) {
@@ -247,39 +267,49 @@ impl Lrm {
         let elapsed = now - run.started;
         self.policy
             .charge(&run.spec.owner, elapsed * u64::from(run.spec.cpus));
-        ctx.metrics().incr("site.completed", (state == LrmJobState::Completed) as u64);
         ctx.metrics()
-            .incr("site.wall_killed", (state == LrmJobState::WallTimeExceeded) as u64);
+            .incr("site.completed", (state == LrmJobState::Completed) as u64);
+        ctx.metrics().incr(
+            "site.wall_killed",
+            (state == LrmJobState::WallTimeExceeded) as u64,
+        );
         ctx.metrics().observe(
             &format!("site.{}.cpu_seconds", self.site),
             elapsed.as_secs_f64() * f64::from(run.spec.cpus),
         );
-        ctx.trace("lrm.done", format!("{} job {local_id} -> {state:?}", self.site));
+        ctx.trace(
+            "lrm.done",
+            format!("{} job {local_id} -> {state:?}", self.site),
+        );
         self.terminal.insert(local_id, state);
-        ctx.send(run.submitter, LrmEvent { local_id, state, at: now });
+        ctx.send(
+            run.submitter,
+            LrmEvent {
+                local_id,
+                state,
+                at: now,
+            },
+        );
         self.record_busy(ctx);
         self.schedule(ctx);
     }
 
     fn apply_churn(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(churn) = self.churn.clone() else { return };
+        let Some(churn) = self.churn.clone() else {
+            return;
+        };
         let mut target = ctx.rng().sample(&churn.reclaimed).max(0.0);
         if churn.diurnal_amplitude > 0.0 {
             // Phase: minimum occupancy at midnight, maximum mid-afternoon.
             let day_frac = (ctx.now().as_secs_f64() / 86_400.0).fract();
-            let swing = (std::f64::consts::TAU * day_frac
-                - std::f64::consts::FRAC_PI_2)
-                .sin();
+            let swing = (std::f64::consts::TAU * day_frac - std::f64::consts::FRAC_PI_2).sin();
             target *= 1.0 + churn.diurnal_amplitude * swing;
         }
         self.reclaimed = (target.round().max(0.0) as u32).min(self.total_cpus);
         // Vacate youngest running jobs until used + reclaimed <= total.
         while self.used_cpus() + self.reclaimed > self.total_cpus {
             // Youngest = latest start.
-            let Some((&victim, _)) = self
-                .running
-                .iter()
-                .max_by_key(|(id, r)| (r.started, **id))
+            let Some((&victim, _)) = self.running.iter().max_by_key(|(id, r)| (r.started, **id))
             else {
                 break;
             };
@@ -289,13 +319,19 @@ impl Lrm {
             ctx.trace("lrm.vacate", format!("{} job {victim}", self.site));
             let now = ctx.now();
             // Partial usage still gets charged.
-            self.policy
-                .charge(&run.spec.owner, (now - run.started) * u64::from(run.spec.cpus));
+            self.policy.charge(
+                &run.spec.owner,
+                (now - run.started) * u64::from(run.spec.cpus),
+            );
             self.terminal.remove(&victim);
             if self.requeue_on_vacate {
                 ctx.send(
                     run.submitter,
-                    LrmEvent { local_id: victim, state: LrmJobState::Queued, at: now },
+                    LrmEvent {
+                        local_id: victim,
+                        state: LrmJobState::Queued,
+                        at: now,
+                    },
                 );
                 self.queue.insert(
                     0,
@@ -310,7 +346,11 @@ impl Lrm {
                 self.terminal.insert(victim, LrmJobState::Vacated);
                 ctx.send(
                     run.submitter,
-                    LrmEvent { local_id: victim, state: LrmJobState::Vacated, at: now },
+                    LrmEvent {
+                        local_id: victim,
+                        state: LrmJobState::Vacated,
+                        at: now,
+                    },
                 );
             }
         }
@@ -338,7 +378,9 @@ impl Component for Lrm {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
-        let Ok(req) = msg.downcast::<LrmRequest>() else { return };
+        let Ok(req) = msg.downcast::<LrmRequest>() else {
+            return;
+        };
         match *req {
             LrmRequest::Submit { client_job, spec } => {
                 let local_id = self.next_local;
@@ -350,11 +392,19 @@ impl Component for Lrm {
                         ctx.metrics().incr("site.arch_mismatch", 1);
                         ctx.trace(
                             "lrm.exec_failed",
-                            format!("{} job {local_id}: binary is {arch}, site is {}",
-                                self.site, self.arch),
+                            format!(
+                                "{} job {local_id}: binary is {arch}, site is {}",
+                                self.site, self.arch
+                            ),
                         );
                         self.terminal.insert(local_id, LrmJobState::Vacated);
-                        ctx.send(from, LrmReply::Submitted { client_job, local_id });
+                        ctx.send(
+                            from,
+                            LrmReply::Submitted {
+                                client_job,
+                                local_id,
+                            },
+                        );
                         ctx.send(
                             from,
                             LrmEvent {
@@ -368,7 +418,10 @@ impl Component for Lrm {
                 }
                 ctx.trace(
                     "lrm.submit",
-                    format!("{} job {local_id} ({} cpus, owner {})", self.site, spec.cpus, spec.owner),
+                    format!(
+                        "{} job {local_id} ({} cpus, owner {})",
+                        self.site, spec.cpus, spec.owner
+                    ),
                 );
                 self.queue.push(Queued {
                     local_id,
@@ -376,7 +429,13 @@ impl Component for Lrm {
                     submitter: from,
                     submitted: ctx.now(),
                 });
-                ctx.send(from, LrmReply::Submitted { client_job, local_id });
+                ctx.send(
+                    from,
+                    LrmReply::Submitted {
+                        client_job,
+                        local_id,
+                    },
+                );
                 self.schedule(ctx);
             }
             LrmRequest::Cancel { local_id } => {
@@ -386,7 +445,11 @@ impl Component for Lrm {
                     self.terminal.insert(local_id, LrmJobState::Removed);
                     ctx.send(
                         job.submitter,
-                        LrmEvent { local_id, state: LrmJobState::Removed, at: now },
+                        LrmEvent {
+                            local_id,
+                            state: LrmJobState::Removed,
+                            at: now,
+                        },
                     );
                 } else if let Some(run) = self.running.remove(&local_id) {
                     ctx.cancel_timer(run.timer);
@@ -394,7 +457,11 @@ impl Component for Lrm {
                     self.terminal.insert(local_id, LrmJobState::Removed);
                     ctx.send(
                         run.submitter,
-                        LrmEvent { local_id, state: LrmJobState::Removed, at: now },
+                        LrmEvent {
+                            local_id,
+                            state: LrmJobState::Removed,
+                            at: now,
+                        },
                     );
                     self.record_busy(ctx);
                     self.schedule(ctx);
@@ -445,7 +512,13 @@ mod tests {
     impl Component for Submitter {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             for (i, spec) in self.jobs.drain(..).enumerate() {
-                ctx.send(self.lrm, LrmRequest::Submit { client_job: i as u64, spec });
+                ctx.send(
+                    self.lrm,
+                    LrmRequest::Submit {
+                        client_job: i as u64,
+                        spec,
+                    },
+                );
             }
             if let Some((after, _)) = self.cancel_after {
                 ctx.set_timer(after, 0);
@@ -458,15 +531,19 @@ mod tests {
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
             if let Some(ev) = msg.downcast_ref::<LrmEvent>() {
-                self.events
-                    .entry(ev.local_id)
-                    .or_default()
-                    .push(format!("{:?}@{}", ev.state, ev.at.micros() / 1_000_000));
+                self.events.entry(ev.local_id).or_default().push(format!(
+                    "{:?}@{}",
+                    ev.state,
+                    ev.at.micros() / 1_000_000
+                ));
                 self.persist(ctx);
             } else if let Some(LrmReply::Submitted { local_id, .. }) =
                 msg.downcast_ref::<LrmReply>()
             {
-                self.events.entry(*local_id).or_default().push("Submitted".into());
+                self.events
+                    .entry(*local_id)
+                    .or_default()
+                    .push("Submitted".into());
                 self.persist(ctx);
             }
         }
@@ -492,7 +569,12 @@ mod tests {
         w.add_component(
             sub,
             "submitter",
-            Submitter { lrm, jobs, cancel_after: None, events: BTreeMap::new() },
+            Submitter {
+                lrm,
+                jobs,
+                cancel_after: None,
+                events: BTreeMap::new(),
+            },
         );
         w.run_until_quiescent();
         (w, sub)
@@ -509,8 +591,14 @@ mod tests {
         let (w, sub) = run_world(1, jobs, |l| l);
         for id in 0..3 {
             let evs = events_of(&w, sub, id);
-            assert!(evs.iter().any(|e| e.starts_with("Running")), "job {id}: {evs:?}");
-            assert!(evs.iter().any(|e| e.starts_with("Completed")), "job {id}: {evs:?}");
+            assert!(
+                evs.iter().any(|e| e.starts_with("Running")),
+                "job {id}: {evs:?}"
+            );
+            assert!(
+                evs.iter().any(|e| e.starts_with("Completed")),
+                "job {id}: {evs:?}"
+            );
         }
         // Serial: total makespan ~30 min.
         assert!(w.now() >= SimTime::ZERO + Duration::from_mins(30));
@@ -605,7 +693,10 @@ mod tests {
         w.run_until(SimTime::ZERO + Duration::from_days(3));
         // Despite vacations, every job eventually completes (requeue).
         assert_eq!(w.metrics().counter("site.completed"), 8);
-        assert!(w.metrics().counter("site.vacated") > 0, "churn never vacated anything");
+        assert!(
+            w.metrics().counter("site.vacated") > 0,
+            "churn never vacated anything"
+        );
     }
 
     #[test]

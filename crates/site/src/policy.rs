@@ -106,7 +106,9 @@ impl SchedPolicy for EasyBackfill {
                 break;
             }
         }
-        let Some(head) = queue.first() else { return out };
+        let Some(head) = queue.first() else {
+            return out;
+        };
         // Compute the head's reservation: the earliest time enough
         // processors free up, assuming running jobs end at their estimates.
         let mut releases: Vec<(SimTime, u32)> =
@@ -222,13 +224,20 @@ mod tests {
     }
 
     fn r(cpus: u32, end_secs: u64) -> RunningView {
-        RunningView { cpus, expected_end: SimTime::ZERO + Duration::from_secs(end_secs) }
+        RunningView {
+            cpus,
+            expected_end: SimTime::ZERO + Duration::from_secs(end_secs),
+        }
     }
 
     #[test]
     fn fifo_respects_order_and_blocks_at_head() {
         let mut p = Fifo;
-        let queue = vec![q(1, 4, 10, "a", 0), q(2, 1, 10, "a", 1), q(3, 1, 10, "a", 2)];
+        let queue = vec![
+            q(1, 4, 10, "a", 0),
+            q(2, 1, 10, "a", 1),
+            q(3, 1, 10, "a", 2),
+        ];
         // Only 2 CPUs free: head needs 4, so *nothing* starts.
         assert!(p.select(SimTime::ZERO, &queue, &[], 2).is_empty());
         // 6 free: all three start in order.
@@ -242,7 +251,7 @@ mod tests {
         let running = vec![r(1, 100), r(1, 100)];
         let queue = vec![
             q(1, 2, 1000, "a", 0), // head: needs both CPUs at t=100
-            q(2, 1, 50, "b", 1),   // would finish at t=50 < 100: safe? needs a free CPU *now* — none free.
+            q(2, 1, 50, "b", 1), // would finish at t=50 < 100: safe? needs a free CPU *now* — none free.
         ];
         assert!(p.select(SimTime::ZERO, &queue, &running, 0).is_empty());
         // Now one CPU free, one busy until 100; head (2 cpus) reserves t=100.

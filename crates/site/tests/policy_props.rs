@@ -5,11 +5,7 @@ use proptest::prelude::*;
 use site::policy::{EasyBackfill, FairShare, Fifo, QueueView, RunningView, SchedPolicy};
 
 fn arb_queue() -> impl Strategy<Value = Vec<QueueView>> {
-    prop::collection::vec(
-        (1u32..8, 1u64..10_000, 0u64..5, 0u64..1000),
-        0..30,
-    )
-    .prop_map(|raw| {
+    prop::collection::vec((1u32..8, 1u64..10_000, 0u64..5, 0u64..1000), 0..30).prop_map(|raw| {
         raw.into_iter()
             .enumerate()
             .map(|(i, (cpus, est, owner, at))| QueueView {

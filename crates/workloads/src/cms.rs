@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn pipeline_shape() {
-        let p = CmsParams { sim_jobs: 10, ..CmsParams::default() };
+        let p = CmsParams {
+            sim_jobs: 10,
+            ..CmsParams::default()
+        };
         let dag = cms_pipeline(&p, Some("TARGET.Site == \"wisc\""), None);
         assert_eq!(dag.nodes.len(), 11);
         assert_eq!(dag.edges.len(), 10);

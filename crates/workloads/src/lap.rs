@@ -28,9 +28,15 @@ pub struct LapSolution {
 /// ```
 pub fn solve_lap(cost: &[Vec<f64>]) -> LapSolution {
     let n = cost.len();
-    assert!(cost.iter().all(|row| row.len() == n), "cost matrix must be square");
+    assert!(
+        cost.iter().all(|row| row.len() == n),
+        "cost matrix must be square"
+    );
     if n == 0 {
-        return LapSolution { assignment: Vec::new(), cost: 0.0 };
+        return LapSolution {
+            assignment: Vec::new(),
+            cost: 0.0,
+        };
     }
     // 1-indexed arrays per the classic formulation.
     let inf = f64::INFINITY;
@@ -91,8 +97,15 @@ pub fn solve_lap(cost: &[Vec<f64>]) -> LapSolution {
             assignment[p[j] - 1] = j - 1;
         }
     }
-    let total: f64 = assignment.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
-    LapSolution { assignment, cost: total }
+    let total: f64 = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost[i][j])
+        .sum();
+    LapSolution {
+        assignment,
+        cost: total,
+    }
 }
 
 #[cfg(test)]
@@ -152,7 +165,11 @@ mod tests {
         // Strongly diagonal-favoring matrix.
         let n = 6;
         let cost: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 10.0 + (i + j) as f64 }).collect())
+            .map(|i| {
+                (0..n)
+                    .map(|j| if i == j { 0.0 } else { 10.0 + (i + j) as f64 })
+                    .collect()
+            })
             .collect();
         let s = solve_lap(&cost);
         assert_eq!(s.cost, 0.0);

@@ -40,7 +40,10 @@ impl Default for MwConfig {
         MwConfig {
             target_outstanding: 64,
             total_tasks: Some(1000),
-            task_runtime: Dist::LogNormal { median: 600.0, sigma: 0.8 },
+            task_runtime: Dist::LogNormal {
+                median: 600.0,
+                sigma: 0.8,
+            },
             universe: Universe::Pool,
             io_interval_secs: Some(300.0),
             io_bytes: 32 * 1024,
@@ -122,7 +125,8 @@ impl MwMaster {
         let node = ctx.node();
         ctx.store().put(node, "mw/completed", &self.completed);
         ctx.store().put(node, "mw/dispatched", &self.dispatched);
-        ctx.store().put(node, "mw/failed_attempts", &self.failed_attempts);
+        ctx.store()
+            .put(node, "mw/failed_attempts", &self.failed_attempts);
     }
 }
 
@@ -141,13 +145,17 @@ impl Component for MwMaster {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
-        let Some(event) = msg.downcast_ref::<UserEvent>() else { return };
+        let Some(event) = msg.downcast_ref::<UserEvent>() else {
+            return;
+        };
         match event {
             UserEvent::Submitted { id, job } => {
                 self.jobs.insert(job.0, *id);
             }
             UserEvent::Status { job, status, .. } => {
-                let Some(&cmd) = self.jobs.get(&job.0) else { return };
+                let Some(&cmd) = self.jobs.get(&job.0) else {
+                    return;
+                };
                 match status {
                     JobStatus::Done
                         if self.outstanding.remove(&cmd).is_some() => {

@@ -226,7 +226,13 @@ mod tests {
             }
         }
         let mut best = f64::INFINITY;
-        go(qap, 0, &mut Vec::new(), &mut vec![false; qap.n()], &mut best);
+        go(
+            qap,
+            0,
+            &mut Vec::new(),
+            &mut vec![false; qap.n()],
+            &mut best,
+        );
         best
     }
 
@@ -250,10 +256,18 @@ mod tests {
         let qap = QapInstance::synthetic(7, 9);
         let (root_bound, _) = gilmore_lawler_bound(&qap, &[None; 7]);
         let s = solve_qap(&qap);
-        assert!(root_bound <= s.cost + 1e-9, "bound {root_bound} > optimum {}", s.cost);
+        assert!(
+            root_bound <= s.cost + 1e-9,
+            "bound {root_bound} > optimum {}",
+            s.cost
+        );
         // Pruning must beat full enumeration: 7! = 5040 leaf nodes alone;
         // count interior too and demand a real reduction.
-        assert!(s.nodes_explored < 5040, "no pruning: {} nodes", s.nodes_explored);
+        assert!(
+            s.nodes_explored < 5040,
+            "no pruning: {} nodes",
+            s.nodes_explored
+        );
         assert!(s.laps_solved > 0);
     }
 

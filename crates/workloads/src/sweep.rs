@@ -24,7 +24,10 @@ pub struct Axis {
 impl Axis {
     /// An axis over explicit string values.
     pub fn of(name: &str, values: &[&str]) -> Axis {
-        Axis { name: name.to_string(), values: values.iter().map(|s| s.to_string()).collect() }
+        Axis {
+            name: name.to_string(),
+            values: values.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     /// An axis over an inclusive numeric range with a step.
@@ -36,7 +39,10 @@ impl Axis {
             values.push(format!("{v}"));
             v += step;
         }
-        Axis { name: name.to_string(), values }
+        Axis {
+            name: name.to_string(),
+            values,
+        }
     }
 }
 
@@ -180,7 +186,10 @@ mod tests {
         let s = sweep();
         let p0 = s.point(0);
         let p1 = s.point(1);
-        assert_eq!(p0.arguments[0], p1.arguments[0], "first axis changed too early");
+        assert_eq!(
+            p0.arguments[0], p1.arguments[0],
+            "first axis changed too early"
+        );
         assert_ne!(p0.arguments[1], p1.arguments[1]);
     }
 

@@ -47,7 +47,8 @@ fn main() {
 
     let node = tb.submit;
     let scheduler = tb.scheduler;
-    tb.world.add_component(node, "dagman", DagMan::new(dag, scheduler));
+    tb.world
+        .add_component(node, "dagman", DagMan::new(dag, scheduler));
     tb.world.run_until(SimTime::ZERO + Duration::from_days(3));
 
     let m = tb.world.metrics();
@@ -72,10 +73,16 @@ fn main() {
         .map(|h| h.sum() / 3600.0)
         .sum();
 
-    println!("\nresults (cf. paper: 50,000 events, ~1200 CPU-hours, < 1.5 days... at 2.5x the CPUs):");
+    println!(
+        "\nresults (cf. paper: 50,000 events, ~1200 CPU-hours, < 1.5 days... at 2.5x the CPUs):"
+    );
     let mut t = Table::new(&["metric", "value", "paper"]);
     t.row(&["DAG completed".into(), format!("{success}"), "yes".into()]);
-    t.row(&["nodes done".into(), format!("{done}"), format!("{}", params.sim_jobs + 1)]);
+    t.row(&[
+        "nodes done".into(),
+        format!("{done}"),
+        format!("{}", params.sim_jobs + 1),
+    ]);
     t.row(&[
         "events produced".into(),
         format!("{}", params.total_events()),
@@ -86,8 +93,16 @@ fn main() {
         format!("{:.1}", m.counter("net.bulk_bytes") as f64 / 1e9),
         format!("{:.1}", params.total_bytes() as f64 / 1e9),
     ]);
-    t.row(&["CPU-hours".into(), format!("{cpu_hours:.0}"), "~1200".into()]);
-    t.row(&["makespan (hours)".into(), format!("{makespan:.1}"), "< 36".into()]);
+    t.row(&[
+        "CPU-hours".into(),
+        format!("{cpu_hours:.0}"),
+        "~1200".into(),
+    ]);
+    t.row(&[
+        "makespan (hours)".into(),
+        format!("{makespan:.1}"),
+        "< 36".into(),
+    ]);
     println!("{}", t.render());
 
     // Ordering guarantee: reconstruction started only after every transfer.

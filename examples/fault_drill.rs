@@ -39,8 +39,11 @@ fn main() {
     // t=2h: network partition between submit machine and the site.
     tb.world.run_until(SimTime::ZERO + Duration::from_hours(2));
     println!("[t=2h00] PARTITION: submit machine cut off from the site for 40 minutes");
-    tb.world.network_mut().partition(&[node], &[gk_node, cluster]);
-    tb.world.run_until(SimTime::ZERO + Duration::from_hours(2) + Duration::from_mins(40));
+    tb.world
+        .network_mut()
+        .partition(&[node], &[gk_node, cluster]);
+    tb.world
+        .run_until(SimTime::ZERO + Duration::from_hours(2) + Duration::from_mins(40));
     println!("[t=2h40] HEAL: network restored; the GridManager reconnects");
     tb.world.network_mut().heal(&[node], &[gk_node, cluster]);
 
@@ -59,14 +62,24 @@ fn main() {
     println!("  probes sent        {}", m.counter("gm.probes"));
     println!("  probes missed      {}", m.counter("gm.probes_missed"));
     println!("  JobManager restarts {}", m.counter("gram.jm_restarts"));
-    println!("  duplicate submits deduped {}", m.counter("gram.duplicate_submits"));
+    println!(
+        "  duplicate submits deduped {}",
+        m.counter("gram.duplicate_submits")
+    );
     assert_eq!(m.counter("condor_g.jobs_done"), 4, "a job was lost!");
-    assert_eq!(m.counter("site.completed"), 4, "a job was duplicated or lost at the site!");
+    assert_eq!(
+        m.counter("site.completed"),
+        4,
+        "a job was duplicated or lost at the site!"
+    );
     println!("\nexactly-once held: 4 jobs submitted, 4 site executions, 4 completions.");
 
     println!("\nrecovery-related trace events:");
     for e in tb.world.trace().events().iter().filter(|e| {
-        matches!(e.kind, "gm.jm_lost" | "gram.jm_restart" | "gram.dedup" | "gm.attempt_failed")
+        matches!(
+            e.kind,
+            "gm.jm_lost" | "gram.jm_restart" | "gram.dedup" | "gm.attempt_failed"
+        )
     }) {
         println!("  {e}");
     }

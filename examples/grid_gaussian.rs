@@ -31,7 +31,10 @@ impl Component for Gaussian {
         }
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, tag: u64) {
-        ctx.send_local(self.gcat, GCatFeed(FileData::bulk(self.bytes_per_burst, tag)));
+        ctx.send_local(
+            self.gcat,
+            GCatFeed(FileData::bulk(self.bytes_per_burst, tag)),
+        );
     }
 }
 
@@ -79,7 +82,9 @@ fn main() {
         let _ = ca.issue_identity("/CN=jane", Duration::from_days(3650));
         ca.trust_root()
     };
-    let mss = tb.world.add_component(mss_node, "mss", GassServer::new(trust));
+    let mss = tb
+        .world
+        .add_component(mss_node, "mss", GassServer::new(trust));
 
     // A 2-hour Gaussian job runs on a glidein; its stdout goes through
     // G-Cat on the execution site to the MSS.
@@ -87,26 +92,44 @@ fn main() {
     let gcat = tb.world.add_component(
         exec_node,
         "gcat",
-        GCat::new(mss, "/mss/jane/g98.out", tb.proxy.clone(), Duration::from_secs(30)),
+        GCat::new(
+            mss,
+            "/mss/jane/g98.out",
+            tb.proxy.clone(),
+            Duration::from_secs(30),
+        ),
     );
     tb.world.add_component(
         exec_node,
         "gaussian",
-        Gaussian { gcat, bursts: 120, bytes_per_burst: 400_000 },
+        Gaussian {
+            gcat,
+            bursts: 120,
+            bytes_per_burst: 400_000,
+        },
     );
     // The pool job that "is" the Gaussian run, for the agent's accounting.
     let spec = GridJobSpec::pool("g98", "/home/jane/worker.exe", Duration::from_hours(2));
     let console = UserConsole::new(tb.scheduler).submit_many(1, spec);
     tb.world.add_component(tb.submit, "console", console);
     let viewer_node = tb.world.add_node("portal.ncsa.edu");
-    tb.world
-        .add_component(viewer_node, "viewer", PortalViewer { mss_node, samples: Vec::new() });
+    tb.world.add_component(
+        viewer_node,
+        "viewer",
+        PortalViewer {
+            mss_node,
+            samples: Vec::new(),
+        },
+    );
 
     println!("running Gaussian with G-Cat streaming to MSS...\n");
     tb.world.run_until(SimTime::ZERO + Duration::from_hours(4));
 
-    let samples: Vec<(u64, u64)> =
-        tb.world.store().get(viewer_node, "viewer/samples").unwrap_or_default();
+    let samples: Vec<(u64, u64)> = tb
+        .world
+        .store()
+        .get(viewer_node, "viewer/samples")
+        .unwrap_or_default();
     println!("output visible at MSS while the job runs (total output 48.0 MB over 120 min):");
     let mut t = Table::new(&["minute", "MB visible at MSS", "produced so far (MB)"]);
     for (minute, bytes) in &samples {
@@ -125,7 +148,17 @@ fn main() {
         m.counter("gcat.fed_bytes"),
         m.counter("gcat.retries"),
     );
-    let mid = samples.iter().find(|(min, _)| *min >= 60).map(|&(_, b)| b).unwrap_or(0);
-    assert!(mid > 10_000_000, "mid-run visibility failed: {mid} bytes at t=60min");
-    println!("\nmid-run check: {:.1} MB already viewable at t=60min — the paper's requirement holds", mid as f64 / 1e6);
+    let mid = samples
+        .iter()
+        .find(|(min, _)| *min >= 60)
+        .map(|&(_, b)| b)
+        .unwrap_or(0);
+    assert!(
+        mid > 10_000_000,
+        "mid-run visibility failed: {mid} bytes at t=60min"
+    );
+    println!(
+        "\nmid-run check: {:.1} MB already viewable at t=60min — the paper's requirement holds",
+        mid as f64 / 1e6
+    );
 }

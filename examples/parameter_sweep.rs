@@ -46,7 +46,10 @@ fn main() {
     let done = UserConsole::terminal_count(&tb.world, node);
     let m = tb.world.metrics();
     println!("\nsweep points completed: {done}/{}", sweep.len());
-    println!("site executions: {} (exactly one per point)", m.counter("site.completed"));
+    println!(
+        "site executions: {} (exactly one per point)",
+        m.counter("site.completed")
+    );
     println!(
         "JobManager restarts during the outage: {}",
         m.counter("gram.jm_restarts")

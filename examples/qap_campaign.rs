@@ -37,7 +37,10 @@ fn main() {
             target_outstanding: 120,
             total_tasks: Some(2_000),
             // Heavy-tailed LAP-batch service times, ~17 min median.
-            task_runtime: Dist::LogNormal { median: 1000.0, sigma: 0.9 },
+            task_runtime: Dist::LogNormal {
+                median: 1000.0,
+                sigma: 0.9,
+            },
             ..MwConfig::default()
         },
     );
@@ -51,21 +54,43 @@ fn main() {
     let m = tb.world.metrics();
     let end = tb.world.now();
     let busy = m.series("condor.busy_startds");
-    let cpu_hours = busy.map(|s| s.integral(SimTime::ZERO, end) / 3600.0).unwrap_or(0.0);
-    let avg = busy.map(|s| s.time_weighted_mean(SimTime::ZERO, end)).unwrap_or(0.0);
+    let cpu_hours = busy
+        .map(|s| s.integral(SimTime::ZERO, end) / 3600.0)
+        .unwrap_or(0.0);
+    let avg = busy
+        .map(|s| s.time_weighted_mean(SimTime::ZERO, end))
+        .unwrap_or(0.0);
     let peak = busy.map(|s| s.max()).unwrap_or(0.0);
 
     println!("\ncampaign summary (cf. paper: 95,000 CPU-hours, avg 653, peak 1007):");
     let mut t = Table::new(&["metric", "value"]);
-    t.row(&["tasks completed".into(), format!("{}", MwMaster::completed(&tb.world, node))]);
-    t.row(&["virtual days elapsed".into(), format!("{:.2}", end.as_secs_f64() / 86400.0)]);
+    t.row(&[
+        "tasks completed".into(),
+        format!("{}", MwMaster::completed(&tb.world, node)),
+    ]);
+    t.row(&[
+        "virtual days elapsed".into(),
+        format!("{:.2}", end.as_secs_f64() / 86400.0),
+    ]);
     t.row(&["CPU-hours delivered".into(), format!("{cpu_hours:.0}")]);
     t.row(&["avg workers active".into(), format!("{avg:.1}")]);
     t.row(&["peak workers active".into(), format!("{peak:.0}")]);
-    t.row(&["glideins started".into(), format!("{}", m.counter("glidein.started"))]);
-    t.row(&["preemptions survived".into(), format!("{}", m.counter("condor.vacated"))]);
-    t.row(&["checkpoints taken".into(), format!("{}", m.counter("condor.checkpoints"))]);
-    t.row(&["remote I/O batches".into(), format!("{}", m.counter("condor.syscall_batches"))]);
+    t.row(&[
+        "glideins started".into(),
+        format!("{}", m.counter("glidein.started")),
+    ]);
+    t.row(&[
+        "preemptions survived".into(),
+        format!("{}", m.counter("condor.vacated")),
+    ]);
+    t.row(&[
+        "checkpoints taken".into(),
+        format!("{}", m.counter("condor.checkpoints")),
+    ]);
+    t.row(&[
+        "remote I/O batches".into(),
+        format!("{}", m.counter("condor.syscall_batches")),
+    ]);
     println!("{}", t.render());
 
     println!("per-site busy-CPU averages:");
@@ -74,7 +99,9 @@ fn main() {
         // Glideins run under the personal pool, so per-site load shows up
         // in the LRM gauges (glidein jobs occupy site slots).
         let s = m.series(&format!("site.{name}.busy"));
-        let avg = s.map(|s| s.time_weighted_mean(SimTime::ZERO, end)).unwrap_or(0.0);
+        let avg = s
+            .map(|s| s.time_weighted_mean(SimTime::ZERO, end))
+            .unwrap_or(0.0);
         t.row(&[name.clone(), format!("{avg:.1}")]);
     }
     println!("{}", t.render());

@@ -15,7 +15,10 @@ fn main() {
     let mut tb = build(TestbedConfig {
         seed: 7,
         trace: true,
-        sites: vec![SiteSpec::pbs("pbs.cluster.edu", 8), SiteSpec::lsf("lsf.hpc.edu", 4)],
+        sites: vec![
+            SiteSpec::pbs("pbs.cluster.edu", 8),
+            SiteSpec::lsf("lsf.hpc.edu", 4),
+        ],
         ..TestbedConfig::default()
     });
 

@@ -23,10 +23,14 @@
 //! ```
 
 use condor_g_suite::condor_g::api::{GridJobSpec, Universe};
+use condor_g_suite::gridsim::obs::{
+    json_snapshot, prometheus_snapshot, JsonlWriter, SpanCollector,
+};
 use condor_g_suite::gridsim::prelude::*;
 use condor_g_suite::harness::{build, SiteSpec, Testbed, TestbedConfig, UserConsole};
 use condor_g_suite::workloads::stats::Table;
 use std::fmt;
+use std::io::BufWriter;
 
 /// A parsed scenario.
 #[derive(Debug, Default)]
@@ -84,7 +88,11 @@ fn parse_size(s: &str) -> Option<u64> {
 
 /// Parse a scenario file's text.
 pub fn parse_scenario(text: &str) -> Result<Scenario, ScnError> {
-    let mut scn = Scenario { seed: 42, run_for: Duration::from_days(1), ..Default::default() };
+    let mut scn = Scenario {
+        seed: 42,
+        run_for: Duration::from_days(1),
+        ..Default::default()
+    };
     for (lineno, raw) in text.lines().enumerate() {
         let lineno = lineno + 1;
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -104,8 +112,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ScnError> {
                 let [_, kind, name, cpus] = words[..] else {
                     return Err(err("site <kind> <name> <cpus>".into()));
                 };
-                let cpus: u32 =
-                    cpus.parse().map_err(|_| err("bad cpu count".into()))?;
+                let cpus: u32 = cpus.parse().map_err(|_| err("bad cpu count".into()))?;
                 let spec = match kind {
                     "pbs" => SiteSpec::pbs(name, cpus),
                     "lsf" => SiteSpec::lsf(name, cpus),
@@ -145,19 +152,17 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ScnError> {
                     Some(&"pool") => Universe::Pool,
                     _ => return Err(err("job <grid|pool> ...".into())),
                 };
-                let exe = words.get(2).ok_or_else(|| err("job needs an executable".into()))?;
+                let exe = words
+                    .get(2)
+                    .ok_or_else(|| err("job needs an executable".into()))?;
                 let runtime = words
                     .get(3)
                     .and_then(|w| parse_duration(w))
                     .ok_or_else(|| err("bad runtime".into()))?;
                 let mut count = 1usize;
                 let mut spec = match universe {
-                    Universe::Grid => {
-                        GridJobSpec::grid(exe, &format!("/home/jane/{exe}"), runtime)
-                    }
-                    Universe::Pool => {
-                        GridJobSpec::pool(exe, &format!("/home/jane/{exe}"), runtime)
-                    }
+                    Universe::Grid => GridJobSpec::grid(exe, &format!("/home/jane/{exe}"), runtime),
+                    Universe::Pool => GridJobSpec::pool(exe, &format!("/home/jane/{exe}"), runtime),
                 };
                 for opt in &words[4..] {
                     if let Some(n) = opt.strip_prefix('x') {
@@ -215,8 +220,20 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ScnError> {
     Ok(scn)
 }
 
+/// Observability switches parsed from the command line.
+#[derive(Debug, Default)]
+pub struct ObsOptions {
+    /// Stream the full trace as JSON Lines to this path.
+    trace_out: Option<String>,
+    /// Write a metrics snapshot here at end of run (`.json` selects the
+    /// JSON format, anything else Prometheus text).
+    metrics_out: Option<String>,
+    /// Enable the kernel profiler and print its summary.
+    profile: bool,
+}
+
 /// Build and run a parsed scenario; prints the report.
-pub fn run_scenario(scn: Scenario) {
+pub fn run_scenario(scn: Scenario, obs: ObsOptions) {
     let mut tb: Testbed = build(TestbedConfig {
         seed: scn.seed,
         sites: scn.sites.clone(),
@@ -224,8 +241,26 @@ pub fn run_scenario(scn: Scenario) {
         mds_broker: scn.mds_broker,
         with_personal_pool: scn.personal_pool,
         proxy_lifetime: scn.proxy.unwrap_or(Duration::from_hours(24)),
+        // The span reconstructor and JSONL exporter both read the trace
+        // stream, so scenario runs always collect it.
+        trace: true,
         ..TestbedConfig::default()
     });
+    if let Some(path) = &obs.trace_out {
+        match std::fs::File::create(path) {
+            Ok(f) => tb
+                .world
+                .trace_mut()
+                .subscribe(Box::new(JsonlWriter::new(BufWriter::new(f)))),
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if obs.profile {
+        tb.world.enable_profiler();
+    }
     // Stage every referenced executable on the submit-side GASS server is
     // handled by the harness preloads; unknown paths still stage as the
     // default app image.
@@ -273,36 +308,128 @@ pub fn run_scenario(scn: Scenario) {
 
     let m = tb.world.metrics();
     let mut t = Table::new(&["metric", "value"]);
-    t.row(&["jobs submitted".into(), format!("{}", m.counter("condor_g.submitted"))]);
-    t.row(&["jobs done".into(), format!("{}", m.counter("condor_g.jobs_done"))]);
-    t.row(&["jobs failed".into(), format!("{}", m.counter("condor_g.jobs_failed"))]);
-    t.row(&["site executions".into(), format!("{}", m.counter("site.completed") + m.counter("condor.jobs_finished"))]);
-    t.row(&["GRAM submits".into(), format!("{}", m.counter("gram.submits"))]);
-    t.row(&["JobManager restarts".into(), format!("{}", m.counter("gram.jm_restarts"))]);
-    t.row(&["glideins started".into(), format!("{}", m.counter("glidein.started"))]);
-    t.row(&["preemptions".into(), format!("{}", m.counter("condor.vacated") + m.counter("site.vacated"))]);
-    t.row(&["checkpoints".into(), format!("{}", m.counter("condor.checkpoints"))]);
-    t.row(&["WAN bulk GB".into(), format!("{:.2}", m.counter("net.bulk_bytes") as f64 / 1e9)]);
-    t.row(&["events simulated".into(), format!("{}", tb.world.events_processed())]);
+    t.row(&[
+        "jobs submitted".into(),
+        format!("{}", m.counter("condor_g.submitted")),
+    ]);
+    t.row(&[
+        "jobs done".into(),
+        format!("{}", m.counter("condor_g.jobs_done")),
+    ]);
+    t.row(&[
+        "jobs failed".into(),
+        format!("{}", m.counter("condor_g.jobs_failed")),
+    ]);
+    t.row(&[
+        "site executions".into(),
+        format!(
+            "{}",
+            m.counter("site.completed") + m.counter("condor.jobs_finished")
+        ),
+    ]);
+    t.row(&[
+        "GRAM submits".into(),
+        format!("{}", m.counter("gram.submits")),
+    ]);
+    t.row(&[
+        "JobManager restarts".into(),
+        format!("{}", m.counter("gram.jm_restarts")),
+    ]);
+    t.row(&[
+        "glideins started".into(),
+        format!("{}", m.counter("glidein.started")),
+    ]);
+    t.row(&[
+        "preemptions".into(),
+        format!(
+            "{}",
+            m.counter("condor.vacated") + m.counter("site.vacated")
+        ),
+    ]);
+    t.row(&[
+        "checkpoints".into(),
+        format!("{}", m.counter("condor.checkpoints")),
+    ]);
+    t.row(&[
+        "WAN bulk GB".into(),
+        format!("{:.2}", m.counter("net.bulk_bytes") as f64 / 1e9),
+    ]);
+    t.row(&[
+        "events simulated".into(),
+        format!("{}", tb.world.events_processed()),
+    ]);
     println!("\n{}", t.render());
     println!("per-job outcomes:");
     for i in 0..total_jobs as u64 {
         let h = UserConsole::history_of(&tb.world, node, i);
         println!("  job {i}: {}", h.join(" -> "));
     }
+
+    // Observability epilogue: flush exporters, reconstruct job spans, report
+    // per-phase durations into the metrics sink, then snapshot it.
+    tb.world.trace_mut().flush();
+    let spans = SpanCollector::from_events(tb.world.trace().events());
+    spans.report_metrics(tb.world.metrics_mut());
+    println!(
+        "\njob spans: {} jobs, {} unattributed span events",
+        spans.jobs().len(),
+        spans.orphans
+    );
+    let summary = spans.phase_summary();
+    if !summary.is_empty() {
+        let mut pt = Table::new(&["phase", "intervals", "mean"]);
+        for (phase, n, mean_secs) in summary {
+            pt.row(&[phase.into(), format!("{n}"), format!("{mean_secs:.1}s")]);
+        }
+        println!("{}", pt.render());
+    }
+    if let Some(path) = &obs.metrics_out {
+        let now = tb.world.now();
+        let snapshot = if path.ends_with(".json") {
+            json_snapshot(tb.world.metrics(), now)
+        } else {
+            prometheus_snapshot(tb.world.metrics(), now)
+        };
+        if let Err(e) = std::fs::write(path, snapshot) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("metrics snapshot written to {path}");
+    }
+    if let Some(p) = tb.world.profiler() {
+        println!("\n{}", p.summary());
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: condor-g-sim [--trace-out <file.jsonl>] [--metrics-out <file.prom|file.json>] \
+         [--profile] <scenario-file>"
+    );
+    std::process::exit(2);
 }
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: condor-g-sim <scenario-file>");
-        std::process::exit(2);
-    });
+    let mut obs = ObsOptions::default();
+    let mut path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--trace-out" => obs.trace_out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => obs.metrics_out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--profile" => obs.profile = true,
+            _ if arg.starts_with("--") => usage(),
+            _ if path.is_none() => path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
     });
     match parse_scenario(&text) {
-        Ok(scn) => run_scenario(scn),
+        Ok(scn) => run_scenario(scn, obs),
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(1);
@@ -352,7 +479,10 @@ mod tests {
         assert_eq!(scn.jobs.len(), 30);
         assert_eq!(scn.jobs[0].stdout_size, 1_000_000);
         assert_eq!(scn.jobs[10].io_bytes, 64_000);
-        assert_eq!(scn.crashes, vec![(0, Duration::from_hours(1), Duration::from_mins(30))]);
+        assert_eq!(
+            scn.crashes,
+            vec![(0, Duration::from_hours(1), Duration::from_mins(30))]
+        );
         assert_eq!(scn.run_for, Duration::from_hours(24));
     }
 

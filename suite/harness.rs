@@ -2,14 +2,14 @@
 
 use classads::ClassAd;
 use condor::{Collector, Negotiator, Schedd};
+use condor_g::api::{GridJobId, GridJobSpec, JobStatus};
+use condor_g::glidein::GlideinSite;
 use condor_g::gridmanager::GmConfig;
 use condor_g::scheduler::SchedulerConfig;
 use condor_g::{
     Broker, GatekeeperInfo, GlideinFactory, Mailer, MdsBroker, Scheduler, StaticListBroker,
     UserCmd, UserEvent,
 };
-use condor_g::glidein::GlideinSite;
-use condor_g::api::{GridJobId, GridJobSpec, JobStatus};
 use gass::GassServer;
 use gram::Gatekeeper;
 use gridsim::prelude::*;
@@ -74,23 +74,35 @@ impl SiteSpec {
 
     /// An LSF-like site.
     pub fn lsf(name: &str, cpus: u32) -> SiteSpec {
-        SiteSpec { kind: SiteKind::Lsf, ..SiteSpec::pbs(name, cpus) }
+        SiteSpec {
+            kind: SiteKind::Lsf,
+            ..SiteSpec::pbs(name, cpus)
+        }
     }
 
     /// A LoadLeveler-like site.
     pub fn loadleveler(name: &str, cpus: u32) -> SiteSpec {
-        SiteSpec { kind: SiteKind::LoadLeveler, ..SiteSpec::pbs(name, cpus) }
+        SiteSpec {
+            kind: SiteKind::LoadLeveler,
+            ..SiteSpec::pbs(name, cpus)
+        }
     }
 
     /// An NQE-like site (strict FIFO).
     pub fn nqe(name: &str, cpus: u32) -> SiteSpec {
-        SiteSpec { kind: SiteKind::Nqe, ..SiteSpec::pbs(name, cpus) }
+        SiteSpec {
+            kind: SiteKind::Nqe,
+            ..SiteSpec::pbs(name, cpus)
+        }
     }
 
     /// A Condor-pool site with owner churn.
     pub fn condor_pool(name: &str, cpus: u32) -> SiteSpec {
         SiteSpec {
-            kind: SiteKind::CondorPool { churn_mean_secs: 3600.0, reclaimed_mean: cpus as f64 * 0.55 },
+            kind: SiteKind::CondorPool {
+                churn_mean_secs: 3600.0,
+                reclaimed_mean: cpus as f64 * 0.55,
+            },
             ..SiteSpec::pbs(name, cpus)
         }
     }
@@ -273,7 +285,10 @@ pub fn build(config: TestbedConfig) -> Testbed {
         "gass",
         GassServer::new(trust.clone())
             .preload("/home/jane/app.exe", gass::FileData::inline("ELF app"))
-            .preload("/home/jane/worker.exe", gass::FileData::inline("ELF worker")),
+            .preload(
+                "/home/jane/worker.exe",
+                gass::FileData::inline("ELF worker"),
+            ),
     );
     let mailer = world.add_component(submit, "mailer", Mailer::new());
 
@@ -303,10 +318,18 @@ pub fn build(config: TestbedConfig) -> Testbed {
         if let Some(limit) = spec.wall_limit {
             lrm = lrm.with_wall_limit(limit);
         }
-        if let SiteKind::CondorPool { churn_mean_secs, reclaimed_mean } = spec.kind {
+        if let SiteKind::CondorPool {
+            churn_mean_secs,
+            reclaimed_mean,
+        } = spec.kind
+        {
             lrm = lrm.with_churn(ChurnModel {
-                interval: Dist::Exp { mean: churn_mean_secs },
-                reclaimed: Dist::Exp { mean: reclaimed_mean },
+                interval: Dist::Exp {
+                    mean: churn_mean_secs,
+                },
+                reclaimed: Dist::Exp {
+                    mean: reclaimed_mean,
+                },
                 // Desktop pools breathe with the working day.
                 diurnal_amplitude: 0.7,
             });
@@ -361,8 +384,11 @@ pub fn build(config: TestbedConfig) -> Testbed {
             "negotiator",
             Negotiator::new(collector, Duration::from_mins(1)),
         );
-        let schedd =
-            world.add_component(submit, "schedd", Schedd::new("jane@submit", vec![collector]));
+        let schedd = world.add_component(
+            submit,
+            "schedd",
+            Schedd::new("jane@submit", vec![collector]),
+        );
         let ckpt = world.add_component(submit, "ckpt-server", condor::CkptServer::new());
         (Some(collector), Some(schedd), Some(ckpt))
     } else {
@@ -440,8 +466,7 @@ impl Testbed {
                     .with("OpSys", "LINUX"),
             })
             .collect();
-        let mut factory =
-            GlideinFactory::new(sites, collector, self.proxy.clone(), self.gass);
+        let mut factory = GlideinFactory::new(sites, collector, self.proxy.clone(), self.gass);
         if let Some(ckpt) = self.ckpt_server {
             factory = factory.with_ckpt_server(ckpt);
         }
@@ -509,14 +534,22 @@ impl UserConsole {
 
     /// Read the recorded history for submission `n` from the store.
     pub fn history_of(world: &World, node: NodeId, n: u64) -> Vec<String> {
-        let flat: Vec<(u64, Vec<String>)> =
-            world.store().get(node, "console/history").unwrap_or_default();
-        flat.into_iter().find(|(k, _)| *k == n).map(|(_, v)| v).unwrap_or_default()
+        let flat: Vec<(u64, Vec<String>)> = world
+            .store()
+            .get(node, "console/history")
+            .unwrap_or_default();
+        flat.into_iter()
+            .find(|(k, _)| *k == n)
+            .map(|(_, v)| v)
+            .unwrap_or_default()
     }
 
     /// How many submissions reached a terminal state.
     pub fn terminal_count(world: &World, node: NodeId) -> u64 {
-        world.store().get(node, "console/terminal_count").unwrap_or(0)
+        world
+            .store()
+            .get(node, "console/terminal_count")
+            .unwrap_or(0)
     }
 }
 
@@ -552,11 +585,16 @@ impl Component for UserConsole {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
-        let Some(event) = msg.downcast_ref::<UserEvent>() else { return };
+        let Some(event) = msg.downcast_ref::<UserEvent>() else {
+            return;
+        };
         match event {
             UserEvent::Submitted { id, job } => {
                 self.ids.insert(*id, *job);
-                self.history.entry(*id).or_default().push("Submitted".into());
+                self.history
+                    .entry(*id)
+                    .or_default()
+                    .push("Submitted".into());
                 self.persist(ctx);
             }
             UserEvent::Status { job, status, .. } => {

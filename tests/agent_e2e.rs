@@ -1,9 +1,9 @@
 //! End-to-end agent tests: the full Condor-G stack (Scheduler →
 //! GridManager → GRAM → site scheduler → GASS) across simulated sites.
 
-use condor_g_suite::harness::{build, SiteSpec, Testbed, TestbedConfig, UserConsole};
 use condor_g_suite::condor_g::api::GridJobSpec;
 use condor_g_suite::gridsim::prelude::*;
+use condor_g_suite::harness::{build, SiteSpec, Testbed, TestbedConfig, UserConsole};
 
 fn quick_jobs(n: usize, secs: u64, stdout: u64) -> GridJobSpec {
     let _ = n;
@@ -26,7 +26,10 @@ fn jobs_complete_across_two_sites() {
     for i in 0..10 {
         let h = UserConsole::history_of(&tb.world, node, i);
         assert_eq!(h.last().map(String::as_str), Some("Done"), "job {i}: {h:?}");
-        assert!(h.contains(&"Active".to_string()), "job {i} never ran: {h:?}");
+        assert!(
+            h.contains(&"Active".to_string()),
+            "job {i} never ran: {h:?}"
+        );
     }
     // stdout of every job staged back to the submit machine's GASS server.
     for i in 0..10 {
@@ -45,7 +48,7 @@ fn jobs_complete_across_two_sites() {
 #[test]
 fn user_log_and_query_work() {
     use condor_g_suite::condor_g::{UserCmd, UserEvent};
-    use condor_g_suite::gridsim::{AnyMsg, Addr};
+    use condor_g_suite::gridsim::{Addr, AnyMsg};
 
     struct LogReader {
         scheduler: Addr,
@@ -72,8 +75,13 @@ fn user_log_and_query_work() {
     let mut tb = build(TestbedConfig::default());
     let console = UserConsole::new(tb.scheduler).submit_many(2, quick_jobs(2, 600, 0));
     tb.world.add_component(tb.submit, "console", console);
-    tb.world
-        .add_component(tb.submit, "logreader", LogReader { scheduler: tb.scheduler });
+    tb.world.add_component(
+        tb.submit,
+        "logreader",
+        LogReader {
+            scheduler: tb.scheduler,
+        },
+    );
     tb.world.run_until(SimTime::ZERO + Duration::from_hours(4));
     let len: u64 = tb.world.store().get(tb.submit, "log_len").unwrap();
     assert!(len >= 6, "log too short: {len}");
@@ -120,7 +128,10 @@ fn gatekeeper_machine_crash_is_survived() {
         assert_eq!(h.last().map(String::as_str), Some("Done"), "job {i}: {h:?}");
     }
     let m = tb.world.metrics();
-    assert!(m.counter("gm.jm_restarts_requested") >= 1, "no restart was needed?");
+    assert!(
+        m.counter("gm.jm_restarts_requested") >= 1,
+        "no restart was needed?"
+    );
     assert_eq!(m.counter("condor_g.jobs_done"), 3);
     // No duplicate executions despite all the retries.
     assert_eq!(m.counter("site.completed"), 3);
@@ -211,12 +222,7 @@ fn submit_machine_crash_recovers_from_persistent_queue() {
             };
             b.add_component(
                 "scheduler",
-                condor_g_suite::condor_g::Scheduler::recover(
-                    config,
-                    broker,
-                    b.store(),
-                    b.node(),
-                ),
+                condor_g_suite::condor_g::Scheduler::recover(config, broker, b.store(), b.node()),
             );
             let _ = scheduler_addr;
         });
@@ -231,8 +237,16 @@ fn submit_machine_crash_recovers_from_persistent_queue() {
     tb.world.run_until(SimTime::ZERO + Duration::from_hours(8));
 
     let m = tb.world.metrics();
-    assert_eq!(m.counter("condor_g.recoveries"), 1, "scheduler never recovered");
-    assert_eq!(m.counter("condor_g.jobs_done"), 3, "jobs lost across the crash");
+    assert_eq!(
+        m.counter("condor_g.recoveries"),
+        1,
+        "scheduler never recovered"
+    );
+    assert_eq!(
+        m.counter("condor_g.jobs_done"),
+        3,
+        "jobs lost across the crash"
+    );
     // Each job ran exactly once: recovery reattached rather than resubmit.
     assert_eq!(m.counter("site.completed"), 3);
     assert!(m.counter("gm.job_recoveries") >= 1);
@@ -291,9 +305,9 @@ fn queued_jobs_migrate_to_free_sites() {
     // the tuning of where to submit subsequent jobs and to migrate queued
     // jobs." One site is saturated for 10 hours; jobs landed there by the
     // static round-robin must migrate to the idle site instead of waiting.
-    use condor_g_suite::site::{JobSpec, LrmRequest};
     use condor_g_suite::gridsim::Addr;
     use condor_g_suite::gridsim::AnyMsg;
+    use condor_g_suite::site::{JobSpec, LrmRequest};
 
     struct Filler {
         lrm: Addr,
@@ -324,7 +338,8 @@ fn queued_jobs_migrate_to_free_sites() {
     });
     let filler_lrm = tb.sites[0].lrm;
     let filler_node = tb.sites[0].cluster;
-    tb.world.add_component(filler_node, "filler", Filler { lrm: filler_lrm });
+    tb.world
+        .add_component(filler_node, "filler", Filler { lrm: filler_lrm });
     // 8 half-hour jobs: round-robin parks 4 behind the 10-hour backlog.
     let console = UserConsole::new(tb.scheduler).submit_many(8, quick_jobs(8, 1800, 0));
     let node = tb.submit;
@@ -332,9 +347,23 @@ fn queued_jobs_migrate_to_free_sites() {
     tb.world.run_until(SimTime::ZERO + Duration::from_hours(4));
 
     let m = tb.world.metrics();
-    assert!(m.counter("gm.migrations") >= 4, "no migrations: {}", m.counter("gm.migrations"));
-    assert_eq!(m.counter("condor_g.jobs_done"), 8, "jobs stranded in the jam");
+    assert!(
+        m.counter("gm.migrations") >= 4,
+        "no migrations: {}",
+        m.counter("gm.migrations")
+    );
+    assert_eq!(
+        m.counter("condor_g.jobs_done"),
+        8,
+        "jobs stranded in the jam"
+    );
     // Everything finished hours before the jammed site would have freed up.
-    let idle_jobs = m.histogram("site.idle.cpu_seconds").map(|h| h.count()).unwrap_or(0);
-    assert_eq!(idle_jobs, 8, "all user jobs should have ended up at the idle site");
+    let idle_jobs = m
+        .histogram("site.idle.cpu_seconds")
+        .map(|h| h.count())
+        .unwrap_or(0);
+    assert_eq!(
+        idle_jobs, 8,
+        "all user jobs should have ended up at the idle site"
+    );
 }

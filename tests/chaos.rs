@@ -56,7 +56,10 @@ fn chaos_run(seed: u64) -> (u64, u64, u64, Vec<Vec<String>>) {
 fn campaigns_survive_random_gatekeeper_chaos() {
     for seed in [101, 202, 303] {
         let (done, executions, crashes, histories) = chaos_run(seed);
-        assert!(crashes >= 3, "seed {seed}: chaos plan too tame ({crashes} crashes)");
+        assert!(
+            crashes >= 3,
+            "seed {seed}: chaos plan too tame ({crashes} crashes)"
+        );
         assert_eq!(
             done, JOBS as u64,
             "seed {seed}: jobs lost under chaos (crashes={crashes}, executions={executions})"
@@ -70,7 +73,11 @@ fn campaigns_survive_random_gatekeeper_chaos() {
                 })
                 .count();
             assert_eq!(terminals, 1, "seed {seed} job {i}: {h:?}");
-            assert_eq!(h.last().map(String::as_str), Some("Done"), "seed {seed} job {i}: {h:?}");
+            assert_eq!(
+                h.last().map(String::as_str),
+                Some("Done"),
+                "seed {seed} job {i}: {h:?}"
+            );
         }
         // Work may legitimately be re-done after a genuine failure, but
         // never wildly (recovery reattaches instead of resubmitting).
@@ -112,14 +119,18 @@ fn chaos_with_partitions_as_well() {
     );
     tb.world.apply_fault_plan(&plan.sorted());
 
-    let spec = GridJobSpec::grid("t", "/home/jane/app.exe", Duration::from_hours(2))
-        .with_stdout(10_000);
+    let spec =
+        GridJobSpec::grid("t", "/home/jane/app.exe", Duration::from_hours(2)).with_stdout(10_000);
     let console = UserConsole::new(tb.scheduler).submit_many(12, spec);
     let node = tb.submit;
     tb.world.add_component(node, "console", console);
     tb.world.run_until(SimTime::ZERO + Duration::from_days(2));
     let m = tb.world.metrics();
     assert_eq!(m.counter("condor_g.jobs_done"), 12);
-    assert_eq!(m.counter("site.completed"), 12, "partitions caused duplicated work");
+    assert_eq!(
+        m.counter("site.completed"),
+        12,
+        "partitions caused duplicated work"
+    );
     let _ = node;
 }

@@ -1,8 +1,8 @@
 //! Credential-lifetime tests (paper §4.3): expiry detection, hold + email,
 //! user refresh, and MyProxy auto-refresh.
 
-use condor_g_suite::condor_g::gridmanager::{GmConfig, MyProxySettings};
 use condor_g_suite::condor_g::api::GridJobSpec;
+use condor_g_suite::condor_g::gridmanager::{GmConfig, MyProxySettings};
 use condor_g_suite::condor_g::Mailer;
 use condor_g_suite::gridsim::prelude::*;
 use condor_g_suite::gsi::{MyProxyRequest, ProxyCredential};
@@ -101,7 +101,11 @@ fn myproxy_auto_refresh_avoids_the_hold() {
     let server = tb.myproxy.expect("myproxy built");
     tb.world.post(
         server,
-        MyProxyRequest::Store { user: "jane".into(), passphrase: 4242, credential: long },
+        MyProxyRequest::Store {
+            user: "jane".into(),
+            passphrase: 4242,
+            credential: long,
+        },
     );
     let console = UserConsole::new(tb.scheduler).submit_many(3, long_job());
     let node = tb.submit;
@@ -127,7 +131,7 @@ fn expired_proxy_cannot_authenticate_anywhere() {
     // Sanity at the protocol level: once past expiry, GRAM refuses the
     // credential outright (defense in depth under the agent's hold logic).
     use condor_g_suite::gram::proto::{GramReply, GramRequest};
-    use condor_g_suite::gridsim::{AnyMsg, Addr};
+    use condor_g_suite::gridsim::{Addr, AnyMsg};
 
     let mut tb = build(TestbedConfig {
         sites: vec![SiteSpec::pbs("solo", 4)],
@@ -156,9 +160,7 @@ fn expired_proxy_cannot_authenticate_anywhere() {
             );
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
-            if let Some(GramReply::SubmitFailed { error, .. }) =
-                msg.downcast_ref::<GramReply>()
-            {
+            if let Some(GramReply::SubmitFailed { error, .. }) = msg.downcast_ref::<GramReply>() {
                 let node = ctx.node();
                 ctx.store().put(node, "refused", &error.to_string());
             }
@@ -167,8 +169,14 @@ fn expired_proxy_cannot_authenticate_anywhere() {
     let gk = tb.sites[0].gatekeeper;
     let cred = tb.proxy.clone();
     let n = tb.world.add_node("attacker");
-    tb.world
-        .add_component(n, "late", LateSubmitter { gatekeeper: gk, credential: cred });
+    tb.world.add_component(
+        n,
+        "late",
+        LateSubmitter {
+            gatekeeper: gk,
+            credential: cred,
+        },
+    );
     tb.world.run_until(SimTime::ZERO + Duration::from_hours(3));
     let refused: String = tb.world.store().get(n, "refused").unwrap();
     assert!(refused.contains("authentication failed"), "{refused}");

@@ -18,8 +18,8 @@ fn campaign(seed: u64) -> (u64, u64, u64, u64, String) {
         ..TestbedConfig::default()
     });
     tb.add_glidein_factory(4, Duration::from_hours(6));
-    let grid = GridJobSpec::grid("g", "/home/jane/app.exe", Duration::from_mins(45))
-        .with_stdout(10_000);
+    let grid =
+        GridJobSpec::grid("g", "/home/jane/app.exe", Duration::from_mins(45)).with_stdout(10_000);
     let pool = GridJobSpec::pool("p", "/home/jane/worker.exe", Duration::from_mins(30))
         .with_remote_io(300.0, 8192);
     let console = UserConsole::new(tb.scheduler)

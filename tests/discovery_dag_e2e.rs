@@ -115,11 +115,18 @@ fn dag_runs_cms_shaped_pipeline() {
 
     let node = tb.submit;
     let scheduler = tb.scheduler;
-    tb.world.add_component(node, "dagman", DagMan::new(dag, scheduler));
+    tb.world
+        .add_component(node, "dagman", DagMan::new(dag, scheduler));
     tb.world.run_until(SimTime::ZERO + Duration::from_hours(12));
 
-    assert_eq!(tb.world.store().get::<bool>(node, "dag/success"), Some(true));
-    assert_eq!(tb.world.store().get::<u64>(node, "dag/done_nodes"), Some(12));
+    assert_eq!(
+        tb.world.store().get::<bool>(node, "dag/success"),
+        Some(true)
+    );
+    assert_eq!(
+        tb.world.store().get::<u64>(node, "dag/done_nodes"),
+        Some(12)
+    );
     let m = tb.world.metrics();
     assert_eq!(m.counter("dag.completed"), 1);
     assert_eq!(m.counter("condor_g.jobs_done"), 12);
@@ -155,9 +162,13 @@ fn dag_retries_through_flaky_site() {
 
     let node = tb.submit;
     let scheduler = tb.scheduler;
-    tb.world.add_component(node, "dagman", DagMan::new(dag, scheduler));
+    tb.world
+        .add_component(node, "dagman", DagMan::new(dag, scheduler));
     tb.world.run_until(SimTime::ZERO + Duration::from_hours(8));
-    assert_eq!(tb.world.store().get::<bool>(node, "dag/success"), Some(true));
+    assert_eq!(
+        tb.world.store().get::<bool>(node, "dag/success"),
+        Some(true)
+    );
     // At least one execution was wall-killed along the way (the strict
     // site got tried), and the GridManager resubmitted around it.
     let m = tb.world.metrics();

@@ -28,14 +28,21 @@ fn figure2_glidein_path_runs_pool_jobs() {
 
     let m = tb.world.metrics();
     // Glideins came up at both sites through plain GRAM.
-    assert!(m.counter("glidein.started") >= 8, "only {} glideins", m.counter("glidein.started"));
+    assert!(
+        m.counter("glidein.started") >= 8,
+        "only {} glideins",
+        m.counter("glidein.started")
+    );
     assert!(m.counter("gram.submits") >= 8);
     // All pool jobs ran to completion on glidein machines.
     assert_eq!(m.counter("condor_g.jobs_done"), 16);
     assert_eq!(m.counter("schedd.completed"), 16);
     // Remote system calls flowed back to the shadows (Figure 2's
     // "Redirected System Call Data").
-    assert!(m.counter("condor.syscall_batches") > 0, "no remote I/O happened");
+    assert!(
+        m.counter("condor.syscall_batches") > 0,
+        "no remote I/O happened"
+    );
     assert!(m.counter("shadow.io_bytes") > 0);
     for i in 0..16 {
         let h = UserConsole::history_of(&tb.world, node, i);

@@ -24,13 +24,17 @@ fn master_worker_campaign_completes() {
         MwConfig {
             target_outstanding: 24,
             total_tasks: Some(200),
-            task_runtime: Dist::LogNormal { median: 900.0, sigma: 0.6 },
+            task_runtime: Dist::LogNormal {
+                median: 900.0,
+                sigma: 0.6,
+            },
             ..MwConfig::default()
         },
     );
     let node = tb.submit;
     tb.world.add_component(node, "mw-master", master);
-    tb.world.run_until(SimTime::ZERO + Duration::from_days(1) + Duration::from_hours(12));
+    tb.world
+        .run_until(SimTime::ZERO + Duration::from_days(1) + Duration::from_hours(12));
 
     assert_eq!(
         MwMaster::completed(&tb.world, node),
@@ -46,7 +50,10 @@ fn master_worker_campaign_completes() {
     assert!(m.counter("glidein.started") >= 24);
     // Concurrency: with 24 outstanding and ≥24 glideins, the busy-startd
     // gauge must have reached a healthy level.
-    let peak = m.series("condor.busy_startds").map(|s| s.max()).unwrap_or(0.0);
+    let peak = m
+        .series("condor.busy_startds")
+        .map(|s| s.max())
+        .unwrap_or(0.0);
     assert!(peak >= 16.0, "peak concurrency only {peak}");
     // Real preemption happened at the campus pool and was survived.
     assert!(m.counter("site.vacated") + m.counter("condor.vacated") > 0);

@@ -7,7 +7,10 @@ use std::process::Command;
 fn run(scenario: &str) -> String {
     let exe = env!("CARGO_BIN_EXE_condor-g-sim");
     let out = Command::new(exe)
-        .arg(format!("{}/scenarios/{scenario}", env!("CARGO_MANIFEST_DIR")))
+        .arg(format!(
+            "{}/scenarios/{scenario}",
+            env!("CARGO_MANIFEST_DIR")
+        ))
         .output()
         .expect("binary runs");
     assert!(
@@ -38,7 +41,10 @@ fn demo_scenario_completes_every_job() {
     assert_eq!(metric(&report, "jobs done"), 24, "{report}");
     assert_eq!(metric(&report, "jobs failed"), 0);
     // The scripted gatekeeper crash exercised recovery.
-    assert!(report.contains("job 0:"), "per-job outcomes missing:\n{report}");
+    assert!(
+        report.contains("job 0:"),
+        "per-job outcomes missing:\n{report}"
+    );
 }
 
 #[test]

@@ -30,7 +30,11 @@ fn chaos_run(seed: u64) -> (u64, u64, u64) {
     // Boot hook: recover GASS disk, mailer, and the scheduler (which
     // re-creates the GridManager from its logs).
     {
-        let sites: Vec<_> = tb.sites.iter().map(|s| (s.name.clone(), s.gatekeeper)).collect();
+        let sites: Vec<_> = tb
+            .sites
+            .iter()
+            .map(|s| (s.name.clone(), s.gatekeeper))
+            .collect();
         let proxy = tb.proxy.clone();
         let gass = tb.gass;
         let mailer = tb.mailer;
@@ -58,10 +62,16 @@ fn chaos_run(seed: u64) -> (u64, u64, u64) {
                 pool_schedd: None,
                 mailer: Some(mailer),
                 user_addr: None,
-                gm: GmConfig { user: "jane".into(), ..GmConfig::default() },
+                gm: GmConfig {
+                    user: "jane".into(),
+                    ..GmConfig::default()
+                },
                 email_on_termination: false,
             };
-            b.add_component("scheduler", Scheduler::recover(config, broker, b.store(), b.node()));
+            b.add_component(
+                "scheduler",
+                Scheduler::recover(config, broker, b.store(), b.node()),
+            );
         });
     }
 
@@ -94,7 +104,10 @@ fn chaos_run(seed: u64) -> (u64, u64, u64) {
 fn campaigns_survive_random_submit_machine_chaos() {
     for seed in [11, 22, 33] {
         let (done, executions, crashes) = chaos_run(seed);
-        assert!(crashes >= 2, "seed {seed}: chaos too tame ({crashes} crashes)");
+        assert!(
+            crashes >= 2,
+            "seed {seed}: chaos too tame ({crashes} crashes)"
+        );
         assert_eq!(
             done, JOBS as u64,
             "seed {seed}: jobs lost to submit crashes (crashes={crashes}, executions={executions})"
@@ -122,13 +135,20 @@ fn outputs_survive_a_submit_crash_during_staging() {
     });
     let node = tb.submit;
     {
-        let sites: Vec<_> = tb.sites.iter().map(|s| (s.name.clone(), s.gatekeeper)).collect();
+        let sites: Vec<_> = tb
+            .sites
+            .iter()
+            .map(|s| (s.name.clone(), s.gatekeeper))
+            .collect();
         let proxy = tb.proxy.clone();
         let gass = tb.gass;
         let mailer = tb.mailer;
         let trust = tb.trust.clone();
         tb.world.set_boot(node, move |b| {
-            b.add_component("gass", GassServer::recover(trust.clone(), b.store(), b.node()));
+            b.add_component(
+                "gass",
+                GassServer::recover(trust.clone(), b.store(), b.node()),
+            );
             b.add_component("mailer", Mailer::new());
             let broker = Box::new(StaticListBroker::new(
                 sites
@@ -147,10 +167,16 @@ fn outputs_survive_a_submit_crash_during_staging() {
                 pool_schedd: None,
                 mailer: Some(mailer),
                 user_addr: None,
-                gm: GmConfig { user: "jane".into(), ..GmConfig::default() },
+                gm: GmConfig {
+                    user: "jane".into(),
+                    ..GmConfig::default()
+                },
                 email_on_termination: false,
             };
-            b.add_component("scheduler", Scheduler::recover(config, broker, b.store(), b.node()));
+            b.add_component(
+                "scheduler",
+                Scheduler::recover(config, broker, b.store(), b.node()),
+            );
         });
     }
     // 30-minute jobs with 50 MB of stdout (~40 s of WAN transfer each):
@@ -174,7 +200,15 @@ fn outputs_survive_a_submit_crash_during_staging() {
             .world
             .store()
             .get::<u64>(node, &format!("gass/size/condor_g/out/gj{i}"));
-        assert_eq!(size, Some(50_000_000), "job gj{i} output incomplete after crash");
+        assert_eq!(
+            size,
+            Some(50_000_000),
+            "job gj{i} output incomplete after crash"
+        );
     }
-    assert_eq!(m.counter("site.completed"), 8, "staging crash duplicated execution");
+    assert_eq!(
+        m.counter("site.completed"),
+        8,
+        "staging crash duplicated execution"
+    );
 }

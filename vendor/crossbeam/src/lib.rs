@@ -1,0 +1,62 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace (parallel
+//! replication in the bench harness). This stand-in executes spawned
+//! closures sequentially, which preserves the semantics (each closure runs
+//! to completion before `scope` returns) at the cost of parallel speedup.
+
+/// Scoped "threads".
+pub mod thread {
+    /// The scope handle passed to the `scope` closure and to each spawned
+    /// closure.
+    pub struct Scope {
+        _private: (),
+    }
+
+    /// Handle to a spawned task's result.
+    pub struct ScopedJoinHandle<T> {
+        result: T,
+    }
+
+    impl<T> ScopedJoinHandle<T> {
+        /// The closure's return value (already computed).
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            Ok(self.result)
+        }
+    }
+
+    impl Scope {
+        /// Run `f` immediately (sequential execution).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+        where
+            F: FnOnce(&Scope) -> T,
+        {
+            ScopedJoinHandle { result: f(&Scope { _private: () }) }
+        }
+    }
+
+    /// Run `f` with a scope; all "spawned" tasks complete before return.
+    pub fn scope<F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope) -> R,
+    {
+        Ok(f(&Scope { _private: () }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_runs_all_spawns() {
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    *slot = i as u64 * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+}

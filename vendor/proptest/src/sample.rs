@@ -1,0 +1,21 @@
+//! Sampling strategies.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy picking uniformly from a fixed list.
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.below(self.choices.len() as u64) as usize].clone()
+    }
+}
+
+/// Pick uniformly from `choices`; must be non-empty.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select() needs at least one choice");
+    Select { choices }
+}

@@ -1,0 +1,316 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! small API subset the workspace uses: `StdRng` (a xoshiro256++ generator —
+//! not bit-compatible with upstream `rand`, but deterministic and of high
+//! statistical quality), `SeedableRng`, `RngCore`, and the `Rng` extension
+//! methods `gen` / `gen_range`.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Error type for fallible RNG operations (never produced here).
+#[derive(Debug, Clone)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core random-number generation interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill (always succeeds here).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Seed material.
+    type Seed: Default + AsMut<[u8]>;
+    /// Build from full seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+    /// Build from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be drawn uniformly from an RNG via [`Rng::gen`].
+pub trait RandValue {
+    /// Draw one value.
+    fn rand<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_rand_int {
+    ($($t:ty => $m:ident),*) => {$(
+        impl RandValue for $t {
+            fn rand<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+
+impl_rand_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+               u64 => next_u64, usize => next_u64,
+               i8 => next_u32, i16 => next_u32, i32 => next_u32,
+               i64 => next_u64, isize => next_u64);
+
+impl RandValue for bool {
+    fn rand<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl RandValue for f64 {
+    fn rand<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl RandValue for f32 {
+    fn rand<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type.
+    type Output;
+    /// Draw uniformly from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i64).wrapping_add((rng.next_u64() % (span + 1)) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = f64::rand(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = f32::rand(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a uniform value of type `T`.
+    fn gen<T: RandValue>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::rand(self)
+    }
+
+    /// Draw uniformly from `range`.
+    fn gen_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::rand(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The default deterministic generator: xoshiro256++.
+    ///
+    /// Not bit-compatible with upstream `rand`'s `StdRng`; this workspace
+    /// only requires determinism within a build.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                *word = u64::from_le_bytes(seed[i * 8..i * 8 + 8].try_into().unwrap());
+            }
+            // Avoid the all-zero state, which xoshiro cannot escape.
+            if s == [0, 0, 0, 0] {
+                s = [0x9E3779B97F4A7C15, 0x6A09E667F3BCC909, 0xBB67AE8584CAA73B, 0x3C6EF372FE94F82B];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u64 = r.gen_range(5..17);
+            assert!((5..17).contains(&x));
+            let y: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&y));
+            let z: i32 = r.gen_range(-4..4);
+            assert!((-4..4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..100_000 {
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "{mean}");
+    }
+}

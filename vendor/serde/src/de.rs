@@ -1,0 +1,820 @@
+//! The deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Errors a deserializer can produce.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Drive `deserializer` and build `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A stateful seed producing a value from a [`Deserializer`].
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Drive `deserializer` and build the value.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A data format the serde data model can be read from.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Hint: format decides the type (self-describing formats only).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a borrowed or transient string.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect borrowed or transient bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a tuple of known arity.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a struct with the given fields.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect an enum with the given variants.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a field or variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect any value, discarding it.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V)
+        -> Result<V::Value, Self::Error>;
+}
+
+/// Receives values from a [`Deserializer`].
+pub trait Visitor<'de>: Sized {
+    /// The value being built.
+    type Value;
+
+    /// Describe what this visitor expects (for error messages).
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Receive a `bool`.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(format_args!("unexpected bool, expecting {}", Expected(&self))))
+    }
+    /// Receive an `i8`.
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Receive an `i16`.
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Receive an `i32`.
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Receive an `i64`.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(format_args!("unexpected integer, expecting {}", Expected(&self))))
+    }
+    /// Receive a `u8`.
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Receive a `u16`.
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Receive a `u32`.
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Receive a `u64`.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(format_args!(
+            "unexpected unsigned integer, expecting {}",
+            Expected(&self)
+        )))
+    }
+    /// Receive an `f32`.
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+    /// Receive an `f64`.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(format_args!("unexpected float, expecting {}", Expected(&self))))
+    }
+    /// Receive a `char`.
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        let mut buf = [0u8; 4];
+        self.visit_str(v.encode_utf8(&mut buf))
+    }
+    /// Receive a transient string slice.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(format_args!("unexpected string, expecting {}", Expected(&self))))
+    }
+    /// Receive a string borrowed from the input.
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    /// Receive an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Receive transient bytes.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(format_args!("unexpected bytes, expecting {}", Expected(&self))))
+    }
+    /// Receive bytes borrowed from the input.
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    /// Receive an owned byte buffer.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    /// Receive `Option::None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!("unexpected none, expecting {}", Expected(&self))))
+    }
+    /// Receive `Option::Some`; `deserializer` carries the inner value.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom(format_args!("unexpected some, expecting {}", Expected(&self))))
+    }
+    /// Receive `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!("unexpected unit, expecting {}", Expected(&self))))
+    }
+    /// Receive a newtype struct; `deserializer` carries the inner value.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom(format_args!(
+            "unexpected newtype struct, expecting {}",
+            Expected(&self)
+        )))
+    }
+    /// Receive a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(Error::custom(format_args!("unexpected sequence, expecting {}", Expected(&self))))
+    }
+    /// Receive a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(Error::custom(format_args!("unexpected map, expecting {}", Expected(&self))))
+    }
+    /// Receive an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(Error::custom(format_args!("unexpected enum, expecting {}", Expected(&self))))
+    }
+}
+
+/// Adapter rendering a visitor's `expecting` output in error messages.
+struct Expected<'a, V>(&'a V);
+
+impl<'a, 'de, V: Visitor<'de>> Display for Expected<'a, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.expecting(f)
+    }
+}
+
+/// Streaming access to sequence elements.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Pull the next element with a seed.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+    /// Pull the next element.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+    /// Remaining-length hint, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Streaming access to map entries.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Pull the next key with a seed.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+    /// Pull the value for the key just returned, with a seed.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Pull the next key.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+    /// Pull the value for the key just returned.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+    /// Pull the next entry.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+    /// Remaining-length hint, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to an enum's variant tag.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Access to the variant's payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+    /// Read the variant tag with a seed.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+    /// Read the variant tag.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to an enum variant's payload.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// The variant carries no data.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+    /// The variant carries one value; read it with a seed.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+    /// The variant carries one value.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+    /// The variant carries a tuple payload.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// The variant carries named fields.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of a primitive into a deserializer over itself.
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The resulting deserializer.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Wrap `self` in a deserializer.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// Deserializer yielding a single `u32` (used for enum variant indices).
+pub struct U32Deserializer<E> {
+    value: u32,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+    type Deserializer = U32Deserializer<E>;
+    fn into_deserializer(self) -> U32Deserializer<E> {
+        U32Deserializer { value: self, marker: PhantomData }
+    }
+}
+
+macro_rules! u32_forward {
+    ($($method:ident)*) => {$(
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+    )*};
+}
+
+impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+    type Error = E;
+
+    u32_forward! {
+        deserialize_any deserialize_bool
+        deserialize_i8 deserialize_i16 deserialize_i32 deserialize_i64
+        deserialize_u8 deserialize_u16 deserialize_u32 deserialize_u64
+        deserialize_f32 deserialize_f64
+        deserialize_char deserialize_str deserialize_string
+        deserialize_bytes deserialize_byte_buf
+        deserialize_option deserialize_unit
+        deserialize_seq deserialize_map
+        deserialize_identifier deserialize_ignored_any
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, _len: usize, visitor: V) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+}
+
+// ----- Deserialize impls for std types ----------------------------------
+
+macro_rules! deserialize_prim {
+    ($($ty:ty, $method:ident, $visit:ident, $expect:literal;)*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct PrimVisitor;
+                impl<'de> Visitor<'de> for PrimVisitor {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str($expect)
+                    }
+                    fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                        Ok(v)
+                    }
+                }
+                deserializer.$method(PrimVisitor)
+            }
+        }
+    )*};
+}
+
+deserialize_prim! {
+    bool, deserialize_bool, visit_bool, "a bool";
+    i8, deserialize_i8, visit_i8, "an i8";
+    i16, deserialize_i16, visit_i16, "an i16";
+    i32, deserialize_i32, visit_i32, "an i32";
+    i64, deserialize_i64, visit_i64, "an i64";
+    u8, deserialize_u8, visit_u8, "a u8";
+    u16, deserialize_u16, visit_u16, "a u16";
+    u32, deserialize_u32, visit_u32, "a u32";
+    u64, deserialize_u64, visit_u64, "a u64";
+    f32, deserialize_f32, visit_f32, "an f32";
+    f64, deserialize_f64, visit_f64, "an f64";
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UsizeVisitor;
+        impl<'de> Visitor<'de> for UsizeVisitor {
+            type Value = usize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a usize")
+            }
+            fn visit_u64<E: Error>(self, v: u64) -> Result<usize, E> {
+                usize::try_from(v).map_err(|_| E::custom("usize overflow"))
+            }
+        }
+        deserializer.deserialize_u64(UsizeVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct IsizeVisitor;
+        impl<'de> Visitor<'de> for IsizeVisitor {
+            type Value = isize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an isize")
+            }
+            fn visit_i64<E: Error>(self, v: i64) -> Result<isize, E> {
+                isize::try_from(v).map_err(|_| E::custom("isize overflow"))
+            }
+        }
+        deserializer.deserialize_i64(IsizeVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct CharVisitor;
+        impl<'de> Visitor<'de> for CharVisitor {
+            type Value = char;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a char")
+            }
+            fn visit_char<E: Error>(self, v: char) -> Result<char, E> {
+                Ok(v)
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::custom("expected a single character")),
+                }
+            }
+        }
+        deserializer.deserialize_char(CharVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Option<T>, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(Into::into)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BTreeMapVisitor<K, V>(PhantomData<(K, V)>);
+        impl<'de, K, V> Visitor<'de> for BTreeMapVisitor<K, V>
+        where
+            K: Deserialize<'de> + Ord,
+            V: Deserialize<'de>,
+        {
+            type Value = std::collections::BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeMap::new();
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(BTreeMapVisitor(PhantomData))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct HashMapVisitor<K, V, H>(PhantomData<(K, V, H)>);
+        impl<'de, K, V, H> Visitor<'de> for HashMapVisitor<K, V, H>
+        where
+            K: Deserialize<'de> + Eq + std::hash::Hash,
+            V: Deserialize<'de>,
+            H: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashMap<K, V, H>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::HashMap::with_capacity_and_hasher(
+                    map.size_hint().unwrap_or(0).min(4096),
+                    H::default(),
+                );
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(HashMapVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BTreeSetVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Ord> Visitor<'de> for BTreeSetVisitor<T> {
+            type Value = std::collections::BTreeSet<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a set")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeSet::new();
+                while let Some(item) = seq.next_element()? {
+                    out.insert(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(BTreeSetVisitor(PhantomData))
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for std::collections::HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + std::hash::Hash,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct HashSetVisitor<T, H>(PhantomData<(T, H)>);
+        impl<'de, T, H> Visitor<'de> for HashSetVisitor<T, H>
+        where
+            T: Deserialize<'de> + Eq + std::hash::Hash,
+            H: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashSet<T, H>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a set")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::HashSet::with_capacity_and_hasher(
+                    seq.size_hint().unwrap_or(0).min(4096),
+                    H::default(),
+                );
+                while let Some(item) = seq.next_element()? {
+                    out.insert(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(HashSetVisitor(PhantomData))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:expr => $($name:ident)+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                struct TupleVisitor<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("a tuple")
+                    }
+                    #[allow(non_snake_case)]
+                    fn visit_seq<Acc: SeqAccess<'de>>(
+                        self,
+                        mut seq: Acc,
+                    ) -> Result<Self::Value, Acc::Error> {
+                        $(
+                            let $name = seq
+                                .next_element()?
+                                .ok_or_else(|| Error::custom("tuple too short"))?;
+                        )+
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (1 => A)
+    (2 => A B)
+    (3 => A B C)
+    (4 => A B C D)
+    (5 => A B C D E)
+    (6 => A B C D E F)
+    (7 => A B C D E F G)
+    (8 => A B C D E F G H)
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct ArrayVisitor<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for ArrayVisitor<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(N);
+                for _ in 0..N {
+                    out.push(
+                        seq.next_element()?
+                            .ok_or_else(|| Error::custom("array too short"))?,
+                    );
+                }
+                out.try_into().map_err(|_| Error::custom("array length mismatch"))
+            }
+        }
+        deserializer.deserialize_tuple(N, ArrayVisitor(PhantomData))
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Implements the serde data model — the `Serialize`/`Serializer` and
+//! `Deserialize`/`Deserializer` trait families plus impls for the std types
+//! this workspace stores — with signatures compatible with upstream serde,
+//! so the crates written against real serde compile unchanged. Formats and
+//! derives written against this stub (the gridsim codec, `serde_derive`)
+//! interoperate exactly as with upstream.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,472 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote`, which are not
+//! vendored) and emits `Serialize`/`Deserialize` impls matching upstream
+//! serde_derive's data layout: structs serialize positionally, enums by u32
+//! variant index. Supported shapes are exactly what this workspace derives:
+//! non-generic named/tuple/unit structs and enums with unit/newtype/tuple/
+//! struct variants, no `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    UnitStruct { name: String },
+    TupleStruct { name: String, arity: usize },
+    NamedStruct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ----- parsing ----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by this offline stub");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde_derive: unexpected enum body: {other:?}"),
+        },
+        kw => panic!("serde_derive: `{kw}` items cannot derive Serialize/Deserialize"),
+    }
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip a type expression up to (not including) the next top-level comma.
+/// Tracks `<`/`>` depth so commas inside generic arguments don't split.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while let Some(tt) = tokens.get(*i) {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = (depth - 1).max(0),
+                ',' if depth == 0 => return,
+                _ => {}
+            },
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        }
+        i += 1; // field name
+        i += 1; // `:`
+        skip_type(&tokens, &mut i);
+        i += 1; // `,` (or past end)
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut arity = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        arity += 1;
+        skip_type(&tokens, &mut i);
+        i += 1; // `,`
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while let Some(tt) = tokens.get(i) {
+            i += 1;
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ----- code generation --------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::UnitStruct { name } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+                 -> core::result::Result<__S::Ok, __S::Error> {{\n\
+                 __serializer.serialize_unit_struct(\"{name}\")\n}}\n}}\n"
+            ));
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("__serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+            } else {
+                let mut b = format!(
+                    "let mut __ts = __serializer.serialize_tuple_struct(\"{name}\", {arity})?;\n"
+                );
+                for idx in 0..*arity {
+                    b.push_str(&format!(
+                        "serde::ser::SerializeTupleStruct::serialize_field(&mut __ts, &self.{idx})?;\n"
+                    ));
+                }
+                b.push_str("serde::ser::SerializeTupleStruct::end(__ts)");
+                b
+            };
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+                 -> core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+            ));
+        }
+        Item::NamedStruct { name, fields } => {
+            let n = fields.len();
+            let mut body =
+                format!("let mut __st = __serializer.serialize_struct(\"{name}\", {n})?;\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            body.push_str("serde::ser::SerializeStruct::end(__st)");
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+                 -> core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => __serializer\
+                             .serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => __serializer\
+                             .serialize_newtype_variant(\"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __tv = __serializer.serialize_tuple_variant(\
+                             \"{name}\", {idx}u32, \"{vname}\", {arity})?;\n",
+                            binds.join(", ")
+                        );
+                        for b in &binds {
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeTupleVariant::serialize_field(&mut __tv, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeTupleVariant::end(__tv)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantKind::Named(fields) => {
+                        let n = fields.len();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __sv = __serializer.serialize_struct_variant(\
+                             \"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                            fields.join(", ")
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeStructVariant::end(__sv)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+                 -> core::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// `seq.next_element()? → value or "missing field" error` as an expression.
+fn next_elem(what: &str) -> String {
+    format!(
+        "match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+         core::option::Option::Some(__v) => __v,\n\
+         core::option::Option::None => return core::result::Result::Err(\
+         <__A::Error as serde::de::Error>::custom(\"missing field `{what}`\")),\n}}"
+    )
+}
+
+/// A visitor struct + `visit_seq` that builds `ctor` from consecutive
+/// sequence elements. Returns (visitor type definition, visitor type name).
+fn seq_visitor(ty: &str, vis_name: &str, expecting: &str, ctor_body: &str) -> String {
+    format!(
+        "struct {vis_name};\n\
+         impl<'de> serde::de::Visitor<'de> for {vis_name} {{\n\
+         type Value = {ty};\n\
+         fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+         __f.write_str(\"{expecting}\")\n}}\n\
+         fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+         -> core::result::Result<Self::Value, __A::Error> {{\n\
+         let __out = {ctor_body};\n\
+         let _ = &mut __seq;\n\
+         core::result::Result::Ok(__out)\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::UnitStruct { name } => format!(
+            "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+             -> core::result::Result<Self, __D::Error> {{\n\
+             struct __Visitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+             __f.write_str(\"unit struct {name}\")\n}}\n\
+             fn visit_unit<__E: serde::de::Error>(self) -> core::result::Result<{name}, __E> {{\n\
+             core::result::Result::Ok({name})\n}}\n}}\n\
+             __deserializer.deserialize_unit_struct(\"{name}\", __Visitor)\n}}\n}}\n"
+        ),
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+             -> core::result::Result<Self, __D::Error> {{\n\
+             struct __Visitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+             __f.write_str(\"tuple struct {name}\")\n}}\n\
+             fn visit_newtype_struct<__D2: serde::Deserializer<'de>>(self, __d: __D2) \
+             -> core::result::Result<{name}, __D2::Error> {{\n\
+             core::result::Result::Ok({name}(serde::Deserialize::deserialize(__d)?))\n}}\n\
+             fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+             -> core::result::Result<{name}, __A::Error> {{\n\
+             core::result::Result::Ok({name}({elem}))\n}}\n}}\n\
+             __deserializer.deserialize_newtype_struct(\"{name}\", __Visitor)\n}}\n}}\n",
+            elem = next_elem("0"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity).map(|k| next_elem(&k.to_string())).collect();
+            let ctor = format!("{name}({})", elems.join(",\n"));
+            let visitor = seq_visitor(name, "__Visitor", &format!("tuple struct {name}"), &ctor);
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> core::result::Result<Self, __D::Error> {{\n\
+                 {visitor}\
+                 __deserializer.deserialize_tuple_struct(\"{name}\", {arity}, __Visitor)\n}}\n}}\n"
+            )
+        }
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| format!("{f}: {}", next_elem(f))).collect();
+            let ctor = format!("{name} {{\n{}\n}}", inits.join(",\n"));
+            let visitor = seq_visitor(name, "__Visitor", &format!("struct {name}"), &ctor);
+            let field_list: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> core::result::Result<Self, __D::Error> {{\n\
+                 {visitor}\
+                 __deserializer.deserialize_struct(\"{name}\", &[{}], __Visitor)\n}}\n}}\n",
+                field_list.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{\n\
+                         serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         core::result::Result::Ok({name}::{vname})\n}},\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{idx}u32 => core::result::Result::Ok({name}::{vname}(\
+                         serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let elems: Vec<String> =
+                            (0..*arity).map(|k| next_elem(&k.to_string())).collect();
+                        let ctor = format!("{name}::{vname}({})", elems.join(",\n"));
+                        let visitor = seq_visitor(
+                            name,
+                            &format!("__Variant{idx}Visitor"),
+                            &format!("tuple variant {name}::{vname}"),
+                            &ctor,
+                        );
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n{visitor}\
+                             serde::de::VariantAccess::tuple_variant(\
+                             __variant, {arity}, __Variant{idx}Visitor)\n}},\n"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: {}", next_elem(f))).collect();
+                        let ctor = format!("{name}::{vname} {{\n{}\n}}", inits.join(",\n"));
+                        let visitor = seq_visitor(
+                            name,
+                            &format!("__Variant{idx}Visitor"),
+                            &format!("struct variant {name}::{vname}"),
+                            &ctor,
+                        );
+                        let field_list: Vec<String> =
+                            fields.iter().map(|f| format!("\"{f}\"")).collect();
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n{visitor}\
+                             serde::de::VariantAccess::struct_variant(\
+                             __variant, &[{}], __Variant{idx}Visitor)\n}},\n",
+                            field_list.join(", ")
+                        ));
+                    }
+                }
+            }
+            let variant_list: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> core::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+                 __f.write_str(\"enum {name}\")\n}}\n\
+                 fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+                 -> core::result::Result<{name}, __A::Error> {{\n\
+                 let (__idx, __variant): (u32, __A::Variant) = \
+                 serde::de::EnumAccess::variant(__data)?;\n\
+                 match __idx {{\n{arms}\
+                 _ => core::result::Result::Err(<__A::Error as serde::de::Error>::custom(\
+                 \"invalid variant index for {name}\")),\n}}\n}}\n}}\n\
+                 __deserializer.deserialize_enum(\"{name}\", &[{}], __Visitor)\n}}\n}}\n",
+                variant_list.join(", ")
+            )
+        }
+    }
+}
