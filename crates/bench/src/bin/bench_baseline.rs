@@ -1,0 +1,449 @@
+//! `bench_baseline` — the repo's recorded perf trajectory.
+//!
+//! Runs the same workloads as the criterion benches (`sim_kernel`,
+//! `grid_protocols`, `classads_bench`) plus a 10k-job GRAM batch smoke,
+//! self-timed so the numbers can be recorded in `BENCH_kernel.json` and
+//! regression-checked in CI without criterion's analysis machinery.
+//!
+//! Modes:
+//!   bench_baseline                   run every workload, print a table
+//!   bench_baseline --record before   run + write "before" fields of BENCH_kernel.json
+//!   bench_baseline --record after    run + update "after" fields
+//!   bench_baseline --check           run + fail if any metric regressed >25%
+//!                                    against the committed "after" numbers
+//!
+//! `--file <path>` overrides the default `BENCH_kernel.json` location.
+
+use condor_g_suite::classads::{rank, symmetric_match, ClassAd};
+use condor_g_suite::gass::{FileData, GassServer, GassUrl};
+use condor_g_suite::gram::proto::{GramReply, JmMsg};
+use condor_g_suite::gram::{Gatekeeper, RslSpec, SubmitSession};
+use condor_g_suite::gridsim::prelude::*;
+use condor_g_suite::gridsim::{AnyMsg, Config, World};
+use condor_g_suite::gsi::{CertificateAuthority, GridMap, ProxyCredential};
+use condor_g_suite::site::policy::Fifo;
+use condor_g_suite::site::Lrm;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Allowed slowdown before `--check` fails: current >= 0.75 * recorded.
+const REGRESSION_FLOOR: f64 = 0.75;
+
+// ---------------------------------------------------------------------------
+// Workloads (mirrors of the criterion benches, self-timed)
+// ---------------------------------------------------------------------------
+
+struct TimerStorm {
+    fanout: u32,
+}
+
+impl Component for TimerStorm {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for tag in 0..self.fanout {
+            ctx.set_timer(Duration::from_millis(1 + tag as u64), tag as u64);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, tag: u64) {
+        ctx.set_timer(Duration::from_millis(1 + (tag % 16)), tag);
+    }
+}
+
+struct Echo {
+    peer: Option<Addr>,
+}
+
+#[derive(Debug)]
+struct Token;
+
+impl Component for Echo {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(peer) = self.peer {
+            ctx.send(peer, Token);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, _msg: AnyMsg) {
+        ctx.send(from, Token);
+    }
+}
+
+fn timer_storm_events(events: u64) -> u64 {
+    let mut w = World::new(Config::default().seed(1).max_events(events));
+    let n = w.add_node("n");
+    w.add_component(n, "storm", TimerStorm { fanout: 64 });
+    w.run_until_quiescent();
+    w.events_processed()
+}
+
+fn network_ring_events(events: u64) -> u64 {
+    let mut w = World::new(Config::default().seed(2).max_events(events));
+    for i in 0..8 {
+        let na = w.add_node(&format!("a{i}"));
+        let nb = w.add_node(&format!("b{i}"));
+        let pong = w.add_component(nb, "pong", Echo { peer: None });
+        w.add_component(na, "ping", Echo { peer: Some(pong) });
+    }
+    w.run_until_quiescent();
+    w.events_processed()
+}
+
+fn machine_ad(i: usize) -> ClassAd {
+    ClassAd::new()
+        .with("Name", format!("vm{i}.cs.wisc.edu").as_str())
+        .with(
+            "Arch",
+            if i.is_multiple_of(3) {
+                "INTEL"
+            } else {
+                "SUN4u"
+            },
+        )
+        .with("OpSys", "LINUX")
+        .with("Memory", (64 + (i % 8) * 32) as i64)
+        .with("Mips", (200 + i % 500) as i64)
+        .with("State", "Unclaimed")
+        .with_parsed("Requirements", "TARGET.ImageSize <= MY.Memory * 1024")
+        .with_parsed("Rank", "TARGET.Owner == \"jane\" ? 10 : 0")
+}
+
+fn job_ad() -> ClassAd {
+    ClassAd::new()
+        .with("Owner", "jane")
+        .with("ImageSize", 48_000i64)
+        .with_parsed(
+            "Requirements",
+            "TARGET.Arch == \"INTEL\" && TARGET.OpSys == \"LINUX\" && TARGET.Memory >= 64",
+        )
+        .with_parsed("Rank", "TARGET.Mips")
+}
+
+fn matchmake_sweep(iters: usize) -> u64 {
+    let job = job_ad();
+    let machines: Vec<ClassAd> = (0..1000).map(machine_ad).collect();
+    let mut matched = 0u64;
+    for _ in 0..iters {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, m) in machines.iter().enumerate() {
+            if symmetric_match(&job, m) {
+                matched += 1;
+                let r = rank(&job, m);
+                if best.is_none_or(|(br, _)| r > br) {
+                    best = Some((r, i));
+                }
+            }
+        }
+        std::hint::black_box(best);
+    }
+    matched
+}
+
+struct BatchClient {
+    gatekeeper: Addr,
+    credential: ProxyCredential,
+    gass: GassUrl,
+    jobs: u64,
+    sessions: BTreeMap<u64, SubmitSession>,
+}
+
+impl Component for BatchClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for seq in 0..self.jobs {
+            let mut s = SubmitSession::new(
+                seq,
+                RslSpec::job("/site/bin/task", Duration::from_secs(60)).to_string(),
+                self.credential.clone(),
+                ctx.self_addr(),
+                self.gass.clone(),
+            );
+            ctx.send(self.gatekeeper, s.request());
+            self.sessions.insert(seq, s);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
+        if let Some(reply) = msg.downcast_ref::<GramReply>() {
+            if let GramReply::Submitted { seq, .. } = reply {
+                if let Some(s) = self.sessions.get_mut(seq) {
+                    use condor_g_suite::gram::client::SubmitAction;
+                    if let SubmitAction::SendCommit { jobmanager, .. } = s.on_reply(reply) {
+                        ctx.send(jobmanager, JmMsg::Commit);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_batch(jobs: u64) -> u64 {
+    run_batch_profiled(jobs, false)
+}
+
+fn run_batch_profiled(jobs: u64, profile: bool) -> u64 {
+    let mut ca = CertificateAuthority::new("/CN=CA", 1);
+    let id = ca.issue_identity("/CN=jane", Duration::from_days(30));
+    let cred = id.new_proxy(SimTime::ZERO, Duration::from_days(1));
+    let mut gridmap = GridMap::new();
+    gridmap.add("/CN=jane", "jane");
+    let mut w = World::new(Config::default().seed(7));
+    let submit = w.add_node("submit");
+    let interface = w.add_node("gk");
+    let cluster = w.add_node("cluster");
+    let gass = w.add_component(
+        submit,
+        "gass",
+        GassServer::new(ca.trust_root()).preload("/x", FileData::inline("x")),
+    );
+    let lrm = w.add_component(cluster, "lrm", Lrm::new("site", 100_000, Fifo));
+    let gk = w.add_component(
+        interface,
+        "gatekeeper",
+        Gatekeeper::new("site", ca.trust_root(), gridmap, lrm),
+    );
+    w.add_component(
+        submit,
+        "client",
+        BatchClient {
+            gatekeeper: gk,
+            credential: cred,
+            gass: GassUrl::gass(gass, ""),
+            jobs,
+            sessions: BTreeMap::new(),
+        },
+    );
+    if profile {
+        w.enable_profiler();
+    }
+    w.run_until_quiescent();
+    assert_eq!(
+        w.metrics().counter("site.completed"),
+        jobs,
+        "batch did not complete"
+    );
+    if profile {
+        eprintln!("{}", w.profiler().expect("enabled above").summary());
+    }
+    w.events_processed()
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+struct Metric {
+    name: &'static str,
+    unit: &'static str,
+    value: f64,
+}
+
+/// Run `work` `runs` times; return units/sec for the fastest run.
+fn measure(runs: u32, units: u64, work: impl Fn() -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        std::hint::black_box(work());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    units as f64 / best
+}
+
+fn run_all() -> Vec<Metric> {
+    let mut out = Vec::new();
+    eprintln!("bench_baseline: sim_kernel timers...");
+    out.push(Metric {
+        name: "sim_kernel_timers_events_per_sec",
+        unit: "events/s",
+        value: measure(3, 1_000_000, || timer_storm_events(1_000_000)),
+    });
+    eprintln!("bench_baseline: sim_kernel network...");
+    out.push(Metric {
+        name: "sim_kernel_network_events_per_sec",
+        unit: "events/s",
+        value: measure(3, 500_000, || network_ring_events(500_000)),
+    });
+    eprintln!("bench_baseline: classads matchmaking...");
+    out.push(Metric {
+        name: "classads_match_ads_per_sec",
+        unit: "ads/s",
+        value: measure(3, 200 * 1000, || matchmake_sweep(200)),
+    });
+    eprintln!("bench_baseline: gram batch 200...");
+    out.push(Metric {
+        name: "gram_batch_200_jobs_per_sec",
+        unit: "jobs/s",
+        value: measure(3, 200, || run_batch(200)),
+    });
+    eprintln!("bench_baseline: gram batch 10k...");
+    out.push(Metric {
+        name: "gram_batch_10k_jobs_per_sec",
+        unit: "jobs/s",
+        value: measure(1, 10_000, || run_batch(10_000)),
+    });
+    out
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_kernel.json read/write (hand-rolled; no JSON dependency)
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone, Copy)]
+struct Recorded {
+    before: Option<f64>,
+    after: Option<f64>,
+}
+
+fn parse_recorded(text: &str, name: &str) -> Recorded {
+    let mut rec = Recorded::default();
+    let Some(pos) = text.find(&format!("\"{name}\"")) else {
+        return rec;
+    };
+    let tail = &text[pos..];
+    let end = tail.find('}').map_or(tail.len(), |i| i + 1);
+    let obj = &tail[..end];
+    rec.before = find_number(obj, "before");
+    rec.after = find_number(obj, "after");
+    rec
+}
+
+fn find_number(obj: &str, key: &str) -> Option<f64> {
+    let pos = obj.find(&format!("\"{key}\""))?;
+    let tail = obj[pos..].split_once(':')?.1;
+    let num: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.0}"),
+        None => "null".into(),
+    }
+}
+
+fn write_json(path: &str, metrics: &[(String, &'static str, Recorded)]) {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"bench_baseline/v1\",\n");
+    out.push_str(
+        "  \"note\": \"units/sec, best of N runs; see crates/bench/src/bin/bench_baseline.rs\",\n",
+    );
+    out.push_str("  \"metrics\": {\n");
+    for (i, (name, unit, rec)) in metrics.iter().enumerate() {
+        let speedup = match (rec.before, rec.after) {
+            (Some(b), Some(a)) if b > 0.0 => format!("{:.2}", a / b),
+            _ => "null".into(),
+        };
+        out.push_str(&format!(
+            "    \"{name}\": {{ \"unit\": \"{unit}\", \"before\": {}, \"after\": {}, \"speedup\": {speedup} }}{}\n",
+            fmt_opt(rec.before),
+            fmt_opt(rec.after),
+            if i + 1 < metrics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out).expect("write baseline json");
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = "run".to_string();
+    let mut record_label = String::new();
+    let mut path = "BENCH_kernel.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--record" => {
+                mode = "record".into();
+                record_label = args.get(i + 1).cloned().unwrap_or_default();
+                i += 1;
+            }
+            "--check" => mode = "check".into(),
+            "--profile" => mode = "profile".into(),
+            "--file" => {
+                path = args.get(i + 1).cloned().unwrap_or(path);
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if mode == "profile" {
+        // Not a recorded metric: a kernel-profiler breakdown of the 10k-job
+        // batch, for hunting where the wall-clock goes.
+        let t0 = Instant::now();
+        let events = run_batch_profiled(10_000, true);
+        eprintln!(
+            "10k batch: {events} events in {:.2}s",
+            t0.elapsed().as_secs_f64()
+        );
+        return;
+    }
+
+    let results = run_all();
+    println!("{:<36} {:>16}  unit", "metric", "value");
+    for m in &results {
+        println!("{:<36} {:>16.0}  {}", m.name, m.value, m.unit);
+    }
+
+    match mode.as_str() {
+        "run" => {}
+        "record" => {
+            if record_label != "before" && record_label != "after" {
+                eprintln!("--record expects 'before' or 'after'");
+                std::process::exit(2);
+            }
+            let existing = std::fs::read_to_string(&path).unwrap_or_default();
+            let merged: Vec<(String, &'static str, Recorded)> = results
+                .iter()
+                .map(|m| {
+                    let mut rec = parse_recorded(&existing, m.name);
+                    if record_label == "before" {
+                        rec.before = Some(m.value);
+                    } else {
+                        rec.after = Some(m.value);
+                    }
+                    (m.name.to_string(), m.unit, rec)
+                })
+                .collect();
+            write_json(&path, &merged);
+            println!("\nrecorded '{record_label}' numbers in {path}");
+        }
+        "check" => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let mut failed = false;
+            println!();
+            for m in &results {
+                let rec = parse_recorded(&text, m.name);
+                let Some(baseline) = rec.after.or(rec.before) else {
+                    println!("{:<36} no committed baseline, skipping", m.name);
+                    continue;
+                };
+                let ratio = m.value / baseline;
+                let ok = ratio >= REGRESSION_FLOOR;
+                println!(
+                    "{:<36} {:>7.2}x of baseline {}",
+                    m.name,
+                    ratio,
+                    if ok { "ok" } else { "REGRESSED" }
+                );
+                failed |= !ok;
+            }
+            if failed {
+                eprintln!("\nbench_baseline --check: regression beyond 25% detected");
+                std::process::exit(1);
+            }
+            println!("\nbench_baseline --check: all metrics within 25% of baseline");
+        }
+        _ => unreachable!(),
+    }
+}

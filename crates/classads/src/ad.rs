@@ -75,10 +75,24 @@ impl ClassAd {
     }
 
     /// Look up an attribute's expression (case-insensitive).
+    ///
+    /// Matchmaking probes ads millions of times, so the lowercase key is
+    /// built on the stack for every realistic name length; only absurdly
+    /// long names fall back to a heap allocation.
     pub fn get(&self, name: &str) -> Option<&Expr> {
-        self.index
-            .get(&name.to_ascii_lowercase())
-            .map(|&i| &self.entries[i].1)
+        let mut buf = [0u8; 64];
+        let i = if name.len() <= buf.len() {
+            let key = &mut buf[..name.len()];
+            key.copy_from_slice(name.as_bytes());
+            key.make_ascii_lowercase();
+            // ASCII-lowercasing touches only `A`..`Z` bytes, which never
+            // occur inside multi-byte UTF-8 sequences, so this stays valid.
+            self.index
+                .get(std::str::from_utf8(key).expect("lowercased utf8"))
+        } else {
+            self.index.get(&name.to_ascii_lowercase())
+        };
+        i.map(|&i| &self.entries[i].1)
     }
 
     /// Remove an attribute; returns whether it existed.

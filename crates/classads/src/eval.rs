@@ -295,7 +295,14 @@ fn bool3(v: &Value) -> B3 {
 /// Does `a.Requirements` accept `b`? Missing `Requirements` accepts
 /// everything (classic behaviour: an absent constraint is no constraint).
 pub fn half_match(a: &ClassAd, b: &ClassAd) -> bool {
-    match a.get("Requirements") {
+    half_match_expr(a.get("Requirements"), a, b)
+}
+
+/// [`half_match`] with `a`'s `Requirements` already looked up. Matchmakers
+/// that test one ad against many candidates extract the expression once and
+/// call this per candidate, skipping the per-pair attribute probe.
+pub fn half_match_expr(requirements: Option<&Expr>, a: &ClassAd, b: &ClassAd) -> bool {
+    match requirements {
         None => true,
         Some(req) => EvalCtx::matching(a, b).eval(req) == Value::Bool(true),
     }
@@ -309,7 +316,12 @@ pub fn symmetric_match(a: &ClassAd, b: &ClassAd) -> bool {
 /// Evaluate `a.Rank` against `b`. `UNDEFINED`, `ERROR` and non-numeric
 /// ranks count as `0.0` (classic behaviour). Booleans coerce to 0/1.
 pub fn rank(a: &ClassAd, b: &ClassAd) -> f64 {
-    match a.get("Rank") {
+    rank_expr(a.get("Rank"), a, b)
+}
+
+/// [`rank`] with `a`'s `Rank` already looked up (see [`half_match_expr`]).
+pub fn rank_expr(rank: Option<&Expr>, a: &ClassAd, b: &ClassAd) -> f64 {
+    match rank {
         None => 0.0,
         Some(r) => match EvalCtx::matching(a, b).eval(r) {
             Value::Int(i) => i as f64,

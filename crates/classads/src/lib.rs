@@ -51,10 +51,12 @@ pub mod expr;
 pub mod funcs;
 pub mod lexer;
 pub mod parser;
+pub mod prefilter;
 pub mod value;
 
 pub use ad::ClassAd;
-pub use eval::{rank, symmetric_match, EvalCtx};
+pub use eval::{half_match_expr, rank, rank_expr, symmetric_match, EvalCtx};
 pub use expr::{BinOp, Expr, UnOp};
 pub use parser::{parse_ad, parse_expr, ParseError};
+pub use prefilter::{LiteralAttrs, RequirementsPrefilter};
 pub use value::Value;

@@ -1,14 +1,16 @@
 //! The Collector: the pool's ad repository.
 
 use crate::proto::{AdKind, Advertise, CollectorAds, CollectorQuery, Invalidate};
-use classads::{ClassAd, EvalCtx, Value};
+use classads::{ClassAd, EvalCtx, Expr, Value};
 use gridsim::prelude::*;
 use gridsim::AnyMsg;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
 
 struct Entry {
     contact: Addr,
-    ad: ClassAd,
+    /// Shared so query answers hand out handles instead of deep copies.
+    ad: Rc<ClassAd>,
     expires: SimTime,
 }
 
@@ -19,6 +21,10 @@ struct Entry {
 #[derive(Default)]
 pub struct Collector {
     tables: BTreeMap<(AdKind, String), Entry>,
+    /// Parse cache for query constraints: the negotiator asks the same one
+    /// or two constraint strings every cycle, so parsing is once ever, not
+    /// once per query. `None` caches a parse failure.
+    constraints: HashMap<String, Option<Rc<Expr>>>,
 }
 
 impl Collector {
@@ -30,18 +36,28 @@ impl Collector {
 
 impl Component for Collector {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
-        if let Some(ad) = msg.downcast_ref::<Advertise>() {
-            ctx.metrics().incr("collector.advertisements", 1);
-            self.tables.insert(
-                (ad.kind, ad.name.clone()),
-                Entry {
-                    contact: ad.contact,
-                    ad: ad.ad.clone(),
-                    expires: ctx.now() + ad.ttl,
-                },
-            );
-            return;
-        }
+        let msg = match msg.downcast::<Advertise>() {
+            Ok(ad) => {
+                ctx.metrics().incr("collector.advertisements", 1);
+                let Advertise {
+                    kind,
+                    name,
+                    ad,
+                    ttl,
+                    contact,
+                } = *ad;
+                self.tables.insert(
+                    (kind, name),
+                    Entry {
+                        contact,
+                        ad: Rc::new(ad),
+                        expires: ctx.now() + ttl,
+                    },
+                );
+                return;
+            }
+            Err(msg) => msg,
+        };
         if let Some(inv) = msg.downcast_ref::<Invalidate>() {
             self.tables.remove(&(inv.kind, inv.name.clone()));
             return;
@@ -56,25 +72,27 @@ impl Component for Collector {
         } = *query;
         let now = ctx.now();
         self.tables.retain(|_, e| e.expires > now);
-        let expr = match classads::parse_expr(&constraint) {
-            Ok(e) => e,
-            Err(_) => {
-                ctx.send(
-                    from,
-                    CollectorAds {
-                        request_id,
-                        ads: Vec::new(),
-                    },
-                );
-                return;
-            }
+        let expr = self
+            .constraints
+            .entry(constraint)
+            .or_insert_with_key(|c| classads::parse_expr(c).ok().map(Rc::new))
+            .clone();
+        let Some(expr) = expr else {
+            ctx.send(
+                from,
+                CollectorAds {
+                    request_id,
+                    ads: Vec::new(),
+                },
+            );
+            return;
         };
-        let ads: Vec<(String, Addr, ClassAd)> = self
+        let ads: Vec<(String, Addr, Rc<ClassAd>)> = self
             .tables
             .iter()
             .filter(|((k, _), _)| *k == kind)
             .filter(|(_, e)| EvalCtx::solo(&e.ad).eval(&expr) == Value::Bool(true))
-            .map(|((_, name), e)| (name.clone(), e.contact, e.ad.clone()))
+            .map(|((_, name), e)| (name.clone(), e.contact, Rc::clone(&e.ad)))
             .collect();
         ctx.metrics().incr("collector.queries", 1);
         ctx.send(from, CollectorAds { request_id, ads });

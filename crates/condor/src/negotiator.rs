@@ -9,25 +9,52 @@
 use crate::proto::{
     AdKind, CollectorAds, CollectorQuery, IdleJobs, MatchNotify, NegotiationRequest,
 };
-use classads::{rank, symmetric_match, ClassAd};
+use classads::{half_match_expr, rank_expr, ClassAd, Expr, LiteralAttrs, RequirementsPrefilter};
 use gridsim::prelude::*;
 use gridsim::AnyMsg;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 const TAG_CYCLE: u64 = 1;
+
+/// A machine prepared for matchmaking: its `Requirements` pre-extracted and
+/// its literal attributes indexed for job-side pre-filters. Built once per
+/// machine and reused across cycles while the collector keeps serving the
+/// same ad handle (re-advertisement replaces the handle, which invalidates
+/// the cache entry via pointer identity).
+struct MachineInfo {
+    ad: Rc<ClassAd>,
+    /// The machine's own `Requirements` (cloned out of the ad so the struct
+    /// isn't self-referential).
+    requirements: Option<Expr>,
+    literals: LiteralAttrs,
+}
+
+impl MachineInfo {
+    fn prepare(ad: Rc<ClassAd>) -> MachineInfo {
+        let requirements = ad.get("Requirements").cloned();
+        let literals = LiteralAttrs::of(&ad);
+        MachineInfo {
+            ad,
+            requirements,
+            literals,
+        }
+    }
+}
 
 /// Where a cycle stands.
 enum Phase {
     Idle,
     /// Waiting for the two collector answers.
     Collecting {
-        machines: Option<Vec<(String, Addr, ClassAd)>>,
-        submitters: Option<Vec<(String, Addr, ClassAd)>>,
+        machines: Option<Vec<(String, Addr, Rc<ClassAd>)>>,
+        submitters: Option<Vec<(String, Addr, Rc<ClassAd>)>>,
     },
     /// Waiting for schedds' idle-job lists.
     Negotiating {
-        machines: Vec<(String, Addr, ClassAd)>,
+        machines: Vec<(String, Addr, Rc<ClassAd>)>,
         outstanding: usize,
-        jobs: Vec<(Addr, crate::proto::JobId, ClassAd)>,
+        jobs: Vec<(Addr, crate::proto::JobId, Rc<ClassAd>)>,
     },
 }
 
@@ -37,6 +64,8 @@ pub struct Negotiator {
     period: Duration,
     cycle: u64,
     phase: Phase,
+    /// Prepared machines from the previous cycle, keyed by name.
+    machine_cache: HashMap<String, MachineInfo>,
 }
 
 const REQ_MACHINES: u64 = 1;
@@ -51,6 +80,7 @@ impl Negotiator {
             period,
             cycle: 0,
             phase: Phase::Idle,
+            machine_cache: HashMap::new(),
         }
     }
 
@@ -114,33 +144,65 @@ impl Negotiator {
         else {
             return;
         };
+        // Prepare machines, reusing last cycle's work whenever the
+        // collector handed back the same ad (pointer identity on the shared
+        // handle — a re-advertised machine gets a fresh handle and a fresh
+        // entry). Anything left in the cache afterwards vanished from the
+        // pool, so it is dropped.
+        let mut free: Vec<(String, Addr, MachineInfo)> = machines
+            .into_iter()
+            .map(|(name, startd, ad)| {
+                let info = match self.machine_cache.remove(&name) {
+                    Some(info) if Rc::ptr_eq(&info.ad, &ad) => info,
+                    _ => MachineInfo::prepare(ad),
+                };
+                (name, startd, info)
+            })
+            .collect();
+        self.machine_cache.clear();
         // Greedy: jobs in arrival order, each taking its best-ranked
         // compatible machine.
-        let mut free: Vec<(String, Addr, ClassAd)> = machines;
         let mut matched = 0u64;
         for (schedd, job, job_ad) in jobs {
+            // Pull the job's Requirements and Rank once, not per machine,
+            // and compile the Requirements into a literal pre-filter.
+            let req = job_ad.get("Requirements");
+            let rank = job_ad.get("Rank");
+            let prefilter = RequirementsPrefilter::for_requirements(req, &job_ad);
             let mut best: Option<(usize, f64)> = None;
-            for (i, (_, _, machine_ad)) in free.iter().enumerate() {
-                if symmetric_match(&job_ad, machine_ad) {
-                    let r = rank(&job_ad, machine_ad);
+            for (i, (_, _, m)) in free.iter().enumerate() {
+                // The pre-filter only rejects machines whose full evaluation
+                // could not return true, so the match outcome (and therefore
+                // the trace) is exactly the unfiltered one.
+                if prefilter.rejects(&m.literals) {
+                    continue;
+                }
+                if half_match_expr(req, &job_ad, &m.ad)
+                    && half_match_expr(m.requirements.as_ref(), &m.ad, &job_ad)
+                {
+                    let r = rank_expr(rank, &job_ad, &m.ad);
                     if best.is_none_or(|(_, br)| r > br) {
                         best = Some((i, r));
                     }
                 }
             }
             if let Some((i, _)) = best {
-                let (name, startd, machine_ad) = free.remove(i);
+                let (name, startd, info) = free.remove(i);
                 matched += 1;
-                ctx.trace("negotiator.match", format!("{job} -> {name}"));
+                ctx.trace_with("negotiator.match", || format!("{job} -> {name}"));
                 ctx.send(
                     schedd,
                     MatchNotify {
                         job,
                         startd,
-                        machine_ad,
+                        machine_ad: info.ad,
                     },
                 );
             }
+        }
+        // Unmatched machines carry their prepared state into the next cycle.
+        for (name, _, info) in free {
+            self.machine_cache.insert(name, info);
         }
         ctx.metrics().incr("negotiator.matches", matched);
     }

@@ -5,6 +5,7 @@ use gridsim::time::{Duration, SimTime};
 use gridsim::Addr;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::rc::Rc;
 
 /// A job's identity within one schedd (cluster.proc in real Condor).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -69,13 +70,15 @@ pub struct CollectorQuery {
     pub constraint: String,
 }
 
-/// Collector answer: `(name, contact, ad)` per match.
+/// Collector answer: `(name, contact, ad)` per match. Ads are shared
+/// handles into the collector's tables — queries and the negotiation
+/// pipeline they feed never deep-copy an ad.
 #[derive(Debug)]
 pub struct CollectorAds {
     /// Correlation id.
     pub request_id: u64,
     /// The matching ads.
-    pub ads: Vec<(String, Addr, ClassAd)>,
+    pub ads: Vec<(String, Addr, Rc<ClassAd>)>,
 }
 
 /// Remove an ad eagerly (graceful daemon shutdown).
@@ -101,8 +104,8 @@ pub struct NegotiationRequest {
 pub struct IdleJobs {
     /// Correlation id (cycle number).
     pub cycle: u64,
-    /// `(id, ad)` for each idle job.
-    pub jobs: Vec<(JobId, ClassAd)>,
+    /// `(id, ad)` for each idle job (shared handles into the queue).
+    pub jobs: Vec<(JobId, Rc<ClassAd>)>,
 }
 
 /// Negotiator → schedd: a match was found.
@@ -113,7 +116,7 @@ pub struct MatchNotify {
     /// The machine's startd.
     pub startd: Addr,
     /// The machine ad at match time (for the shadow's records).
-    pub machine_ad: ClassAd,
+    pub machine_ad: Rc<ClassAd>,
 }
 
 // ---- claiming & execution -----------------------------------------------------
@@ -122,7 +125,7 @@ pub struct MatchNotify {
 #[derive(Debug)]
 pub struct RequestClaim {
     /// The job ad (Requirements are re-checked at claim time).
-    pub job_ad: ClassAd,
+    pub job_ad: Rc<ClassAd>,
     /// The job's identity (for logging).
     pub job: JobId,
 }

@@ -19,11 +19,14 @@ use gridsim::prelude::*;
 use gridsim::AnyMsg;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 const TAG_ADVERTISE: u64 = 1;
 
 struct JobRec {
-    ad: ClassAd,
+    /// Shared: negotiation snapshots and shadows hold handles to the same
+    /// ad rather than deep copies (ads are immutable once queued).
+    ad: Rc<ClassAd>,
     state: PoolJobState,
     done_work: Duration,
     submitter: Addr,
@@ -92,7 +95,7 @@ impl Schedd {
             schedd.jobs.insert(
                 JobId(rec.id),
                 JobRec {
-                    ad: rec.ad.parse().expect("persisted ad re-parses"),
+                    ad: Rc::new(rec.ad.parse().expect("persisted ad re-parses")),
                     state,
                     done_work: Duration::from_micros(rec.done_work_us),
                     submitter: rec.submitter,
@@ -194,7 +197,7 @@ impl Component for Schedd {
             self.jobs.insert(
                 job,
                 JobRec {
-                    ad: submit.ad.clone(),
+                    ad: Rc::new(submit.ad.clone()),
                     state: PoolJobState::Idle,
                     done_work: Duration::ZERO,
                     submitter: from,
@@ -213,11 +216,11 @@ impl Component for Schedd {
             return;
         }
         if let Some(req) = msg.downcast_ref::<NegotiationRequest>() {
-            let jobs: Vec<(JobId, ClassAd)> = self
+            let jobs: Vec<(JobId, Rc<ClassAd>)> = self
                 .jobs
                 .iter()
                 .filter(|(_, r)| r.state == PoolJobState::Idle)
-                .map(|(id, r)| (*id, r.ad.clone()))
+                .map(|(id, r)| (*id, Rc::clone(&r.ad)))
                 .collect();
             ctx.send(
                 from,
@@ -239,7 +242,14 @@ impl Component for Schedd {
             }
             rec.state = PoolJobState::Running;
             rec.attempts += 1;
-            let shadow = Shadow::new(me, &name, m.job, rec.ad.clone(), rec.done_work, m.startd);
+            let shadow = Shadow::new(
+                me,
+                &name,
+                m.job,
+                Rc::clone(&rec.ad),
+                rec.done_work,
+                m.startd,
+            );
             let node = ctx.node();
             ctx.spawn(node, &format!("shadow-{}", m.job), shadow);
             ctx.metrics().incr("schedd.matches", 1);

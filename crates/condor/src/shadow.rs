@@ -17,6 +17,7 @@ use crate::startd::ReleaseClaim;
 use classads::ClassAd;
 use gridsim::prelude::*;
 use gridsim::AnyMsg;
+use std::rc::Rc;
 
 const TAG_CLAIM_TIMEOUT: u64 = 1;
 const TAG_WATCHDOG: u64 = 2;
@@ -32,7 +33,7 @@ pub struct Shadow {
     schedd: Addr,
     job: JobId,
     global_id: String,
-    job_ad: ClassAd,
+    job_ad: Rc<ClassAd>,
     total_work: Duration,
     done_work: Duration,
     startd: Addr,
@@ -50,7 +51,7 @@ impl Shadow {
         schedd: Addr,
         schedd_name: &str,
         job: JobId,
-        job_ad: ClassAd,
+        job_ad: Rc<ClassAd>,
         done_work: Duration,
         startd: Addr,
     ) -> Shadow {
@@ -83,7 +84,7 @@ impl Component for Shadow {
         ctx.send(
             self.startd,
             RequestClaim {
-                job_ad: self.job_ad.clone(),
+                job_ad: Rc::clone(&self.job_ad),
                 job: self.job,
             },
         );

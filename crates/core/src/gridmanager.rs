@@ -307,7 +307,7 @@ impl GridManager {
             _ => None,
         };
         if let Some(milestone) = terminal {
-            ctx.trace("span", format!("job={} phase={milestone}", job.0));
+            ctx.trace_with("span", || format!("job={} phase={milestone}", job.0));
         }
         ctx.send_local(self.scheduler, GmUpdate { job, status });
     }
@@ -359,11 +359,12 @@ impl GridManager {
             GassUrl::gass(self.gass, ""),
         );
         ctx.metrics().incr("gm.submissions", 1);
-        ctx.trace("gm.submit", format!("{job} -> {} (seq {seq})", target.site));
-        ctx.trace(
-            "span",
-            format!("job={} seq={seq} phase=submit site={}", job.0, target.site),
-        );
+        ctx.trace_with("gm.submit", || {
+            format!("{job} -> {} (seq {seq})", target.site)
+        });
+        ctx.trace_with("span", || {
+            format!("job={} seq={seq} phase=submit site={}", job.0, target.site)
+        });
         ctx.send(target.addr, session.request());
         let j = self.jobs.get_mut(&job).expect("job exists");
         j.seq = Some(seq);
@@ -389,7 +390,7 @@ impl GridManager {
             return;
         }
         ctx.metrics().incr("gm.attempt_failures", 1);
-        ctx.trace("gm.attempt_failed", format!("{job}: {why}"));
+        ctx.trace_with("gm.attempt_failed", || format!("{job}: {why}"));
         j.attempts += 1;
         if let Some(site) = j.site.take() {
             if !j.excluded.contains(&site) {
@@ -610,7 +611,9 @@ impl GridManager {
                             .is_some();
                         if alternative {
                             ctx.metrics().incr("gm.migrations", 1);
-                            ctx.trace("gm.migrate", format!("{job} stuck queued at {:?}", j.site));
+                            ctx.trace_with("gm.migrate", || {
+                                format!("{job} stuck queued at {:?}", j.site)
+                            });
                             j.migrating = true;
                             ctx.send(*jm, JmMsg::Cancel);
                         }
@@ -627,7 +630,7 @@ impl GridManager {
                         ctx.metrics().incr("gm.probes_missed", 1);
                         if *missed >= 2 {
                             // "the GridManager then probes the GateKeeper"
-                            ctx.trace("gm.jm_lost", format!("{job}"));
+                            ctx.trace_with("gm.jm_lost", || format!("{job}"));
                             let gk = j.gatekeeper.expect("live job has a gatekeeper");
                             ctx.send(gk, GramRequest::Ping { nonce: job.0 });
                             j.phase = Phase::PingingGk { last_ping: now };
@@ -695,7 +698,7 @@ impl GridManager {
         if let Some(broker) = self.broker.take() {
             ctx.send_local(self.scheduler, GmExiting { broker });
         }
-        ctx.trace("gm.exit", "all jobs complete".to_string());
+        ctx.trace_with("gm.exit", || "all jobs complete".to_string());
         ctx.kill(ctx.self_addr());
     }
 }

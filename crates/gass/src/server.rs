@@ -179,11 +179,12 @@ impl Component for GassServer {
                         let total_size = f.data.len();
                         let data = f.data.slice(offset, limit);
                         ctx.metrics().incr("gass.gets", 1);
-                        ctx.trace("gass.get", format!("{path} [{offset}..+{}]", data.len()));
-                        ctx.trace(
-                            "span",
-                            format!("phase=transfer op=get path={path} bytes={}", data.len()),
-                        );
+                        ctx.trace_with("gass.get", || {
+                            format!("{path} [{offset}..+{}]", data.len())
+                        });
+                        ctx.trace_with("span", || {
+                            format!("phase=transfer op=get path={path} bytes={}", data.len())
+                        });
                         // The reply pays for the bytes it carries.
                         let bytes = data.len();
                         ctx.send_bulk(
@@ -205,11 +206,10 @@ impl Component for GassServer {
                 ..
             } => {
                 ctx.metrics().incr("gass.puts", 1);
-                ctx.trace("gass.put", format!("{path} ({} bytes)", data.len()));
-                ctx.trace(
-                    "span",
-                    format!("phase=transfer op=put path={path} bytes={}", data.len()),
-                );
+                ctx.trace_with("gass.put", || format!("{path} ({} bytes)", data.len()));
+                ctx.trace_with("span", || {
+                    format!("phase=transfer op=put path={path} bytes={}", data.len())
+                });
                 self.write_through(ctx, &path, FsOp::Put(data));
                 let new_size = self.files.size(&path).unwrap_or(0);
                 ctx.send(
@@ -229,7 +229,7 @@ impl Component for GassServer {
                 ctx.metrics().incr("gass.appends", 1);
                 self.write_through(ctx, &path, FsOp::Append(data));
                 let new_size = self.files.size(&path).unwrap_or(0);
-                ctx.trace("gass.append", format!("{path} -> {new_size} bytes"));
+                ctx.trace_with("gass.append", || format!("{path} -> {new_size} bytes"));
                 ctx.send(
                     from,
                     GassReply::Ok {
@@ -246,19 +246,17 @@ impl Component for GassServer {
                 ..
             } => {
                 ctx.metrics().incr("gass.write_ats", 1);
-                ctx.trace(
-                    "span",
+                ctx.trace_with("span", || {
                     format!(
                         "phase=transfer op=write_at path={path} bytes={}",
                         data.len()
-                    ),
-                );
+                    )
+                });
                 self.write_through(ctx, &path, FsOp::WriteAt(offset, data));
                 let new_size = self.files.size(&path).unwrap_or(0);
-                ctx.trace(
-                    "gass.write_at",
-                    format!("{path} @{offset} -> {new_size} bytes"),
-                );
+                ctx.trace_with("gass.write_at", || {
+                    format!("{path} @{offset} -> {new_size} bytes")
+                });
                 ctx.send(
                     from,
                     GassReply::Ok {
@@ -625,5 +623,45 @@ mod tests {
         let took = w.now().as_secs_f64();
         assert!((7.5..9.5).contains(&took), "transfer took {took}s");
         assert_eq!(w.metrics().counter("net.bulk_bytes"), 10_000_000);
+    }
+
+    #[test]
+    fn bulk_transfer_is_one_event_regardless_of_size() {
+        // The network model charges bulk bytes as simulated *time*, never
+        // as extra events: a 100 MB stage-in is a single delivery, so the
+        // kernel cost of a transfer is independent of its size. This pins
+        // that model — a chunked rewrite would multiply event counts (and
+        // wall-clock cost) by file size.
+        let events_for = |bytes: u64| {
+            let mut ca = CertificateAuthority::new("/CN=CA", 1);
+            let id = ca.issue_identity("/CN=jane", Duration::from_days(30));
+            let cred = id.new_proxy(SimTime::ZERO, Duration::from_hours(12));
+            let mut w = World::new(Config::default().seed(2));
+            let ns = w.add_node("server");
+            let nc = w.add_node("client");
+            let server = w.add_component(
+                ns,
+                "gass",
+                GassServer::new(ca.trust_root()).preload("/big", FileData::bulk(bytes, 1)),
+            );
+            w.add_component(
+                nc,
+                "client",
+                Client {
+                    server,
+                    script: vec![GassRequest::Get {
+                        request_id: 1,
+                        credential: cred,
+                        path: "/big".into(),
+                        offset: 0,
+                        limit: u64::MAX,
+                    }],
+                },
+            );
+            w.run_until_quiescent();
+            assert!(w.store().get::<String>(nc, "reply/1").is_some());
+            w.events_processed()
+        };
+        assert_eq!(events_for(1024), events_for(100_000_000));
     }
 }

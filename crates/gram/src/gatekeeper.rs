@@ -14,9 +14,11 @@ use gridsim::AnyMsg;
 use gsi::{Capability, GridMap, PublicKey, TrustRoot};
 use std::collections::HashMap;
 
-/// Dedup record persisted to stable storage so exactly-once survives
-/// gatekeeper machine restarts.
-type DedupMap = Vec<((String, u64), u64)>; // (DN, seq) -> contact
+/// One dedup record persisted to stable storage so exactly-once survives
+/// gatekeeper machine restarts. Each record lives under its own key
+/// (suffixed by the job contact, which is unique per accepted submit), so
+/// persisting a submit is O(1) instead of rewriting the whole table.
+type DedupRecord = (String, u64, u64); // (DN, seq, contact)
 
 /// The gatekeeper component.
 pub struct Gatekeeper {
@@ -66,27 +68,32 @@ impl Gatekeeper {
         self
     }
 
-    fn dedup_key(&self) -> String {
-        format!("gram/gk/{}/dedup", self.site)
+    fn dedup_prefix(&self) -> String {
+        format!("gram/gk/{}/dedup/", self.site)
     }
 
     fn contact_key(&self) -> String {
         format!("gram/gk/{}/next_contact", self.site)
     }
 
-    fn persist(&self, ctx: &mut Ctx<'_>) {
+    /// Persist one accepted submit: its dedup record plus the contact
+    /// counter. Constant work per job — the table is never rewritten.
+    fn persist_entry(&self, ctx: &mut Ctx<'_>, dn: &str, seq: u64, contact: JobContact) {
         let node = ctx.node();
-        let flat: DedupMap = self.dedup.iter().map(|(k, v)| (k.clone(), v.0)).collect();
-        let (dk, ck) = (self.dedup_key(), self.contact_key());
+        let key = format!("{}{:016x}", self.dedup_prefix(), contact.0);
+        let record: DedupRecord = (dn.to_string(), seq, contact.0);
+        let ck = self.contact_key();
         let next = self.next_contact;
-        ctx.store().put(node, &dk, &flat);
+        ctx.store().put(node, &key, &record);
         ctx.store().put(node, &ck, &next);
     }
 
     /// Recover dedup state after a machine restart (used from boot hooks).
     pub fn recover(mut self, store: &gridsim::store::StableStore, node: NodeId) -> Gatekeeper {
-        if let Some(flat) = store.get::<DedupMap>(node, &self.dedup_key()) {
-            self.dedup = flat.into_iter().map(|(k, v)| (k, JobContact(v))).collect();
+        for key in store.keys_with_prefix(node, &self.dedup_prefix()) {
+            let (dn, seq, contact): DedupRecord =
+                store.get(node, &key).expect("listed key present");
+            self.dedup.insert((dn, seq), JobContact(contact));
         }
         if let Some(next) = store.get::<u64>(node, &self.contact_key()) {
             self.next_contact = next;
@@ -154,7 +161,7 @@ impl Component for Gatekeeper {
                 if self.two_phase {
                     if let Some(&contact) = self.dedup.get(&(dn.clone(), seq)) {
                         ctx.metrics().incr("gram.duplicate_submits", 1);
-                        ctx.trace("gram.dedup", format!("dn={dn} seq={seq} -> {contact}"));
+                        ctx.trace_with("gram.dedup", || format!("dn={dn} seq={seq} -> {contact}"));
                         if let Some(&jm) = self.jobmanagers.get(&contact) {
                             ctx.send(
                                 from,
@@ -221,14 +228,12 @@ impl Component for Gatekeeper {
                 let contact = JobContact(self.next_contact);
                 self.next_contact += 1;
                 ctx.metrics().incr("gram.submits", 1);
-                ctx.trace(
-                    "gram.submit",
-                    format!("{} dn={dn} seq={seq} -> {contact}", self.site),
-                );
-                ctx.trace(
-                    "span",
-                    format!("seq={seq} contact={} phase=auth", contact.0),
-                );
+                ctx.trace_with("gram.submit", || {
+                    format!("{} dn={dn} seq={seq} -> {contact}", self.site)
+                });
+                ctx.trace_with("span", || {
+                    format!("seq={seq} contact={} phase=auth", contact.0)
+                });
                 let jm = JobManager::new(
                     contact,
                     spec,
@@ -242,8 +247,8 @@ impl Component for Gatekeeper {
                 );
                 let jm_addr = self.spawn_jobmanager(ctx, contact, jm);
                 if self.two_phase {
+                    self.persist_entry(ctx, &dn, seq, contact);
                     self.dedup.insert((dn, seq), contact);
-                    self.persist(ctx);
                 }
                 ctx.send(
                     from,
@@ -277,7 +282,7 @@ impl Component for Gatekeeper {
                 match ctx.store().get::<JmLog>(node, &JmLog::key(contact)) {
                     Some(log) => {
                         ctx.metrics().incr("gram.jm_restarts", 1);
-                        ctx.trace("gram.jm_restart", format!("{contact}"));
+                        ctx.trace_with("gram.jm_restart", || format!("{contact}"));
                         let jm = self.spawn_jobmanager(
                             ctx,
                             contact,

@@ -174,7 +174,7 @@ impl JobManager {
     fn callback(&mut self, ctx: &mut Ctx<'_>, state: GramJobState) {
         self.state = state;
         self.persist(ctx);
-        ctx.trace("jm.state", format!("{} -> {state:?}", self.contact));
+        ctx.trace_with("jm.state", || format!("{} -> {state:?}", self.contact));
         ctx.send(
             self.client,
             JmMsg::Callback {
@@ -222,7 +222,9 @@ impl JobManager {
 
     fn begin_stage_in(&mut self, ctx: &mut Ctx<'_>) {
         self.committed = true;
-        ctx.trace("span", format!("contact={} phase=commit", self.contact.0));
+        ctx.trace_with("span", || {
+            format!("contact={} phase=commit", self.contact.0)
+        });
         if self.send_stage_requests(ctx) == 0 {
             // Everything is site-local: no staging needed.
             self.staging = Staging::Done;
@@ -242,10 +244,9 @@ impl JobManager {
             owner: self.local_user.clone(),
             required_arch,
         };
-        ctx.trace(
-            "span",
-            format!("contact={} phase=stage_in_done", self.contact.0),
-        );
+        ctx.trace_with("span", || {
+            format!("contact={} phase=stage_in_done", self.contact.0)
+        });
         ctx.send(
             self.lrm,
             LrmRequest::Submit {
@@ -268,10 +269,9 @@ impl JobManager {
             self.callback(ctx, GramJobState::Done);
             return;
         }
-        ctx.trace(
-            "span",
-            format!("contact={} phase=stage_out", self.contact.0),
-        );
+        ctx.trace_with("span", || {
+            format!("contact={} phase=stage_out", self.contact.0)
+        });
         self.callback(ctx, GramJobState::StageOut);
         match stdout_url.parse::<GassUrl>() {
             Ok(_) => self.send_stdout_chunk(ctx),
@@ -324,7 +324,9 @@ impl JobManager {
         match ev.state {
             LrmJobState::Running => {
                 ctx.metrics().incr("gram.jobs_started", 1);
-                ctx.trace("span", format!("contact={} phase=active", self.contact.0));
+                ctx.trace_with("span", || {
+                    format!("contact={} phase=active", self.contact.0)
+                });
                 self.callback(ctx, GramJobState::Active);
             }
             LrmJobState::Queued => {
@@ -542,7 +544,7 @@ impl Component for JobManager {
                 }
                 GassReply::Failed { ref error, .. } => {
                     ctx.metrics().incr("gram.staging_failures", 1);
-                    ctx.trace("jm.staging_failed", error.to_string());
+                    ctx.trace_with("jm.staging_failed", || error.to_string());
                     self.exit_ok = false;
                     self.callback(ctx, GramJobState::Failed);
                 }

@@ -1,9 +1,25 @@
 //! The event queue.
 //!
-//! A binary heap keyed by `(time, seq)`: `seq` is a monotonically increasing
+//! Events are keyed by `(time, seq)`: `seq` is a monotonically increasing
 //! sequence number assigned at push time, so simultaneous events fire in the
 //! order they were scheduled. That total order is the root of the kernel's
 //! determinism guarantee.
+//!
+//! The implementation is a two-level calendar queue tuned for the timer-dense
+//! workloads grid components generate (heartbeats, retries, polling):
+//!
+//! * an **active heap** holding every event in the current 1024 µs slot,
+//! * **L0**: 1024 buckets of 1024 µs each — exactly one L1 slot (~1.05 s),
+//!   aligned to the L1 boundary,
+//! * **L1**: 1024 buckets of ~1.05 s each (~18 simulated minutes), aligned,
+//! * an **overflow heap** for everything beyond the L1 horizon.
+//!
+//! Pushes and pops are O(1) amortised: most events land directly in an L0/L1
+//! bucket and are only heap-ordered once they reach the (small) active heap.
+//! Bucket windows are *aligned*, not sliding, so an event can never be filed
+//! into a bucket that drains after a later-keyed event — the pop sequence is
+//! exactly the `(time, seq)` order a single binary heap would produce, which
+//! the determinism tests assert byte-for-byte.
 
 use crate::component::{Addr, AnyMsg, NodeId, TimerId};
 use crate::time::SimTime;
@@ -99,18 +115,74 @@ impl Ord for Event {
     }
 }
 
+/// log2 of the L0 bucket width in microseconds (1024 µs ≈ 1 ms).
+const B0: u32 = 10;
+/// log2 of the L1 bucket width in microseconds (~1.05 s). Must equal
+/// `B0 + log2(N0)` so L0 covers exactly one L1 slot.
+const B1: u32 = 20;
+/// Buckets per level (a power of two, for cheap modular indexing).
+const N: usize = 1024;
+/// Words in each occupancy bitmap.
+const WORDS: usize = N / 64;
+
+/// First set bucket index `>= from`, or `None`.
+fn scan(bits: &[u64; WORDS], from: usize) -> Option<usize> {
+    if from >= N {
+        return None;
+    }
+    let mut w = from / 64;
+    let mut word = bits[w] & (!0u64 << (from % 64));
+    loop {
+        if word != 0 {
+            return Some(w * 64 + word.trailing_zeros() as usize);
+        }
+        w += 1;
+        if w == WORDS {
+            return None;
+        }
+        word = bits[w];
+    }
+}
+
 /// Earliest-first event queue with deterministic tie-breaking.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    /// Events in L0 slots `<= cur0`, heap-ordered by `(time, seq)`.
+    active: BinaryHeap<Event>,
+    /// One bucket per L0 slot of the current L1 slot (index `slot0 % N`).
+    l0: Vec<Vec<Event>>,
+    l0_bits: [u64; WORDS],
+    /// One bucket per L1 slot of the current horizon (index `slot1 % N`).
+    /// Invariant: every event in a bucket shares the same absolute slot1,
+    /// which lies in `(cur1, cur1 + N)`.
+    l1: Vec<Vec<Event>>,
+    l1_bits: [u64; WORDS],
+    /// Events beyond the L1 horizon at push time.
+    overflow: BinaryHeap<Event>,
+    /// The L0 slot currently drained into `active`.
+    cur0: u64,
+    len: usize,
     next_seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> EventQueue {
+        EventQueue::new()
+    }
 }
 
 impl EventQueue {
     /// An empty queue.
     pub fn new() -> EventQueue {
         EventQueue {
-            heap: BinaryHeap::new(),
+            active: BinaryHeap::new(),
+            l0: (0..N).map(|_| Vec::new()).collect(),
+            l0_bits: [0; WORDS],
+            l1: (0..N).map(|_| Vec::new()).collect(),
+            l1_bits: [0; WORDS],
+            overflow: BinaryHeap::new(),
+            cur0: 0,
+            len: 0,
             next_seq: 0,
         }
     }
@@ -119,28 +191,164 @@ impl EventQueue {
     pub fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        self.len += 1;
+        let event = Event { time, seq, kind };
+        let s0 = time.0 >> B0;
+        if s0 <= self.cur0 {
+            // Current (or already-drained) slot: compete in the heap.
+            self.active.push(event);
+        } else if s0 >> (B1 - B0) == self.cur0 >> (B1 - B0) {
+            // Later slot of the current L1 slot: direct L0 filing.
+            let idx = (s0 as usize) & (N - 1);
+            self.l0[idx].push(event);
+            self.l0_bits[idx / 64] |= 1 << (idx % 64);
+        } else {
+            let s1 = time.0 >> B1;
+            let cur1 = self.cur0 >> (B1 - B0);
+            if s1 - cur1 < N as u64 {
+                // Within the L1 horizon: direct L1 filing.
+                let idx = (s1 as usize) & (N - 1);
+                self.l1[idx].push(event);
+                self.l1_bits[idx / 64] |= 1 << (idx % 64);
+            } else {
+                self.overflow.push(event);
+            }
+        }
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        loop {
+            if let Some(event) = self.active.pop() {
+                self.len -= 1;
+                return Some(event);
+            }
+            if self.len == 0 {
+                return None;
+            }
+            self.advance();
+        }
+    }
+
+    /// Move the next non-empty bucket into the active heap. Only called
+    /// when `active` is empty and at least one event remains.
+    fn advance(&mut self) {
+        // Later L0 bucket within the current L1 slot?
+        let base0 = self.cur0 & !(N as u64 - 1);
+        let lo = (self.cur0 - base0) as usize + 1;
+        if let Some(idx) = scan(&self.l0_bits, lo) {
+            self.drain_l0(base0, idx);
+            return;
+        }
+        // Advance to the next occupied L1 slot: the earliest of the first
+        // set L1 bucket and the overflow heap's front. Both can hold events
+        // for the same slot (filed at different horizons), so drain both.
+        let cur1 = self.cur0 >> (B1 - B0);
+        let bucket_s1 = {
+            let lo1 = ((cur1 as usize) & (N - 1)) + 1;
+            // Buckets wrap modulo N: scan above the cursor, then below.
+            scan(&self.l1_bits, lo1)
+                .map(|idx| base_plus(cur1, lo1, idx))
+                .or_else(|| scan(&self.l1_bits, 0).map(|idx| base_plus(cur1, 0, idx)))
+        };
+        let overflow_s1 = self.overflow.peek().map(|e| e.time.0 >> B1);
+        let target = match (bucket_s1, overflow_s1) {
+            (Some(b), Some(o)) => b.min(o),
+            (Some(b), None) => b,
+            (None, Some(o)) => o,
+            (None, None) => unreachable!("len > 0 with every level empty"),
+        };
+        // Redistribute the slot's events into L0 buckets.
+        self.cur0 = target << (B1 - B0);
+        let base0 = self.cur0;
+        if bucket_s1 == Some(target) {
+            let idx = (target as usize) & (N - 1);
+            self.l1_bits[idx / 64] &= !(1 << (idx % 64));
+            let mut events = std::mem::take(&mut self.l1[idx]);
+            for event in events.drain(..) {
+                let i = ((event.time.0 >> B0) as usize) & (N - 1);
+                self.l0[i].push(event);
+                self.l0_bits[i / 64] |= 1 << (i % 64);
+            }
+            self.l1[idx] = events;
+        }
+        while let Some(e) = self.overflow.peek() {
+            if e.time.0 >> B1 != target {
+                break;
+            }
+            let event = self.overflow.pop().expect("peeked");
+            let i = ((event.time.0 >> B0) as usize) & (N - 1);
+            self.l0[i].push(event);
+            self.l0_bits[i / 64] |= 1 << (i % 64);
+        }
+        let idx = scan(&self.l0_bits, 0).expect("slot chosen because occupied");
+        self.drain_l0(base0, idx);
+    }
+
+    /// Drain L0 bucket `idx` (absolute slot `base0 + idx`) into the heap.
+    fn drain_l0(&mut self, base0: u64, idx: usize) {
+        self.cur0 = base0 + idx as u64;
+        self.l0_bits[idx / 64] &= !(1 << (idx % 64));
+        let mut events = std::mem::take(&mut self.l0[idx]);
+        self.active.extend(events.drain(..));
+        self.l0[idx] = events;
     }
 
     /// Time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        if let Some(event) = self.active.peek() {
+            return Some(event.time);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        let base0 = self.cur0 & !(N as u64 - 1);
+        let lo = (self.cur0 - base0) as usize + 1;
+        if let Some(idx) = scan(&self.l0_bits, lo) {
+            return bucket_min(&self.l0[idx]);
+        }
+        // The earliest remaining event is in the first occupied L1 bucket
+        // or the overflow heap — slots are disjoint time ranges, so the
+        // earlier slot wins; for a shared slot, the earlier minimum.
+        let cur1 = self.cur0 >> (B1 - B0);
+        let lo1 = ((cur1 as usize) & (N - 1)) + 1;
+        let bucket = scan(&self.l1_bits, lo1)
+            .or_else(|| scan(&self.l1_bits, 0))
+            .and_then(|idx| bucket_min(&self.l1[idx]));
+        let overflow = self.overflow.peek().map(|e| e.time);
+        match (bucket, overflow) {
+            (Some(b), Some(o)) => Some(b.min(o)),
+            (b, o) => b.or(o),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
+}
+
+/// Absolute L1 slot for bucket `idx` found scanning from `lo` with the
+/// cursor at `cur1`: the smallest slot `> cur1` congruent to `idx` mod N.
+fn base_plus(cur1: u64, lo: usize, idx: usize) -> u64 {
+    let base = cur1 & !(N as u64 - 1);
+    let abs = base + idx as u64;
+    debug_assert!(lo == 0 || idx >= lo);
+    if abs > cur1 {
+        abs
+    } else {
+        abs + N as u64
+    }
+}
+
+/// Earliest time in an unsorted bucket.
+fn bucket_min(bucket: &[Event]) -> Option<SimTime> {
+    bucket.iter().map(|e| e.time).min()
 }
 
 #[cfg(test)]
@@ -171,6 +379,25 @@ mod tests {
                 ..
             } => (time.0, tag),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// The original single-binary-heap queue, kept as the reference model
+    /// for the calendar queue's pop order.
+    #[derive(Default)]
+    pub(crate) struct BaselineQueue {
+        heap: BinaryHeap<Event>,
+        next_seq: u64,
+    }
+
+    impl BaselineQueue {
+        pub(crate) fn push(&mut self, time: SimTime, kind: EventKind) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Event { time, seq, kind });
+        }
+        pub(crate) fn pop(&mut self) -> Option<Event> {
+            self.heap.pop()
         }
     }
 
@@ -206,5 +433,83 @@ mod tests {
         assert_eq!(q.len(), 2);
         let _ = q.pop();
         assert_eq!(q.peek_time(), Some(SimTime(42)));
+    }
+
+    #[test]
+    fn order_spans_every_level() {
+        // One event per region: active slot, later L0 bucket, near L1
+        // bucket, far L1 bucket, overflow — pushed out of order.
+        let day = 86_400_000_000u64; // far beyond the L1 horizon
+        let times = [day, 3, 5_000_000, 900, 2_000_000_000, day + 1, 200_000];
+        let mut q = EventQueue::new();
+        for (tag, &t) in times.iter().enumerate() {
+            timer_at(&mut q, t, tag as u64);
+        }
+        let mut sorted = times;
+        sorted.sort_unstable();
+        for &expect in &sorted {
+            assert_eq!(q.peek_time(), Some(SimTime(expect)));
+            assert_eq!(pop_tag(&mut q).0, expect);
+        }
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_reference() {
+        // Deterministic pseudo-random schedule with re-pushes after pops,
+        // exercising bucket wrap-around and overflow migration.
+        let mut q = EventQueue::new();
+        let mut r = BaselineQueue::default();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = |x: &mut u64| {
+            *x ^= *x << 13;
+            *x ^= *x >> 7;
+            *x ^= *x << 17;
+            *x
+        };
+        let mut now = 0u64;
+        for round in 0..5_000u64 {
+            let n = step(&mut x) % 4;
+            for _ in 0..n {
+                // Mix of near (same ms), mid (seconds), and far (hours).
+                let delta = match step(&mut x) % 5 {
+                    0 => step(&mut x) % 1_000,
+                    1..=2 => step(&mut x) % 5_000_000,
+                    3 => step(&mut x) % 2_000_000_000,
+                    _ => step(&mut x) % 100_000_000_000,
+                };
+                timer_at(&mut q, now + delta, round);
+                r.push(
+                    SimTime(now + delta),
+                    EventKind::Timer {
+                        on: Addr {
+                            node: NodeId(0),
+                            comp: CompId(0),
+                        },
+                        id: TimerId(round),
+                        tag: round,
+                        epoch: 0,
+                    },
+                );
+            }
+            if step(&mut x) % 3 != 0 {
+                match (q.pop(), r.pop()) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!((a.time, a.seq), (b.time, b.seq), "round {round}");
+                        now = a.time.0;
+                    }
+                    (None, None) => {}
+                    (a, b) => panic!("one queue empty: {:?} vs {:?}", a.is_some(), b.is_some()),
+                }
+            }
+        }
+        loop {
+            match (q.pop(), r.pop()) {
+                (Some(a), Some(b)) => assert_eq!((a.time, a.seq), (b.time, b.seq)),
+                (None, None) => break,
+                (a, b) => panic!("one queue empty: {:?} vs {:?}", a.is_some(), b.is_some()),
+            }
+        }
     }
 }

@@ -177,7 +177,13 @@ impl Metrics {
 
     /// Add `by` to the named counter.
     pub fn incr(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += by;
+        // Hot path: the counter almost always exists already, so look up by
+        // borrowed name first and only allocate the key on first use.
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.counters.insert(name.to_string(), by);
+        }
     }
 
     /// Read a counter (0 if never written).
@@ -187,10 +193,14 @@ impl Metrics {
 
     /// Record a histogram observation.
     pub fn observe(&mut self, name: &str, v: f64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_default()
-            .record(v);
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(v);
+        } else {
+            self.histograms
+                .entry(name.to_string())
+                .or_default()
+                .record(v);
+        }
     }
 
     /// Record a duration observation in seconds.
@@ -210,16 +220,24 @@ impl Metrics {
 
     /// Record a time-series point.
     pub fn gauge(&mut self, name: &str, t: SimTime, v: f64) {
-        self.series
-            .entry(name.to_string())
-            .or_default()
-            .record(t, v);
+        if let Some(s) = self.series.get_mut(name) {
+            s.record(t, v);
+        } else {
+            self.series
+                .entry(name.to_string())
+                .or_default()
+                .record(t, v);
+        }
     }
 
     /// Adjust a time-series by a delta relative to its last value — handy
     /// for "currently running jobs" style gauges.
     pub fn gauge_delta(&mut self, name: &str, t: SimTime, delta: f64) {
-        let s = self.series.entry(name.to_string()).or_default();
+        let s = if self.series.contains_key(name) {
+            self.series.get_mut(name).expect("just checked")
+        } else {
+            self.series.entry(name.to_string()).or_default()
+        };
         let v = s.last() + delta;
         s.record(t, v);
     }

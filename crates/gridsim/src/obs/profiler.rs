@@ -78,10 +78,14 @@ impl Profiler {
 
     pub(crate) fn note_handler(&mut self, comp_name: &str, elapsed: WallDuration) {
         self.handler_busy += elapsed;
-        let entry = self
-            .per_comp
-            .entry(comp_group(comp_name).to_string())
-            .or_default();
+        // The group almost always exists: look up by borrowed key first and
+        // only allocate the String on a group's first event.
+        let group = comp_group(comp_name);
+        let entry = if let Some(entry) = self.per_comp.get_mut(group) {
+            entry
+        } else {
+            self.per_comp.entry(group.to_string()).or_default()
+        };
         entry.events += 1;
         entry.busy += elapsed;
     }

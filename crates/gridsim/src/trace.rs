@@ -103,6 +103,13 @@ impl TraceSink {
         self.enabled
     }
 
+    /// Whether an emitted event would go anywhere at all (collected in
+    /// memory or streamed to a subscriber). Callers use this to skip
+    /// building detail strings entirely — see [`crate::Ctx::trace_with`].
+    pub fn is_active(&self) -> bool {
+        self.enabled || !self.subscribers.is_empty()
+    }
+
     /// Register a subscriber; it sees every event emitted from now on.
     pub fn subscribe(&mut self, sub: Box<dyn TraceSubscriber>) {
         self.subscribers.push(sub);

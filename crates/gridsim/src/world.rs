@@ -109,13 +109,18 @@ struct NodeEntry {
     name: String,
     up: bool,
     boot: Option<BootHook>,
-    comps: Vec<CompId>,
+    /// Components hosted here. A set (not a Vec) so the per-job
+    /// spawn/kill churn of GRAM JobManagers stays O(log n) per kill
+    /// instead of an O(n) scan; iteration order (by id) is deterministic.
+    comps: std::collections::BTreeSet<CompId>,
 }
 
 /// Per-component bookkeeping.
 struct CompEntry {
     addr: Addr,
-    name: String,
+    /// Interned: shared with profiler lookups, so the hot dispatch path
+    /// never copies the name.
+    name: std::rc::Rc<str>,
     comp: Option<Box<dyn Component>>,
     /// Incarnation number: bumped every time the id is reused after a
     /// crash/kill, so stale timers from a previous life never fire.
@@ -127,7 +132,10 @@ pub struct World {
     now: SimTime,
     queue: EventQueue,
     nodes: Vec<NodeEntry>,
-    comps: HashMap<u32, CompEntry>,
+    /// Component table indexed directly by `CompId` (ids are allocated
+    /// sequentially, so the table is dense). Dead slots are `None`; the
+    /// hot event-dispatch path is two array indexes, not hash lookups.
+    comps: Vec<Option<CompEntry>>,
     names: HashMap<(NodeId, String), CompId>,
     network: Network,
     store: StableStore,
@@ -152,6 +160,9 @@ pub struct World {
     events_processed: u64,
     max_time: Option<SimTime>,
     max_events: Option<u64>,
+    /// Recycled effect buffers: dispatch is reentrant (spawn/kill effects
+    /// dispatch nested handlers), so this is a small stack, not one slot.
+    effects_pool: Vec<Vec<Effect>>,
     /// Kernel profiler; off by default (see [`World::enable_profiler`]).
     /// Wall-clock measurements never feed back into the simulation, so
     /// profiling does not perturb determinism.
@@ -179,7 +190,7 @@ impl World {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             nodes: Vec::new(),
-            comps: HashMap::new(),
+            comps: Vec::new(),
             names: HashMap::new(),
             network: Network::new(config.net),
             store: StableStore::new(),
@@ -196,6 +207,7 @@ impl World {
             events_processed: 0,
             max_time: config.max_time,
             max_events: config.max_events,
+            effects_pool: Vec::new(),
             profiler: None,
         }
     }
@@ -209,7 +221,7 @@ impl World {
             name: name.to_string(),
             up: true,
             boot: None,
-            comps: Vec::new(),
+            comps: std::collections::BTreeSet::new(),
         });
         id
     }
@@ -231,6 +243,21 @@ impl World {
         addr
     }
 
+    /// Borrow the live entry for `id`, if any.
+    fn comp(&self, id: CompId) -> Option<&CompEntry> {
+        self.comps.get(id.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// The (possibly empty) table slot for `id`, growing the table on
+    /// first use of a fresh id.
+    fn comp_slot(&mut self, id: CompId) -> &mut Option<CompEntry> {
+        let idx = id.0 as usize;
+        if self.comps.len() <= idx {
+            self.comps.resize_with(idx + 1, || None);
+        }
+        &mut self.comps[idx]
+    }
+
     fn insert_component(&mut self, node: NodeId, name: String, comp: Box<dyn Component>) -> Addr {
         // A component re-created under a name that previously existed on
         // this node takes over the old address (stable host:port).
@@ -244,16 +271,13 @@ impl World {
         };
         let epoch = self.epochs.get(&id.0).copied().unwrap_or(0);
         let addr = Addr { node, comp: id };
-        self.comps.insert(
-            id.0,
-            CompEntry {
-                addr,
-                name: name.clone(),
-                comp: Some(comp),
-                epoch,
-            },
-        );
-        self.nodes[node.0 as usize].comps.push(id);
+        *self.comp_slot(id) = Some(CompEntry {
+            addr,
+            name: name.as_str().into(),
+            comp: Some(comp),
+            epoch,
+        });
+        self.nodes[node.0 as usize].comps.insert(id);
         self.names.insert((node, name), id);
         addr
     }
@@ -338,7 +362,7 @@ impl World {
     /// no `on_stop` runs, its timers die, in-flight messages to it drop.
     /// Fault-injection only; see [`crate::Ctx::kill`] for graceful removal.
     pub fn kill_component_now(&mut self, addr: Addr) {
-        if self.comps.get(&addr.comp.0).is_some_and(|c| c.addr == addr) {
+        if self.comp(addr.comp).is_some_and(|c| c.addr == addr) {
             self.remove_component(addr);
             self.metrics.incr("comp.killed", 1);
         }
@@ -427,7 +451,7 @@ impl World {
                 return false;
             };
             if let EventKind::Timer { id, .. } = &event.kind {
-                if self.cancelled.remove(id) {
+                if !self.cancelled.is_empty() && self.cancelled.remove(id) {
                     continue;
                 }
             }
@@ -493,8 +517,7 @@ impl World {
                     return;
                 }
                 let alive = self
-                    .comps
-                    .get(&to.comp.0)
+                    .comp(to.comp)
                     .is_some_and(|c| c.comp.is_some() && c.addr == to);
                 if !alive {
                     self.metrics.incr("net.dropped_dead_comp", 1);
@@ -503,15 +526,14 @@ impl World {
                 self.dispatch(to, |comp, ctx| comp.on_message(ctx, from, msg));
             }
             EventKind::Timer { on, id, tag, epoch } => {
-                if self.cancelled.remove(&id) {
+                if !self.cancelled.is_empty() && self.cancelled.remove(&id) {
                     return;
                 }
                 if !self.nodes.get(on.node.0 as usize).is_some_and(|n| n.up) {
                     return;
                 }
                 let alive = self
-                    .comps
-                    .get(&on.comp.0)
+                    .comp(on.comp)
                     .is_some_and(|c| c.comp.is_some() && c.addr == on && c.epoch == epoch);
                 if !alive {
                     return;
@@ -540,7 +562,11 @@ impl World {
     where
         F: FnOnce(&mut dyn Component, &mut Ctx<'_>),
     {
-        let Some(entry) = self.comps.get_mut(&addr.comp.0) else {
+        let Some(entry) = self
+            .comps
+            .get_mut(addr.comp.0 as usize)
+            .and_then(|s| s.as_mut())
+        else {
             return;
         };
         let Some(mut comp) = entry.comp.take() else {
@@ -550,7 +576,7 @@ impl World {
         let mut ctx = Ctx {
             now: self.now,
             self_addr: addr,
-            effects: Vec::new(),
+            effects: self.effects_pool.pop().unwrap_or_default(),
             store: &mut self.store,
             rng: &mut self.rng,
             metrics: &mut self.metrics,
@@ -566,7 +592,11 @@ impl World {
         {
             p.note_handler(&name, t0.elapsed());
         }
-        if let Some(entry) = self.comps.get_mut(&addr.comp.0) {
+        if let Some(entry) = self
+            .comps
+            .get_mut(addr.comp.0 as usize)
+            .and_then(|s| s.as_mut())
+        {
             // The slot can only still be empty (crash removes the entry
             // entirely, and effects haven't been applied yet).
             entry.comp = Some(comp);
@@ -578,8 +608,8 @@ impl World {
         self.dispatch(addr, |comp, ctx| comp.on_start(ctx));
     }
 
-    fn apply_effects(&mut self, from: Addr, effects: Vec<Effect>) {
-        for effect in effects {
+    fn apply_effects(&mut self, from: Addr, mut effects: Vec<Effect>) {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
                     self.metrics.incr("net.sent", 1);
@@ -625,7 +655,7 @@ impl World {
                         .push(self.now + latency, EventKind::Deliver { from, to, msg });
                 }
                 Effect::SetTimer { id, after, tag } => {
-                    let epoch = self.comps.get(&from.comp.0).map_or(0, |c| c.epoch);
+                    let epoch = self.comp(from.comp).map_or(0, |c| c.epoch);
                     self.queue.push(
                         self.now + after,
                         EventKind::Timer {
@@ -654,16 +684,13 @@ impl World {
                     self.retired.remove(&(node, name.clone()));
                     let addr = Addr { node, comp: id };
                     let epoch = self.epochs.get(&id.0).copied().unwrap_or(0);
-                    self.comps.insert(
-                        id.0,
-                        CompEntry {
-                            addr,
-                            name: name.clone(),
-                            comp: Some(comp),
-                            epoch,
-                        },
-                    );
-                    self.nodes[node.0 as usize].comps.push(id);
+                    *self.comp_slot(id) = Some(CompEntry {
+                        addr,
+                        name: name.as_str().into(),
+                        comp: Some(comp),
+                        epoch,
+                    });
+                    self.nodes[node.0 as usize].comps.insert(id);
                     self.names.insert((node, name), id);
                     self.dispatch_start(addr);
                 }
@@ -681,15 +708,21 @@ impl World {
                 }
             }
         }
+        if self.effects_pool.len() < 8 {
+            self.effects_pool.push(effects);
+        }
     }
 
     fn remove_component(&mut self, addr: Addr) {
-        if let Some(entry) = self.comps.remove(&addr.comp.0) {
-            self.names.remove(&(addr.node, entry.name.clone()));
-            self.nodes[addr.node.0 as usize]
-                .comps
-                .retain(|&c| c != addr.comp);
-            self.retire(addr.node, entry.name, addr.comp);
+        if let Some(entry) = self
+            .comps
+            .get_mut(addr.comp.0 as usize)
+            .and_then(|s| s.take())
+        {
+            let name = entry.name.to_string();
+            self.names.remove(&(addr.node, name.clone()));
+            self.nodes[addr.node.0 as usize].comps.remove(&addr.comp);
+            self.retire(addr.node, name, addr.comp);
         }
     }
 
@@ -701,9 +734,10 @@ impl World {
         entry.up = false;
         let comps = std::mem::take(&mut entry.comps);
         for id in comps {
-            if let Some(e) = self.comps.remove(&id.0) {
-                self.names.remove(&(node, e.name.clone()));
-                self.retire(node, e.name, id);
+            if let Some(e) = self.comps.get_mut(id.0 as usize).and_then(|s| s.take()) {
+                let name = e.name.to_string();
+                self.names.remove(&(node, name.clone()));
+                self.retire(node, name, id);
             }
         }
         self.metrics.incr("node.crashes", 1);

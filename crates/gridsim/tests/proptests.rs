@@ -29,6 +29,14 @@ struct Record {
     blob: Vec<u8>,
 }
 
+/// One step of the calendar-vs-heap equivalence drive: schedule an event
+/// `delta` past the last popped time, or pop from both queues.
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    Push(u64),
+    Pop,
+}
+
 fn arb_state() -> impl Strategy<Value = State> {
     prop_oneof![
         Just(State::Idle),
@@ -99,6 +107,65 @@ proptest! {
             }
             last = Some((e.time, tag));
         }
+    }
+
+    /// The calendar queue pops in exactly the `(time, seq)` order a plain
+    /// binary heap produces, under arbitrary interleavings of pushes (near,
+    /// mid, far, and beyond-the-horizon deltas) and pops. This is the
+    /// property the kernel's byte-for-byte determinism rests on.
+    #[test]
+    fn calendar_queue_matches_binary_heap(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0u64..2_000).prop_map(QueueOp::Push),                // same L0 slot-ish
+                (0u64..5_000_000).prop_map(QueueOp::Push),            // within L0 range
+                (0u64..2_000_000_000).prop_map(QueueOp::Push),        // L1 buckets
+                (0u64..200_000_000_000).prop_map(QueueOp::Push),      // overflow heap
+                Just(QueueOp::Pop),
+            ],
+            1..300,
+        )
+    ) {
+        let mut q = EventQueue::new();
+        let mut reference: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>> =
+            std::collections::BinaryHeap::new();
+        let mut next_seq = 0u64;
+        let mut now = 0u64;
+        let drain = |q: &mut EventQueue,
+                         reference: &mut std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+                         now: &mut u64|
+         -> Result<(), TestCaseError> {
+            let got = q.pop().map(|e| (e.time.0, e.seq));
+            let want = reference.pop().map(|std::cmp::Reverse(k)| k);
+            prop_assert_eq!(got, want, "pop order diverged");
+            if let Some((t, _)) = got {
+                *now = t;
+            }
+            Ok(())
+        };
+        for op in ops {
+            match op {
+                QueueOp::Push(delta) => {
+                    let t = now + delta;
+                    q.push(
+                        SimTime(t),
+                        EventKind::Timer {
+                            on: Addr { node: NodeId(0), comp: CompId(0) },
+                            id: TimerId(next_seq),
+                            tag: next_seq,
+                            epoch: 0,
+                        },
+                    );
+                    reference.push(std::cmp::Reverse((t, next_seq)));
+                    next_seq += 1;
+                }
+                QueueOp::Pop => drain(&mut q, &mut reference, &mut now)?,
+            }
+        }
+        while !reference.is_empty() || !q.is_empty() {
+            drain(&mut q, &mut reference, &mut now)?;
+        }
+        prop_assert!(q.pop().is_none());
     }
 
     /// Time arithmetic never panics and preserves ordering.

@@ -70,9 +70,17 @@ pub struct Lrm {
     churn: Option<ChurnModel>,
     queue: Vec<Queued>,
     running: HashMap<u64, Running>,
+    /// Processors held by `running`, maintained incrementally so busy
+    /// accounting stays O(1) with ten thousand concurrent jobs.
+    used: u32,
     terminal: HashMap<u64, LrmJobState>,
     next_local: u64,
     last_busy: f64,
+    /// Site-scoped metric names, precomputed once (these are recorded on
+    /// every start/finish).
+    metric_busy: String,
+    metric_queue_wait: String,
+    metric_cpu_seconds: String,
 }
 
 impl Lrm {
@@ -89,9 +97,13 @@ impl Lrm {
             churn: None,
             queue: Vec::new(),
             running: HashMap::new(),
+            used: 0,
             terminal: HashMap::new(),
             next_local: 0,
             last_busy: 0.0,
+            metric_busy: format!("site.{site}.busy"),
+            metric_queue_wait: format!("site.{site}.queue_wait"),
+            metric_cpu_seconds: format!("site.{site}.cpu_seconds"),
         }
     }
 
@@ -121,7 +133,12 @@ impl Lrm {
     }
 
     fn used_cpus(&self) -> u32 {
-        self.running.values().map(|r| r.spec.cpus).sum()
+        debug_assert_eq!(
+            self.used,
+            self.running.values().map(|r| r.spec.cpus).sum::<u32>(),
+            "incremental CPU accounting out of sync"
+        );
+        self.used
     }
 
     fn free_cpus(&self) -> u32 {
@@ -142,8 +159,7 @@ impl Lrm {
     fn record_busy(&mut self, ctx: &mut Ctx<'_>) {
         let t = ctx.now();
         let used = self.used_cpus() as f64;
-        ctx.metrics()
-            .gauge(&format!("site.{}.busy", self.site), t, used);
+        ctx.metrics().gauge(&self.metric_busy, t, used);
         // A grid-wide busy-CPU series: every site contributes deltas, so
         // the sum is exact across sites (used by the E1 concurrency plot).
         let delta = used - self.last_busy;
@@ -170,34 +186,46 @@ impl Lrm {
                     submitted: j.submitted,
                 })
                 .collect();
-            let running_view: Vec<RunningView> = self
-                .running
-                .values()
-                .map(|r| RunningView {
-                    cpus: r.spec.cpus,
-                    expected_end: r.expected_end,
-                })
-                .collect();
+            // Only backfill-style policies read the running view; skip the
+            // O(running) materialisation for the ones that don't.
+            let running_view: Vec<RunningView> = if self.policy.needs_running_view() {
+                self.running
+                    .values()
+                    .map(|r| RunningView {
+                        cpus: r.spec.cpus,
+                        expected_end: r.expected_end,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
             let picks = self
                 .policy
                 .select(ctx.now(), &queue_view, &running_view, free);
             if picks.is_empty() {
                 break;
             }
+            // Extract the picked jobs in pick order with one pass over the
+            // queue (ids may repeat or be stale; budget skips stay queued).
+            let mut index: HashMap<u64, usize> = HashMap::with_capacity(self.queue.len());
+            for (pos, job) in self.queue.iter().enumerate() {
+                index.insert(job.local_id, pos);
+            }
+            let mut slots: Vec<Option<Queued>> = self.queue.drain(..).map(Some).collect();
             let mut started_any = false;
             let mut budget = free;
             for id in picks {
-                let Some(pos) = self.queue.iter().position(|j| j.local_id == id) else {
+                let Some(&pos) = index.get(&id) else {
                     continue;
                 };
-                if self.queue[pos].spec.cpus > budget {
+                let Some(job) = slots[pos].take_if(|j| j.spec.cpus <= budget) else {
                     continue;
-                }
-                let job = self.queue.remove(pos);
+                };
                 budget -= job.spec.cpus;
                 started_any = true;
                 self.start_job(ctx, job);
             }
+            self.queue = slots.into_iter().flatten().collect();
             if !started_any {
                 break;
             }
@@ -209,7 +237,7 @@ impl Lrm {
         let wait = now - job.submitted;
         ctx.metrics().observe_duration("site.queue_wait", wait);
         ctx.metrics()
-            .observe_duration(&format!("site.{}.queue_wait", self.site), wait);
+            .observe_duration(&self.metric_queue_wait, wait);
         // True occupancy: min(actual runtime, wall limit).
         let (span, exceeded) = match self.max_wall {
             Some(limit) if job.spec.runtime > limit => (limit, true),
@@ -221,13 +249,12 @@ impl Lrm {
             Some(limit) => job.spec.estimate.min(limit),
             None => job.spec.estimate,
         };
-        ctx.trace(
-            "lrm.start",
+        ctx.trace_with("lrm.start", || {
             format!(
                 "{} job {} ({} cpus)",
                 self.site, job.local_id, job.spec.cpus
-            ),
-        );
+            )
+        });
         ctx.send(
             job.submitter,
             LrmEvent {
@@ -236,6 +263,7 @@ impl Lrm {
                 at: now,
             },
         );
+        self.used += job.spec.cpus;
         self.running.insert(
             job.local_id,
             Running {
@@ -258,6 +286,7 @@ impl Lrm {
         let Some(run) = self.running.remove(&local_id) else {
             return;
         };
+        self.used -= run.spec.cpus;
         let now = ctx.now();
         // Was this completion actually a wall-limit kill?
         let state = match self.terminal.remove(&local_id) {
@@ -274,13 +303,12 @@ impl Lrm {
             (state == LrmJobState::WallTimeExceeded) as u64,
         );
         ctx.metrics().observe(
-            &format!("site.{}.cpu_seconds", self.site),
+            &self.metric_cpu_seconds,
             elapsed.as_secs_f64() * f64::from(run.spec.cpus),
         );
-        ctx.trace(
-            "lrm.done",
-            format!("{} job {local_id} -> {state:?}", self.site),
-        );
+        ctx.trace_with("lrm.done", || {
+            format!("{} job {local_id} -> {state:?}", self.site)
+        });
         self.terminal.insert(local_id, state);
         ctx.send(
             run.submitter,
@@ -314,9 +342,10 @@ impl Lrm {
                 break;
             };
             let run = self.running.remove(&victim).expect("victim exists");
+            self.used -= run.spec.cpus;
             ctx.cancel_timer(run.timer);
             ctx.metrics().incr("site.vacated", 1);
-            ctx.trace("lrm.vacate", format!("{} job {victim}", self.site));
+            ctx.trace_with("lrm.vacate", || format!("{} job {victim}", self.site));
             let now = ctx.now();
             // Partial usage still gets charged.
             self.policy.charge(
@@ -390,13 +419,12 @@ impl Component for Lrm {
                 if let Some(arch) = &spec.required_arch {
                     if !arch.eq_ignore_ascii_case(&self.arch) {
                         ctx.metrics().incr("site.arch_mismatch", 1);
-                        ctx.trace(
-                            "lrm.exec_failed",
+                        ctx.trace_with("lrm.exec_failed", || {
                             format!(
                                 "{} job {local_id}: binary is {arch}, site is {}",
                                 self.site, self.arch
-                            ),
-                        );
+                            )
+                        });
                         self.terminal.insert(local_id, LrmJobState::Vacated);
                         ctx.send(
                             from,
@@ -416,13 +444,12 @@ impl Component for Lrm {
                         return;
                     }
                 }
-                ctx.trace(
-                    "lrm.submit",
+                ctx.trace_with("lrm.submit", || {
                     format!(
                         "{} job {local_id} ({} cpus, owner {})",
                         self.site, spec.cpus, spec.owner
-                    ),
-                );
+                    )
+                });
                 self.queue.push(Queued {
                     local_id,
                     spec,
@@ -452,6 +479,7 @@ impl Component for Lrm {
                         },
                     );
                 } else if let Some(run) = self.running.remove(&local_id) {
+                    self.used -= run.spec.cpus;
                     ctx.cancel_timer(run.timer);
                     self.terminal.remove(&local_id);
                     self.terminal.insert(local_id, LrmJobState::Removed);

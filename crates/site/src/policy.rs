@@ -48,6 +48,13 @@ pub trait SchedPolicy: Send + 'static {
     /// accounting policies). Default: ignore.
     fn charge(&mut self, _owner: &str, _cpu_time: Duration) {}
 
+    /// Whether `select` reads the `running` view at all. Policies that
+    /// ignore it (FIFO, fair share) return `false` so the LRM can skip
+    /// materialising a view of every running job on each scheduling pass.
+    fn needs_running_view(&self) -> bool {
+        true
+    }
+
     /// Human-readable name for traces and site ads.
     fn name(&self) -> &'static str;
 }
@@ -73,6 +80,10 @@ impl SchedPolicy for Fifo {
             out.push(job.local_id);
         }
         out
+    }
+
+    fn needs_running_view(&self) -> bool {
+        false
     }
 
     fn name(&self) -> &'static str {
@@ -202,6 +213,10 @@ impl SchedPolicy for FairShare {
                 *v *= 0.5;
             }
         }
+    }
+
+    fn needs_running_view(&self) -> bool {
+        false
     }
 
     fn name(&self) -> &'static str {

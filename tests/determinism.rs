@@ -42,6 +42,52 @@ fn campaign(seed: u64) -> (u64, u64, u64, u64, String) {
     )
 }
 
+/// FNV-1a 64 over a byte stream — tiny, dependency-free fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The demo scenario's event trace is a *golden* artifact: byte-identical
+/// across runs, machines, and — the real point — across kernel/matchmaker
+/// optimizations. Any change to event ordering, trace rendering, or match
+/// outcomes shows up here as a hash mismatch. If a change is *supposed* to
+/// alter behaviour, regenerate with:
+/// `condor-g-sim --trace-out /tmp/t.jsonl scenarios/demo.scn` and update
+/// the constant.
+#[test]
+fn demo_scenario_trace_is_golden() {
+    let exe = env!("CARGO_BIN_EXE_condor-g-sim");
+    let dir = std::env::temp_dir().join(format!("golden-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("demo-trace.jsonl");
+    let out = std::process::Command::new(exe)
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg(format!("{}/scenarios/demo.scn", env!("CARGO_MANIFEST_DIR")))
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "exit {:?}: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(&trace).expect("trace written");
+    let _ = std::fs::remove_dir_all(&dir);
+    let lines = bytes.iter().filter(|&&b| b == b'\n').count();
+    assert_eq!(lines, 1000, "trace line count changed");
+    assert_eq!(
+        fnv1a(&bytes),
+        0x6b76_0e3d_54b9_a5ff,
+        "demo.scn trace diverged from the golden run"
+    );
+}
+
 #[test]
 fn identical_seeds_identical_campaigns() {
     let a = campaign(2024);
