@@ -35,6 +35,9 @@ pub struct Gatekeeper {
     dedup: HashMap<(String, u64), JobContact>,
     jobmanagers: HashMap<JobContact, Addr>,
     next_contact: u64,
+    /// Site-scoped grid-weather counters, precomputed once.
+    metric_submits: String,
+    metric_rejected: String,
 }
 
 impl Gatekeeper {
@@ -52,6 +55,8 @@ impl Gatekeeper {
             // Real job contacts are URLs naming the gatekeeper host; ours
             // embed a site fingerprint so contacts are globally unique.
             next_contact: (gsi::keys::digest(site.as_bytes()) & 0xFFFF_FFFF) << 32,
+            metric_submits: format!("site.{site}.submits"),
+            metric_rejected: format!("site.{site}.rejected"),
         }
     }
 
@@ -152,6 +157,7 @@ impl Component for Gatekeeper {
                         Ok(v) => v,
                         Err(error) => {
                             ctx.metrics().incr("gram.rejected", 1);
+                            ctx.metrics().incr(&self.metric_rejected, 1);
                             ctx.send(from, GramReply::SubmitFailed { seq, error });
                             return;
                         }
@@ -187,6 +193,7 @@ impl Component for Gatekeeper {
                                             gass,
                                             credential.clone(),
                                             0,
+                                            &self.site,
                                         ),
                                     );
                                     ctx.send(
@@ -228,6 +235,7 @@ impl Component for Gatekeeper {
                 let contact = JobContact(self.next_contact);
                 self.next_contact += 1;
                 ctx.metrics().incr("gram.submits", 1);
+                ctx.metrics().incr(&self.metric_submits, 1);
                 ctx.trace_with("gram.submit", || {
                     format!("{} dn={dn} seq={seq} -> {contact}", self.site)
                 });
@@ -244,6 +252,7 @@ impl Component for Gatekeeper {
                     &local_user,
                     // One-phase servers start executing immediately.
                     !self.two_phase,
+                    &self.site,
                 );
                 let jm_addr = self.spawn_jobmanager(ctx, contact, jm);
                 if self.two_phase {
@@ -293,6 +302,7 @@ impl Component for Gatekeeper {
                                 gass,
                                 credential,
                                 stdout_have,
+                                &self.site,
                             ),
                         );
                         ctx.send(

@@ -75,6 +75,10 @@ pub struct JobManager {
     pending_events: Vec<LrmEvent>,
     /// Set once execution has commenced; duplicate Commits are then inert.
     committed: bool,
+    /// Site-scoped grid-weather counters, precomputed from the fronting
+    /// gatekeeper's site name.
+    metric_commits: String,
+    metric_commit_timeouts: String,
 }
 
 /// Retry timer tags.
@@ -102,6 +106,7 @@ impl JobManager {
         lrm: Addr,
         local_user: &str,
         auto_commit: bool,
+        site: &str,
     ) -> JobManager {
         JobManager {
             contact,
@@ -122,6 +127,8 @@ impl JobManager {
             stdout_req: None,
             pending_events: Vec::new(),
             committed: false,
+            metric_commits: format!("site.{site}.commits"),
+            metric_commit_timeouts: format!("site.{site}.commit_timeouts"),
         }
     }
 
@@ -133,6 +140,7 @@ impl JobManager {
         gass: GassUrl,
         credential: ProxyCredential,
         stdout_have: u64,
+        site: &str,
     ) -> JobManager {
         let rsl = crate::rsl::parse(&log.rsl).expect("logged RSL re-parses");
         JobManager {
@@ -154,6 +162,8 @@ impl JobManager {
             stdout_req: None,
             pending_events: Vec::new(),
             committed: true,
+            metric_commits: format!("site.{site}.commits"),
+            metric_commit_timeouts: format!("site.{site}.commit_timeouts"),
         }
     }
 
@@ -412,7 +422,14 @@ impl Component for JobManager {
                     );
                     if self.state == GramJobState::PendingCommit && !self.committed {
                         ctx.metrics().incr("gram.commits", 1);
+                        ctx.metrics().incr(&self.metric_commits, 1);
                         self.begin_stage_in(ctx);
+                    } else {
+                        // A duplicate Commit means the client's commit timer
+                        // expired before our ack arrived and it retransmitted
+                        // — the per-site commit-timeout signal in the
+                        // grid-weather report.
+                        ctx.metrics().incr(&self.metric_commit_timeouts, 1);
                     }
                 }
                 JmMsg::Probe { nonce } => {

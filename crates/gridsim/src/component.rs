@@ -192,6 +192,12 @@ pub struct Ctx<'w> {
     pub(crate) next_timer: &'w mut u64,
     pub(crate) next_comp: &'w mut u32,
     pub(crate) retired: &'w std::collections::HashMap<(NodeId, String), CompId>,
+    /// Sequence number of the kernel event currently being processed;
+    /// stamped onto trace records as their `id`.
+    pub(crate) event_id: u64,
+    /// That event's nearest observable causal ancestor (see
+    /// [`crate::trace::TraceEvent::cause`]).
+    pub(crate) event_cause: u64,
 }
 
 impl<'w> Ctx<'w> {
@@ -333,7 +339,14 @@ impl<'w> Ctx<'w> {
             return;
         }
         let (now, addr) = (self.now, self.self_addr);
-        self.trace.emit(now, addr, kind, detail.into());
+        self.trace.emit(
+            now,
+            addr,
+            kind,
+            detail.into(),
+            self.event_id,
+            self.event_cause,
+        );
     }
 
     /// Emit a trace event with a lazily built detail string: `detail` runs
@@ -344,7 +357,8 @@ impl<'w> Ctx<'w> {
             return;
         }
         let (now, addr) = (self.now, self.self_addr);
-        self.trace.emit(now, addr, kind, detail());
+        self.trace
+            .emit(now, addr, kind, detail(), self.event_id, self.event_cause);
     }
 }
 

@@ -81,6 +81,11 @@ pub enum EventKind {
     },
 }
 
+/// Causal-provenance sentinel: "no observable cause" (external stimulus,
+/// fault-plan injection, or a chain on which nothing was ever traced).
+/// Event sequence numbers start at 0, so `u64::MAX` can never collide.
+pub const NO_CAUSE: u64 = u64::MAX;
+
 /// A scheduled event.
 #[derive(Debug)]
 pub struct Event {
@@ -88,6 +93,13 @@ pub struct Event {
     pub time: SimTime,
     /// Push-order tie-breaker.
     pub seq: u64,
+    /// Sequence number of the nearest *observable* causal ancestor — the
+    /// most recent event on this event's trigger chain during whose
+    /// processing a trace record was emitted — or [`NO_CAUSE`]. Captured
+    /// automatically by the kernel at scheduling time; components never
+    /// see or set it. The trace layer exports `(id, cause)` pairs and
+    /// `obs::causality` rebuilds the happens-before DAG from them.
+    pub cause: u64,
     /// The action.
     pub kind: EventKind,
 }
@@ -187,12 +199,18 @@ impl EventQueue {
         }
     }
 
-    /// Schedule `kind` at `time`.
-    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+    /// Schedule `kind` at `time`, recording `cause` as its causal ancestor
+    /// (use [`NO_CAUSE`] for external stimuli).
+    pub fn push(&mut self, time: SimTime, kind: EventKind, cause: u64) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.len += 1;
-        let event = Event { time, seq, kind };
+        let event = Event {
+            time,
+            seq,
+            cause,
+            kind,
+        };
         let s0 = time.0 >> B0;
         if s0 <= self.cur0 {
             // Current (or already-drained) slot: compete in the heap.
@@ -322,7 +340,12 @@ impl EventQueue {
         }
     }
 
-    /// Number of pending events.
+    /// Number of pending events across *every* level of the calendar —
+    /// the active heap, all L0/L1 buckets, and the overflow heap. The
+    /// count is maintained on push/pop (bucket redistribution in
+    /// [`advance`](Self::advance) moves events between levels without
+    /// touching it), so the profiler's queue-depth samples always see the
+    /// true total, not just the active slot.
     pub fn len(&self) -> usize {
         self.len
     }
@@ -368,6 +391,7 @@ mod tests {
                 tag,
                 epoch: 0,
             },
+            NO_CAUSE,
         );
     }
 
@@ -394,7 +418,12 @@ mod tests {
         pub(crate) fn push(&mut self, time: SimTime, kind: EventKind) {
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.heap.push(Event { time, seq, kind });
+            self.heap.push(Event {
+                time,
+                seq,
+                cause: NO_CAUSE,
+                kind,
+            });
         }
         pub(crate) fn pop(&mut self) -> Option<Event> {
             self.heap.pop()
@@ -453,6 +482,31 @@ mod tests {
         }
         assert!(q.pop().is_none());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn len_counts_events_parked_in_every_level() {
+        // Regression guard for queue-depth sampling: events parked in L0
+        // buckets, L1 buckets, and the overflow heap must all be visible
+        // through `len()`, not only the active heap's contents.
+        let day = 86_400_000_000u64;
+        let mut q = EventQueue::new();
+        timer_at(&mut q, 3, 0); // active slot
+        timer_at(&mut q, 500_000, 1); // later L0 bucket
+        timer_at(&mut q, 600_000_000, 2); // L1 bucket
+        timer_at(&mut q, day, 3); // overflow heap
+        assert_eq!(q.len(), 4, "all levels counted");
+        assert!(!q.is_empty());
+        let _ = q.pop();
+        assert_eq!(q.len(), 3, "pop decrements by exactly one");
+        // Redistribution (L1 -> L0 -> active) must not change the count.
+        assert_eq!(pop_tag(&mut q), (500_000, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(pop_tag(&mut q), (600_000_000, 2));
+        assert_eq!(q.len(), 1);
+        assert_eq!(pop_tag(&mut q), (day, 3));
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
     }
 
     #[test]

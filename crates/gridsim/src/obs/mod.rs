@@ -18,13 +18,24 @@
 //! * [`export`] — Prometheus-text and JSON snapshots of the metrics sink.
 //! * [`profiler`] — per-component event counts and handler wall time,
 //!   event-queue depth as a time series, events/sec summary.
+//! * [`causality`] — rebuilds the happens-before DAG from the `(id,
+//!   cause)` pairs the kernel stamps on every trace record; the offline
+//!   `condor-g-trace` forensics analyzer runs the same reconstruction on
+//!   exported JSONL.
+//! * [`weather`] — aggregates the `site.<name>.*` metrics the protocol
+//!   components publish into a per-site grid-weather table (success rate,
+//!   queue depth, median LRM wait, commit-timeout rate).
 
+pub mod causality;
 pub mod export;
 pub mod profiler;
 pub mod span;
 pub mod subscriber;
+pub mod weather;
 
+pub use causality::{CausalDag, DagNode};
 pub use export::{json_snapshot, json_string, prometheus_snapshot};
 pub use profiler::{CompProfile, Profiler};
 pub use span::{AttemptSpan, JobSpan, SpanCollector, SpanPhase, PHASES, SPAN_KIND};
 pub use subscriber::{Filtered, JsonlWriter, RingBuffer, TraceFilter};
+pub use weather::{grid_weather, SiteWeather};

@@ -383,6 +383,8 @@ mod tests {
             },
             kind: SPAN_KIND,
             detail: detail.to_string(),
+            id: t,
+            cause: crate::event::NO_CAUSE,
         }
     }
 

@@ -189,15 +189,30 @@ impl<W: Write> JsonlWriter<W> {
     }
 }
 
+/// Render `id`/`cause` for JSONL: the [`NO_CAUSE`](crate::event::NO_CAUSE)
+/// sentinel becomes `null`, everything else a plain integer.
+fn jsonl_event_ref(v: u64) -> String {
+    if v == crate::event::NO_CAUSE {
+        "null".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
 /// Render one event as a single JSONL line (without trailing newline).
+/// `id` is the kernel event the record was emitted under and `cause` its
+/// nearest observable causal ancestor (`null` for DAG roots); together
+/// they let `condor-g-trace` rebuild the happens-before DAG offline.
 pub fn jsonl_line(event: &TraceEvent) -> String {
     format!(
-        "{{\"t\":{},\"node\":{},\"comp\":{},\"kind\":{},\"detail\":{}}}",
+        "{{\"t\":{},\"node\":{},\"comp\":{},\"kind\":{},\"detail\":{},\"id\":{},\"cause\":{}}}",
         event.time.micros(),
         event.addr.node.0,
         event.addr.comp.0,
         crate::obs::export::json_string(event.kind),
         crate::obs::export::json_string(&event.detail),
+        jsonl_event_ref(event.id),
+        jsonl_event_ref(event.cause),
     )
 }
 
@@ -236,6 +251,8 @@ mod tests {
             },
             kind,
             detail: detail.to_string(),
+            id: 42,
+            cause: crate::event::NO_CAUSE,
         }
     }
 
@@ -294,7 +311,7 @@ mod tests {
         assert_eq!(
             text,
             "{\"t\":1500000,\"node\":3,\"comp\":0,\"kind\":\"k\",\
-             \"detail\":\"say \\\"hi\\\"\\nplease\"}\n"
+             \"detail\":\"say \\\"hi\\\"\\nplease\",\"id\":42,\"cause\":null}\n"
         );
     }
 }

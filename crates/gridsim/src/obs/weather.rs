@@ -1,0 +1,199 @@
+//! Per-site "grid weather": the MDS-style resource health summary the
+//! paper's users relied on to pick sites.
+//!
+//! The protocol components publish per-site metrics under `site.<name>.*`
+//! as they run — the gatekeeper counts submissions and auth rejections,
+//! the JobManager counts two-phase commits and commit timeouts, the LRM
+//! tracks queue depth, queue-wait distribution, and a rolling success
+//! rate over its most recent job outcomes. Everything flows through the
+//! ordinary [`Metrics`] sink (so the Prometheus/JSON exporters pick it up
+//! unchanged); this module aggregates the raw metrics into one row per
+//! site for reports and the `condor-g-sim` epilogue.
+
+use crate::metrics::Metrics;
+
+/// Metric suffixes that identify a site under the `site.<name>.` prefix.
+/// Site names may themselves contain dots (`cluster.site.edu`), so site
+/// discovery strips a known suffix rather than splitting on `.`.
+const SITE_SUFFIXES: &[&str] = &[
+    ".submits",
+    ".rejected",
+    ".completed",
+    ".wall_killed",
+    ".queue_wait",
+    ".queue_depth",
+    ".success_rate",
+    ".commits",
+    ".commit_timeouts",
+    ".busy",
+];
+
+/// One site's current weather.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteWeather {
+    /// Site name as registered with the gatekeeper/LRM.
+    pub site: String,
+    /// GRAM submissions accepted by the gatekeeper.
+    pub submits: u64,
+    /// Submissions rejected (GSI auth / gridmap failures).
+    pub rejected: u64,
+    /// Jobs the LRM ran to completion.
+    pub completed: u64,
+    /// Rolling success rate over the LRM's recent terminal outcomes
+    /// (`None` until the first outcome).
+    pub success_rate: Option<f64>,
+    /// Current LRM queue depth (queued, not yet running).
+    pub queue_depth: Option<f64>,
+    /// Median LRM queue wait in seconds (`None` until a job started).
+    pub median_wait_secs: Option<f64>,
+    /// Two-phase commit timeouts per commit attempt (`None` before any
+    /// commit attempt).
+    pub commit_timeout_rate: Option<f64>,
+}
+
+/// Extract the site name from a `site.<name>.<suffix>` metric, if it is one.
+fn site_of(name: &str) -> Option<&str> {
+    let rest = name.strip_prefix("site.")?;
+    SITE_SUFFIXES
+        .iter()
+        .find_map(|s| rest.strip_suffix(s))
+        .filter(|site| !site.is_empty())
+}
+
+/// Aggregate the `site.<name>.*` metrics into one weather row per site,
+/// sorted by site name.
+pub fn grid_weather(m: &Metrics) -> Vec<SiteWeather> {
+    let mut sites: Vec<String> = Vec::new();
+    let names = m
+        .counter_names()
+        .chain(m.histograms().map(|(k, _)| k))
+        .chain(m.all_series().map(|(k, _)| k));
+    for name in names {
+        if let Some(site) = site_of(name) {
+            if !sites.iter().any(|s| s == site) {
+                sites.push(site.to_string());
+            }
+        }
+    }
+    sites.sort();
+    sites
+        .into_iter()
+        .map(|site| {
+            let c = |suffix: &str| m.counter(&format!("site.{site}.{suffix}"));
+            let last = |suffix: &str| {
+                m.series(&format!("site.{site}.{suffix}"))
+                    .filter(|s| !s.points().is_empty())
+                    .map(|s| s.last())
+            };
+            let commits = c("commits");
+            SiteWeather {
+                submits: c("submits"),
+                rejected: c("rejected"),
+                completed: c("completed"),
+                success_rate: last("success_rate"),
+                queue_depth: last("queue_depth"),
+                median_wait_secs: m
+                    .histogram(&format!("site.{site}.queue_wait"))
+                    .map(|h| median(h.samples())),
+                commit_timeout_rate: (commits > 0)
+                    .then(|| c("commit_timeouts") as f64 / commits as f64),
+                site,
+            }
+        })
+        .collect()
+}
+
+/// Median without mutating the shared histogram (its lazy-sorting
+/// [`quantile`](crate::metrics::Histogram::quantile) needs `&mut`).
+fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v[(v.len() - 1) / 2]
+}
+
+/// Render the weather rows as the fixed-width table the CLI prints.
+pub fn render(rows: &[SiteWeather]) -> String {
+    let mut out = String::from(
+        "site                      submits  reject  done  success  queue  med-wait  commit-to\n",
+    );
+    let opt = |v: Option<f64>, unit: &str| match v {
+        Some(x) => format!("{x:.2}{unit}"),
+        None => "-".to_string(),
+    };
+    for r in rows {
+        out.push_str(&format!(
+            "{:<25} {:>7} {:>7} {:>5}  {:>7} {:>6}  {:>8}  {:>9}\n",
+            r.site,
+            r.submits,
+            r.rejected,
+            r.completed,
+            opt(r.success_rate.map(|v| v * 100.0), "%"),
+            opt(r.queue_depth, ""),
+            opt(r.median_wait_secs, "s"),
+            opt(r.commit_timeout_rate.map(|v| v * 100.0), "%"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn site_names_with_dots_survive_discovery() {
+        assert_eq!(
+            site_of("site.cluster.site.edu.queue_wait"),
+            Some("cluster.site.edu")
+        );
+        assert_eq!(site_of("site.anl.submits"), Some("anl"));
+        assert_eq!(site_of("site.queue_wait"), None, "empty site name");
+        assert_eq!(site_of("grid.busy_cpus"), None);
+        assert_eq!(site_of("site.anl.unrelated"), None);
+    }
+
+    #[test]
+    fn aggregates_one_row_per_site() {
+        let mut m = Metrics::new();
+        m.incr("site.anl.submits", 10);
+        m.incr("site.anl.rejected", 1);
+        m.incr("site.anl.completed", 8);
+        m.incr("site.anl.commits", 10);
+        m.incr("site.anl.commit_timeouts", 2);
+        m.gauge("site.anl.queue_depth", SimTime(5), 3.0);
+        m.gauge("site.anl.success_rate", SimTime(5), 0.75);
+        for w in [10.0, 30.0, 20.0] {
+            m.observe("site.anl.queue_wait", w);
+        }
+        m.incr("site.nrl.submits", 4);
+        m.incr("unrelated.counter", 9);
+
+        let rows = grid_weather(&m);
+        assert_eq!(rows.len(), 2);
+        let anl = &rows[0];
+        assert_eq!(anl.site, "anl");
+        assert_eq!((anl.submits, anl.rejected, anl.completed), (10, 1, 8));
+        assert_eq!(anl.success_rate, Some(0.75));
+        assert_eq!(anl.queue_depth, Some(3.0));
+        assert_eq!(anl.median_wait_secs, Some(20.0));
+        assert_eq!(anl.commit_timeout_rate, Some(0.2));
+        let nrl = &rows[1];
+        assert_eq!(nrl.site, "nrl");
+        assert_eq!(nrl.success_rate, None, "no outcomes yet");
+        assert_eq!(nrl.commit_timeout_rate, None, "no commits yet");
+    }
+
+    #[test]
+    fn renders_a_row_per_site() {
+        let mut m = Metrics::new();
+        m.incr("site.anl.submits", 2);
+        let text = render(&grid_weather(&m));
+        assert!(text.lines().count() == 2, "{text}");
+        assert!(text.contains("anl"));
+        assert!(text.contains("med-wait"));
+    }
+}

@@ -31,6 +31,16 @@ pub struct TraceEvent {
     pub kind: &'static str,
     /// Human-readable detail.
     pub detail: String,
+    /// Kernel event id: the sequence number of the event during whose
+    /// processing this record was emitted. Several records can share one
+    /// id (one handler, many traces); together with `cause` they form the
+    /// happens-before DAG reconstructed by [`crate::obs::causality`].
+    pub id: u64,
+    /// The id of the nearest *observable* causal ancestor event — the most
+    /// recent event on this record's trigger chain that itself emitted a
+    /// trace record — or [`NO_CAUSE`] for externally injected stimuli
+    /// (fault plans, initial posts).
+    pub cause: u64,
 }
 
 impl fmt::Display for TraceEvent {
@@ -71,6 +81,12 @@ pub struct TraceSink {
     enabled: bool,
     events: Vec<TraceEvent>,
     subscribers: Vec<Box<dyn TraceSubscriber>>,
+    /// Total records emitted (vector + subscribers). The kernel compares
+    /// this across a handler to decide whether the event being processed
+    /// was *observable* — i.e. whether downstream events should name it as
+    /// their `cause` or inherit its own. Never incremented when the sink
+    /// is inactive, so causality costs nothing with tracing off.
+    emitted: u64,
 }
 
 impl fmt::Debug for TraceSink {
@@ -90,6 +106,7 @@ impl TraceSink {
             enabled,
             events: Vec::new(),
             subscribers: Vec::new(),
+            emitted: 0,
         }
     }
 
@@ -128,15 +145,28 @@ impl TraceSink {
     }
 
     /// Record an event (no-op when disabled and no subscriber is attached).
-    pub fn emit(&mut self, time: SimTime, addr: Addr, kind: &'static str, detail: String) {
+    /// `id` is the kernel event being processed at emission time and
+    /// `cause` its nearest observable ancestor (see [`TraceEvent`]).
+    pub fn emit(
+        &mut self,
+        time: SimTime,
+        addr: Addr,
+        kind: &'static str,
+        detail: String,
+        id: u64,
+        cause: u64,
+    ) {
         if !self.enabled && self.subscribers.is_empty() {
             return;
         }
+        self.emitted += 1;
         let event = TraceEvent {
             time,
             addr,
             kind,
             detail,
+            id,
+            cause,
         };
         for sub in &mut self.subscribers {
             sub.on_event(&event);
@@ -144,6 +174,13 @@ impl TraceSink {
         if self.enabled {
             self.events.push(event);
         }
+    }
+
+    /// Total records emitted so far (whether retained in memory or only
+    /// streamed to subscribers). Monotone; the kernel samples it around
+    /// each handler to detect observable events.
+    pub fn emitted_count(&self) -> u64 {
+        self.emitted
     }
 
     /// All recorded events in order.
@@ -166,6 +203,7 @@ impl TraceSink {
 mod tests {
     use super::*;
     use crate::component::{CompId, NodeId};
+    use crate::event::NO_CAUSE;
 
     fn addr() -> Addr {
         Addr {
@@ -177,16 +215,16 @@ mod tests {
     #[test]
     fn disabled_sink_records_nothing() {
         let mut t = TraceSink::new(false);
-        t.emit(SimTime(1), addr(), "x", "y".into());
+        t.emit(SimTime(1), addr(), "x", "y".into(), 0, NO_CAUSE);
         assert!(t.events().is_empty());
     }
 
     #[test]
     fn enabled_sink_records_in_order() {
         let mut t = TraceSink::new(true);
-        t.emit(SimTime(1), addr(), "a", "1".into());
-        t.emit(SimTime(2), addr(), "b", "2".into());
-        t.emit(SimTime(3), addr(), "a", "3".into());
+        t.emit(SimTime(1), addr(), "a", "1".into(), 0, NO_CAUSE);
+        t.emit(SimTime(2), addr(), "b", "2".into(), 1, 0);
+        t.emit(SimTime(3), addr(), "a", "3".into(), 2, 0);
         assert_eq!(t.events().len(), 3);
         let kinds: Vec<_> = t.of_kind("a").map(|e| e.detail.as_str()).collect();
         assert_eq!(kinds, vec!["1", "3"]);
@@ -199,6 +237,8 @@ mod tests {
             addr: addr(),
             kind: "k",
             detail: "d".into(),
+            id: 7,
+            cause: NO_CAUSE,
         };
         let s = format!("{e}");
         assert!(s.contains("1.500s"));
@@ -217,8 +257,8 @@ mod tests {
         let count = std::rc::Rc::new(std::cell::Cell::new(0));
         let mut t = TraceSink::new(false);
         t.subscribe(Box::new(Counter(count.clone())));
-        t.emit(SimTime(1), addr(), "a", "1".into());
-        t.emit(SimTime(2), addr(), "b", "2".into());
+        t.emit(SimTime(1), addr(), "a", "1".into(), 0, NO_CAUSE);
+        t.emit(SimTime(2), addr(), "b", "2".into(), 1, 0);
         assert!(t.events().is_empty(), "vector stays off");
         assert_eq!(count.get(), 2, "subscriber saw both events");
     }

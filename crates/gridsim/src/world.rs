@@ -3,7 +3,7 @@
 //! everything to completion.
 
 use crate::component::{Addr, CompId, Component, Ctx, Effect, Message, NodeId, TimerId};
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, EventQueue, NO_CAUSE};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::metrics::Metrics;
 use crate::network::{NetConfig, Network};
@@ -167,6 +167,19 @@ pub struct World {
     /// Wall-clock measurements never feed back into the simulation, so
     /// profiling does not perturb determinism.
     profiler: Option<Profiler>,
+    /// Causal provenance of the event currently being processed: its own
+    /// sequence number, its inherited nearest-observable-ancestor, and the
+    /// trace sink's emitted count when its processing began. Every event
+    /// scheduled while processing it gets `cause = cur_event_id` if a
+    /// trace record was emitted since `trace_mark` (the event became
+    /// observable), else `cur_inherited` — collapsing unobserved hops so
+    /// the exported DAG stays connected without tracing every kernel
+    /// event. With tracing off the emitted count never moves, the compare
+    /// is always false, and the whole mechanism is three u64 stores per
+    /// event.
+    cur_event_id: u64,
+    cur_inherited: u64,
+    trace_mark: u64,
 }
 
 /// Stable names for kernel event kinds, used by the profiler's per-kind
@@ -209,6 +222,21 @@ impl World {
             max_events: config.max_events,
             effects_pool: Vec::new(),
             profiler: None,
+            cur_event_id: NO_CAUSE,
+            cur_inherited: NO_CAUSE,
+            trace_mark: 0,
+        }
+    }
+
+    /// The causal ancestor to stamp on an event scheduled right now: the
+    /// current event if it proved observable (emitted a trace record),
+    /// else whatever it inherited. See the field docs on `cur_event_id`.
+    #[inline]
+    fn cause_now(&self) -> u64 {
+        if self.trace.emitted_count() > self.trace_mark {
+            self.cur_event_id
+        } else {
+            self.cur_inherited
         }
     }
 
@@ -323,6 +351,7 @@ impl World {
                 to,
                 msg: Box::new(msg),
             },
+            NO_CAUSE,
         );
     }
 
@@ -344,7 +373,8 @@ impl World {
                     rate: rate.unwrap_or(f64::NAN),
                 },
             };
-            self.queue.push(*t, kind);
+            // Fault injections are roots of the happens-before DAG.
+            self.queue.push(*t, kind, NO_CAUSE);
         }
     }
 
@@ -467,6 +497,9 @@ impl World {
         debug_assert!(event.time >= self.now, "time went backwards");
         self.now = event.time;
         self.events_processed += 1;
+        self.cur_event_id = event.seq;
+        self.cur_inherited = event.cause;
+        self.trace_mark = self.trace.emitted_count();
         if let Some(p) = &mut self.profiler {
             p.note_event(event_kind_name(&event.kind), event.time, self.queue.len());
         }
@@ -540,20 +573,61 @@ impl World {
                 }
                 self.dispatch(on, |comp, ctx| comp.on_timer(ctx, id, tag));
             }
-            EventKind::NodeCrash { node } => self.do_crash(node),
-            EventKind::NodeRestart { node } => self.do_restart(node),
+            EventKind::NodeCrash { node } => {
+                // Emit before acting, so everything the fault triggers
+                // (boot chains, retries) links back to this record.
+                self.trace_fault("fault.crash", |w| format!("node={}", w.node_name(node)));
+                self.do_crash(node);
+            }
+            EventKind::NodeRestart { node } => {
+                self.trace_fault("fault.restart", |w| format!("node={}", w.node_name(node)));
+                self.do_restart(node);
+            }
             EventKind::PartitionStart { group_a, group_b } => {
+                self.trace_fault("fault.partition", |w| {
+                    format!(
+                        "a={} b={}",
+                        w.group_names(&group_a),
+                        w.group_names(&group_b)
+                    )
+                });
                 self.network.partition(&group_a, &group_b);
                 self.metrics.incr("net.partitions", 1);
             }
             EventKind::PartitionEnd { group_a, group_b } => {
+                self.trace_fault("fault.heal", |w| {
+                    format!(
+                        "a={} b={}",
+                        w.group_names(&group_a),
+                        w.group_names(&group_b)
+                    )
+                });
                 self.network.heal(&group_a, &group_b);
             }
             EventKind::SetLossRate { rate } => {
+                self.trace_fault("fault.loss", |_| format!("rate={rate}"));
                 self.network
                     .set_global_loss(if rate.is_nan() { None } else { Some(rate) });
             }
         }
+    }
+
+    /// Record a kernel-injected fault in the trace (roots of the causal
+    /// DAG, attributed to [`EXTERNAL`]). The detail closure runs only when
+    /// the sink is active.
+    fn trace_fault(&mut self, kind: &'static str, detail: impl FnOnce(&World) -> String) {
+        if !self.trace.is_active() {
+            return;
+        }
+        let d = detail(self);
+        let (now, id, cause) = (self.now, self.cur_event_id, self.cur_inherited);
+        self.trace.emit(now, EXTERNAL, kind, d, id, cause);
+    }
+
+    /// Comma-joined node names for a partition group.
+    fn group_names(&self, group: &[NodeId]) -> String {
+        let names: Vec<&str> = group.iter().map(|&n| self.node_name(n)).collect();
+        names.join(",")
     }
 
     /// Take the component out, run `f` with a fresh context, put it back,
@@ -584,6 +658,8 @@ impl World {
             next_timer: &mut self.next_timer,
             next_comp: &mut self.next_comp,
             retired: &self.retired,
+            event_id: self.cur_event_id,
+            event_cause: self.cur_inherited,
         };
         let handler_start = prof_name.as_ref().map(|_| std::time::Instant::now());
         f(comp.as_mut(), &mut ctx);
@@ -623,7 +699,9 @@ impl World {
                                 at = *slot;
                             }
                             *slot = at;
-                            self.queue.push(at, EventKind::Deliver { from, to, msg });
+                            let cause = self.cause_now();
+                            self.queue
+                                .push(at, EventKind::Deliver { from, to, msg }, cause);
                         }
                         None => {
                             self.metrics.incr("net.lost", 1);
@@ -638,8 +716,12 @@ impl World {
                         .transfer_duration(&mut self.rng, from.node, to.node, bytes)
                     {
                         Some(delay) => {
-                            self.queue
-                                .push(self.now + delay, EventKind::Deliver { from, to, msg });
+                            let cause = self.cause_now();
+                            self.queue.push(
+                                self.now + delay,
+                                EventKind::Deliver { from, to, msg },
+                                cause,
+                            );
                         }
                         None => {
                             self.metrics.incr("net.lost", 1);
@@ -651,11 +733,16 @@ impl World {
                         .network
                         .route(&mut self.rng, from.node, from.node)
                         .expect("loopback never drops");
-                    self.queue
-                        .push(self.now + latency, EventKind::Deliver { from, to, msg });
+                    let cause = self.cause_now();
+                    self.queue.push(
+                        self.now + latency,
+                        EventKind::Deliver { from, to, msg },
+                        cause,
+                    );
                 }
                 Effect::SetTimer { id, after, tag } => {
                     let epoch = self.comp(from.comp).map_or(0, |c| c.epoch);
+                    let cause = self.cause_now();
                     self.queue.push(
                         self.now + after,
                         EventKind::Timer {
@@ -664,6 +751,7 @@ impl World {
                             tag,
                             epoch,
                         },
+                        cause,
                     );
                 }
                 Effect::CancelTimer { id } => {
@@ -700,8 +788,9 @@ impl World {
                 }
                 Effect::CrashNode { node } => self.do_crash(node),
                 Effect::RestartNode { node, after } => {
+                    let cause = self.cause_now();
                     self.queue
-                        .push(self.now + after, EventKind::NodeRestart { node });
+                        .push(self.now + after, EventKind::NodeRestart { node }, cause);
                 }
                 Effect::Halt => {
                     self.halted = true;

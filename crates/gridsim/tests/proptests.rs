@@ -93,6 +93,7 @@ proptest! {
                     tag: i as u64,
                     epoch: 0,
                 },
+                gridsim::event::NO_CAUSE,
             );
         }
         let mut last: Option<(SimTime, u64)> = None;
@@ -155,6 +156,7 @@ proptest! {
                             tag: next_seq,
                             epoch: 0,
                         },
+                        gridsim::event::NO_CAUSE,
                     );
                     reference.push(std::cmp::Reverse((t, next_seq)));
                     next_seq += 1;

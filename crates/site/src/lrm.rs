@@ -81,7 +81,16 @@ pub struct Lrm {
     metric_busy: String,
     metric_queue_wait: String,
     metric_cpu_seconds: String,
+    metric_queue_depth: String,
+    metric_success_rate: String,
+    metric_completed: String,
+    /// Rolling window of recent terminal outcomes (`true` = completed),
+    /// feeding the per-site success-rate gauge in the grid-weather report.
+    outcomes: std::collections::VecDeque<bool>,
 }
+
+/// Terminal outcomes in the rolling success-rate window.
+const OUTCOME_WINDOW: usize = 32;
 
 impl Lrm {
     /// A scheduler for `total_cpus` processors under `policy`.
@@ -104,6 +113,10 @@ impl Lrm {
             metric_busy: format!("site.{site}.busy"),
             metric_queue_wait: format!("site.{site}.queue_wait"),
             metric_cpu_seconds: format!("site.{site}.cpu_seconds"),
+            metric_queue_depth: format!("site.{site}.queue_depth"),
+            metric_success_rate: format!("site.{site}.success_rate"),
+            metric_completed: format!("site.{site}.completed"),
+            outcomes: std::collections::VecDeque::with_capacity(OUTCOME_WINDOW),
         }
     }
 
@@ -167,6 +180,26 @@ impl Lrm {
         if delta != 0.0 {
             ctx.metrics().gauge_delta("grid.busy_cpus", t, delta);
         }
+    }
+
+    /// Publish the current queue depth (jobs queued, not running) — one of
+    /// the per-site grid-weather series.
+    fn record_queue_depth(&mut self, ctx: &mut Ctx<'_>) {
+        let t = ctx.now();
+        ctx.metrics()
+            .gauge(&self.metric_queue_depth, t, self.queue.len() as f64);
+    }
+
+    /// Record one terminal outcome in the rolling window and republish the
+    /// per-site success-rate gauge.
+    fn note_outcome(&mut self, ctx: &mut Ctx<'_>, ok: bool) {
+        if self.outcomes.len() == OUTCOME_WINDOW {
+            self.outcomes.pop_front();
+        }
+        self.outcomes.push_back(ok);
+        let rate = self.outcomes.iter().filter(|&&b| b).count() as f64 / self.outcomes.len() as f64;
+        let t = ctx.now();
+        ctx.metrics().gauge(&self.metric_success_rate, t, rate);
     }
 
     fn schedule(&mut self, ctx: &mut Ctx<'_>) {
@@ -299,9 +332,14 @@ impl Lrm {
         ctx.metrics()
             .incr("site.completed", (state == LrmJobState::Completed) as u64);
         ctx.metrics().incr(
+            &self.metric_completed,
+            (state == LrmJobState::Completed) as u64,
+        );
+        ctx.metrics().incr(
             "site.wall_killed",
             (state == LrmJobState::WallTimeExceeded) as u64,
         );
+        self.note_outcome(ctx, state == LrmJobState::Completed);
         ctx.metrics().observe(
             &self.metric_cpu_seconds,
             elapsed.as_secs_f64() * f64::from(run.spec.cpus),
@@ -320,6 +358,7 @@ impl Lrm {
         );
         self.record_busy(ctx);
         self.schedule(ctx);
+        self.record_queue_depth(ctx);
     }
 
     fn apply_churn(&mut self, ctx: &mut Ctx<'_>) {
@@ -373,6 +412,7 @@ impl Lrm {
                 );
             } else {
                 self.terminal.insert(victim, LrmJobState::Vacated);
+                self.note_outcome(ctx, false);
                 ctx.send(
                     run.submitter,
                     LrmEvent {
@@ -387,6 +427,7 @@ impl Lrm {
         let next = ctx.rng().duration(&churn.interval);
         ctx.set_timer(next, CHURN_TAG);
         self.schedule(ctx);
+        self.record_queue_depth(ctx);
     }
 }
 
@@ -426,6 +467,7 @@ impl Component for Lrm {
                             )
                         });
                         self.terminal.insert(local_id, LrmJobState::Vacated);
+                        self.note_outcome(ctx, false);
                         ctx.send(
                             from,
                             LrmReply::Submitted {
@@ -464,6 +506,7 @@ impl Component for Lrm {
                     },
                 );
                 self.schedule(ctx);
+                self.record_queue_depth(ctx);
             }
             LrmRequest::Cancel { local_id } => {
                 let now = ctx.now();
@@ -495,6 +538,7 @@ impl Component for Lrm {
                     self.schedule(ctx);
                 }
                 ctx.metrics().incr("site.cancelled", 1);
+                self.record_queue_depth(ctx);
             }
             LrmRequest::Status { local_id } => {
                 let state = if self.running.contains_key(&local_id) {

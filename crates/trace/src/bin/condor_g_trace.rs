@@ -1,0 +1,218 @@
+//! `condor-g-trace`: offline forensics over a `--trace-out` JSONL trace.
+//!
+//! ```text
+//! condor-g-trace run.jsonl                    # summary + all reports
+//! condor-g-trace run.jsonl --critical-path    # per-job blame breakdown
+//! condor-g-trace run.jsonl --critical-path 3  # one job, with full steps
+//! condor-g-trace run.jsonl --stuck --horizon 30m
+//! condor-g-trace run.jsonl --root-cause
+//! ```
+//!
+//! Exit status: 0 on success, 1 on parse errors or an empty causal DAG
+//! (a trace with no provenance is useless for forensics, and usually means
+//! the file is not a simulator trace), 2 on usage errors.
+
+use condor_g_trace::{parse, Forensics};
+use gridsim::time::Duration;
+use std::process::ExitCode;
+
+struct Options {
+    path: String,
+    critical_path: bool,
+    job: Option<u64>,
+    stuck: bool,
+    root_cause: bool,
+    horizon: Duration,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: condor-g-trace <trace.jsonl> [--critical-path [JOB]] [--stuck] \
+         [--horizon DUR] [--root-cause]\n\
+         DUR accepts 90s / 30m / 2h / 1d (default horizon: 1h).\n\
+         With no report flag, all reports are printed."
+    );
+    ExitCode::from(2)
+}
+
+fn parse_horizon(s: &str) -> Option<Duration> {
+    let (num, unit) = s.split_at(s.len() - s.chars().last()?.len_utf8());
+    let (value, mult) = match unit {
+        "s" => (num, 1),
+        "m" => (num, 60),
+        "h" => (num, 3600),
+        "d" => (num, 86_400),
+        _ => (s, 1), // plain seconds
+    };
+    value
+        .parse::<u64>()
+        .ok()
+        .map(|v| Duration::from_secs(v * mult))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, ()> {
+    let mut opts = Options {
+        path: String::new(),
+        critical_path: false,
+        job: None,
+        stuck: false,
+        root_cause: false,
+        horizon: Duration::from_hours(1),
+    };
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--critical-path" => {
+                opts.critical_path = true;
+                if let Some(j) = it.peek().and_then(|n| n.parse().ok()) {
+                    opts.job = Some(j);
+                    it.next();
+                }
+            }
+            "--stuck" => opts.stuck = true,
+            "--root-cause" => opts.root_cause = true,
+            "--horizon" => {
+                let v = it.next().ok_or(())?;
+                opts.horizon = parse_horizon(v).ok_or(())?;
+            }
+            p if !p.starts_with('-') && opts.path.is_empty() => opts.path = p.to_string(),
+            _ => return Err(()),
+        }
+    }
+    if opts.path.is_empty() {
+        return Err(());
+    }
+    Ok(opts)
+}
+
+fn print_critical_paths(f: &Forensics, only: Option<u64>) {
+    println!("== critical paths ==");
+    for job in f.jobs.keys().copied().collect::<Vec<_>>() {
+        if only.is_some_and(|j| j != job) {
+            continue;
+        }
+        let Some(cp) = f.critical_path(job) else {
+            continue;
+        };
+        let blame: Vec<String> = cp
+            .blame
+            .iter()
+            .map(|(cat, secs)| {
+                format!(
+                    "{cat} {secs:.1}s ({:.0}%)",
+                    100.0 * secs / cp.total.as_secs_f64().max(f64::MIN_POSITIVE)
+                )
+            })
+            .collect();
+        println!(
+            "gj{job}: {} in {:.1}s over {} steps | {}",
+            cp.outcome,
+            cp.total.as_secs_f64(),
+            cp.steps.len(),
+            blame.join(", ")
+        );
+        // Full step listing only for a single selected job.
+        if only.is_some() {
+            for s in &cp.steps {
+                println!(
+                    "  [{:>12}] +{:>9.3}s {:<13} {}",
+                    s.time,
+                    s.elapsed.as_secs_f64(),
+                    s.category,
+                    s.label
+                );
+            }
+        }
+    }
+}
+
+fn print_stuck(f: &Forensics, horizon: Duration) {
+    println!("== stuck jobs (horizon {:.0}s) ==", horizon.as_secs_f64());
+    let stuck = f.stuck_jobs(horizon);
+    if stuck.is_empty() {
+        println!("none");
+        return;
+    }
+    for s in stuck {
+        println!(
+            "gj{}: stuck in {} since {} (site {})",
+            s.job,
+            s.last_phase,
+            s.since,
+            s.site.as_deref().unwrap_or("-")
+        );
+    }
+}
+
+fn print_root_causes(f: &Forensics) {
+    println!("== failure attribution ==");
+    let causes = f.root_causes();
+    if causes.is_empty() {
+        println!("no attempt failures");
+        return;
+    }
+    for a in causes {
+        let verdict = match &a.cause {
+            Some((kind, detail, t)) => format!("{kind} {detail} at {t} [{}]", a.via),
+            None => "unattributed".to_string(),
+        };
+        println!(
+            "gj{} failed at {} ({}, site {}): {}",
+            a.job,
+            a.time,
+            a.why,
+            a.site.as_deref().unwrap_or("-"),
+            verdict
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Ok(opts) = parse_args(&args) else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&opts.path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("condor-g-trace: {}: {e}", opts.path);
+            return ExitCode::from(2);
+        }
+    };
+    let records = match parse(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("condor-g-trace: {}: {e}", opts.path);
+            return ExitCode::from(1);
+        }
+    };
+    let f = Forensics::build(records);
+    if f.dag.is_empty() {
+        eprintln!(
+            "condor-g-trace: {}: no causal provenance in trace (empty DAG)",
+            opts.path
+        );
+        return ExitCode::from(1);
+    }
+    println!(
+        "{}: {} records, {} observable events, {} roots, {} jobs ({} terminal, {} resubmitted)",
+        opts.path,
+        f.records.len(),
+        f.dag.len(),
+        f.dag.roots().count(),
+        f.jobs.len(),
+        f.jobs.values().filter(|j| j.terminal.is_some()).count(),
+        f.resubmitted_jobs().count(),
+    );
+    let all = !opts.critical_path && !opts.stuck && !opts.root_cause;
+    if opts.critical_path || all {
+        print_critical_paths(&f, opts.job);
+    }
+    if opts.stuck || all {
+        print_stuck(&f, opts.horizon);
+    }
+    if opts.root_cause || all {
+        print_root_causes(&f);
+    }
+    ExitCode::SUCCESS
+}

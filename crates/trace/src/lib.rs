@@ -1,0 +1,22 @@
+//! Offline forensics over `--trace-out` JSONL traces.
+//!
+//! The simulator's JSONL exporter ([`gridsim::obs::JsonlWriter`]) streams
+//! every trace record with the `(id, cause)` provenance pair the kernel
+//! stamps on it. This crate reads such a file back and answers the
+//! questions an operator of the real Condor-G would ask after a bad week:
+//!
+//! * [`parse`] — a dependency-free parser for the exporter's JSONL schema
+//!   (the exact inverse of [`gridsim::obs::subscriber::jsonl_line`]).
+//! * [`forensics`] — rebuilds the happens-before DAG with
+//!   [`gridsim::obs::CausalDag`], stitches span milestones into per-job
+//!   attempt timelines, and derives per-job critical paths with blame
+//!   breakdowns, stuck-job reports, and root-cause attribution of
+//!   resubmissions back to injected faults.
+//!
+//! The `condor-g-trace` binary is a thin CLI over these two modules.
+
+pub mod forensics;
+pub mod parse;
+
+pub use forensics::{Attempt, Attribution, CriticalPath, Forensics, JobForensics, StuckJob};
+pub use parse::{parse, parse_line, ParseError, Record};

@@ -1,0 +1,306 @@
+//! Parser for the simulator's `--trace-out` JSONL schema.
+//!
+//! Each line is one object with a fixed key set:
+//!
+//! ```text
+//! {"t":1500000,"node":3,"comp":0,"kind":"gram.submit","detail":"...","id":42,"cause":null}
+//! ```
+//!
+//! `t` is virtual time in microseconds; `id` is the kernel event the record
+//! was emitted under and `cause` its nearest observable causal ancestor
+//! (`null` maps to [`NO_CAUSE`] — a DAG root, or a record emitted during
+//! world setup). The parser is hand-rolled because the workspace builds
+//! offline with no JSON dependency; it accepts exactly the escapes the
+//! exporter produces (`\" \\ \n \r \t \uXXXX`) plus `\/`, `\b`, `\f` for
+//! good measure.
+
+use gridsim::event::NO_CAUSE;
+use gridsim::time::SimTime;
+use std::fmt;
+
+/// One parsed trace record (the offline mirror of
+/// [`gridsim::trace::TraceEvent`], with owned strings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Virtual time of emission.
+    pub time: SimTime,
+    /// Node id of the component the record is attributed to.
+    pub node: u64,
+    /// Component id within the node.
+    pub comp: u64,
+    /// Machine-matchable kind, e.g. `"gram.submit"` or `"span"`.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Kernel event the record was emitted under ([`NO_CAUSE`] for
+    /// setup-time records outside any event).
+    pub id: u64,
+    /// Nearest observable causal ancestor ([`NO_CAUSE`] for DAG roots).
+    pub cause: u64,
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a whole JSONL document (blank lines are skipped).
+pub fn parse(text: &str) -> Result<Vec<Record>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|msg| ParseError { line: i + 1, msg })?);
+    }
+    Ok(out)
+}
+
+/// Parse one JSONL line into a [`Record`].
+pub fn parse_line(line: &str) -> Result<Record, String> {
+    let mut s = Scan {
+        b: line.as_bytes(),
+        i: 0,
+    };
+    s.ws();
+    s.eat(b'{')?;
+    let (mut t, mut node, mut comp) = (None, None, None);
+    let (mut kind, mut detail) = (None, None);
+    let (mut id, mut cause): (Option<Option<u64>>, Option<Option<u64>>) = (None, None);
+    loop {
+        s.ws();
+        if s.peek() == Some(b'}') {
+            s.i += 1;
+            break;
+        }
+        let key = s.string()?;
+        s.ws();
+        s.eat(b':')?;
+        s.ws();
+        match key.as_str() {
+            "t" => t = Some(s.integer()?),
+            "node" => node = Some(s.integer()?),
+            "comp" => comp = Some(s.integer()?),
+            "kind" => kind = Some(s.string()?),
+            "detail" => detail = Some(s.string()?),
+            "id" => id = Some(s.integer_or_null()?),
+            "cause" => cause = Some(s.integer_or_null()?),
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        s.ws();
+        match s.peek() {
+            Some(b',') => s.i += 1,
+            Some(b'}') => {
+                s.i += 1;
+                break;
+            }
+            _ => return Err("expected ',' or '}'".into()),
+        }
+    }
+    s.ws();
+    if s.i != s.b.len() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(Record {
+        time: SimTime(t.ok_or("missing \"t\"")?),
+        node: node.ok_or("missing \"node\"")?,
+        comp: comp.ok_or("missing \"comp\"")?,
+        kind: kind.ok_or("missing \"kind\"")?,
+        detail: detail.ok_or("missing \"detail\"")?,
+        id: id.ok_or("missing \"id\"")?.unwrap_or(NO_CAUSE),
+        cause: cause.ok_or("missing \"cause\"")?.unwrap_or(NO_CAUSE),
+    })
+}
+
+/// Byte scanner over one line.
+struct Scan<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Scan<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        if self.peek() == Some(want) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?}", want as char))
+        }
+    }
+
+    fn integer(&mut self) -> Result<u64, String> {
+        let start = self.i;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err("expected an integer".into());
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|_| "integer out of range".to_string())
+    }
+
+    fn integer_or_null(&mut self) -> Result<Option<u64>, String> {
+        if self.b[self.i..].starts_with(b"null") {
+            self.i += 4;
+            Ok(None)
+        } else {
+            self.integer().map(Some)
+        }
+    }
+
+    /// A JSON string, including the quotes, undoing the exporter's escapes.
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.i += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
+                        }
+                        c => return Err(format!("unknown escape \\{}", c as char)),
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through untouched: copy the
+                    // whole scalar, not byte by byte.
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().expect("peek saw a byte");
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsim::component::{Addr, CompId, NodeId};
+    use gridsim::obs::subscriber::jsonl_line;
+    use gridsim::trace::TraceEvent;
+
+    #[test]
+    fn parses_a_plain_line() {
+        let r = parse_line(
+            r#"{"t":1500000,"node":3,"comp":0,"kind":"gram.submit","detail":"x","id":42,"cause":null}"#,
+        )
+        .unwrap();
+        assert_eq!(r.time, SimTime(1_500_000));
+        assert_eq!((r.node, r.comp), (3, 0));
+        assert_eq!(r.kind, "gram.submit");
+        assert_eq!(r.detail, "x");
+        assert_eq!(r.id, 42);
+        assert_eq!(r.cause, NO_CAUSE);
+    }
+
+    #[test]
+    fn exporter_lines_round_trip() {
+        // Satellite check: quotes, newlines, tabs, control chars, and
+        // non-ASCII must all survive export -> parse unchanged.
+        let nasty = "say \"hi\"\nplease\ttab \u{1} bell café → done \\end";
+        let ev = TraceEvent {
+            time: SimTime(987_654_321),
+            addr: Addr {
+                node: NodeId(7),
+                comp: CompId(2),
+            },
+            kind: "span",
+            detail: nasty.to_string(),
+            id: 1234,
+            cause: 1200,
+        };
+        let r = parse_line(&jsonl_line(&ev)).unwrap();
+        assert_eq!(r.time, ev.time);
+        assert_eq!((r.node, r.comp), (7, 2));
+        assert_eq!(r.kind, ev.kind);
+        assert_eq!(r.detail, nasty);
+        assert_eq!((r.id, r.cause), (1234, 1200));
+
+        // NO_CAUSE renders as null and parses back to NO_CAUSE.
+        let root = TraceEvent {
+            cause: NO_CAUSE,
+            ..ev
+        };
+        let r = parse_line(&jsonl_line(&root)).unwrap();
+        assert_eq!(r.cause, NO_CAUSE);
+    }
+
+    #[test]
+    fn document_parse_reports_line_numbers_and_skips_blanks() {
+        let good = r#"{"t":1,"node":0,"comp":0,"kind":"k","detail":"","id":0,"cause":null}"#;
+        let recs = parse(&format!("{good}\n\n{good}\n")).unwrap();
+        assert_eq!(recs.len(), 2);
+
+        let err = parse(&format!("{good}\nnot json\n")).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "{",
+            "{}",
+            r#"{"t":1}"#,
+            r#"{"t":1,"node":0,"comp":0,"kind":"k","detail":"","id":0,"cause":null} x"#,
+            r#"{"t":1,"node":0,"comp":0,"kind":"k","detail":"unterminated,"id":0,"cause":null}"#,
+            r#"{"t":1,"node":0,"comp":0,"kind":"k","detail":"","id":0,"cause":null,"extra":1}"#,
+        ] {
+            assert!(parse_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

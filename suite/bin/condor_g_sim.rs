@@ -383,6 +383,15 @@ pub fn run_scenario(scn: Scenario, obs: ObsOptions) {
         }
         println!("{}", pt.render());
     }
+    // Per-site grid weather: the MDS-style health summary aggregated from
+    // the site.<name>.* metrics the protocol components publish.
+    let weather = condor_g_suite::gridsim::obs::grid_weather(tb.world.metrics());
+    if !weather.is_empty() {
+        println!(
+            "\ngrid weather:\n{}",
+            condor_g_suite::gridsim::obs::weather::render(&weather)
+        );
+    }
     if let Some(path) = &obs.metrics_out {
         let now = tb.world.now();
         let snapshot = if path.ends_with(".json") {

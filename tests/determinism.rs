@@ -80,10 +80,10 @@ fn demo_scenario_trace_is_golden() {
     let bytes = std::fs::read(&trace).expect("trace written");
     let _ = std::fs::remove_dir_all(&dir);
     let lines = bytes.iter().filter(|&&b| b == b'\n').count();
-    assert_eq!(lines, 1000, "trace line count changed");
+    assert_eq!(lines, 1002, "trace line count changed");
     assert_eq!(
         fnv1a(&bytes),
-        0x6b76_0e3d_54b9_a5ff,
+        0x8236_2c72_acb4_9633,
         "demo.scn trace diverged from the golden run"
     );
 }
