@@ -5,11 +5,19 @@
 //! jobs with machines using the ClassAd symmetric match, ordering
 //! candidates by the job's `Rank` (Raman et al.'s matchmaking framework,
 //! the paper's \[25\]).
+//!
+//! With [`Negotiator::with_weather`], each cycle also publishes the
+//! current grid weather onto glidein machine ads (`SiteSuccessRate`,
+//! `SiteQueueWaitSecs`, `SiteCommitTimeoutRate`) so job `Requirements`
+//! and `Rank` expressions can steer on site health, and machines at
+//! quarantined sites sit the cycle out entirely — the matchmaking half of
+//! the adaptive-brokering loop.
 
 use crate::proto::{
     AdKind, CollectorAds, CollectorQuery, IdleJobs, MatchNotify, NegotiationRequest,
 };
 use classads::{half_match_expr, rank_expr, ClassAd, Expr, LiteralAttrs, RequirementsPrefilter};
+use gridsim::obs::{grid_weather, HealthPolicy, SiteHealthTracker, SiteWeather};
 use gridsim::prelude::*;
 use gridsim::AnyMsg;
 use std::collections::HashMap;
@@ -66,6 +74,9 @@ pub struct Negotiator {
     phase: Phase,
     /// Prepared machines from the previous cycle, keyed by name.
     machine_cache: HashMap<String, MachineInfo>,
+    /// Weather-driven adaptation, if enabled (see
+    /// [`Negotiator::with_weather`]).
+    weather: Option<SiteHealthTracker>,
 }
 
 const REQ_MACHINES: u64 = 1;
@@ -81,7 +92,40 @@ impl Negotiator {
             cycle: 0,
             phase: Phase::Idle,
             machine_cache: HashMap::new(),
+            weather: None,
         }
+    }
+
+    /// Enable weather-driven adaptation: each cycle, glidein machine ads
+    /// are annotated with their site's current weather, machines at
+    /// quarantined sites are skipped, and health transitions are traced
+    /// as `broker.*` events. Off by default — the vanilla negotiator's
+    /// matches (and its trace) stay byte-identical.
+    pub fn with_weather(mut self, policy: HealthPolicy) -> Negotiator {
+        self.weather = Some(SiteHealthTracker::new(policy));
+        self
+    }
+
+    /// The weather row for a machine, via its `GlideinSite` attribute.
+    fn site_row<'a>(rows: &'a [SiteWeather], ad: &ClassAd) -> Option<&'a SiteWeather> {
+        let site = ad.get_str("GlideinSite")?;
+        rows.iter().find(|r| r.site == site)
+    }
+
+    /// Clone-and-annotate a machine ad with its site's weather so job
+    /// `Requirements`/`Rank` expressions can evaluate against it.
+    fn annotate(ad: &ClassAd, row: &SiteWeather) -> ClassAd {
+        let mut out = ad.clone();
+        if let Some(rate) = row.success_rate {
+            out.set("SiteSuccessRate", rate);
+        }
+        if let Some(wait) = row.median_wait_secs {
+            out.set("SiteQueueWaitSecs", wait);
+        }
+        if let Some(rate) = row.commit_timeout_rate {
+            out.set("SiteCommitTimeoutRate", rate);
+        }
+        out
     }
 
     fn start_cycle(&mut self, ctx: &mut Ctx<'_>) {
@@ -144,19 +188,48 @@ impl Negotiator {
         else {
             return;
         };
+        // Adaptive mode: refresh the site-health view before matching and
+        // trace the transitions it decides on.
+        let weather_rows = self.weather.as_mut().map(|tracker| {
+            let rows = grid_weather(ctx.metrics());
+            let now = ctx.now();
+            for ev in tracker.observe(&rows, now) {
+                ctx.metrics().incr("negotiator.health_transitions", 1);
+                ctx.trace_with(ev.action.kind(), || {
+                    format!("site={} reason={}", ev.site, ev.reason)
+                });
+            }
+            rows
+        });
         // Prepare machines, reusing last cycle's work whenever the
         // collector handed back the same ad (pointer identity on the shared
         // handle — a re-advertised machine gets a fresh handle and a fresh
         // entry). Anything left in the cache afterwards vanished from the
-        // pool, so it is dropped.
+        // pool, so it is dropped. Weather annotations rewrite the ads, so
+        // adaptive cycles skip the cache and prepare fresh.
         let mut free: Vec<(String, Addr, MachineInfo)> = machines
             .into_iter()
-            .map(|(name, startd, ad)| {
-                let info = match self.machine_cache.remove(&name) {
-                    Some(info) if Rc::ptr_eq(&info.ad, &ad) => info,
-                    _ => MachineInfo::prepare(ad),
+            .filter_map(|(name, startd, ad)| {
+                let info = match (&weather_rows, &self.weather) {
+                    (Some(rows), Some(tracker)) => {
+                        if let Some(row) = Negotiator::site_row(rows, &ad) {
+                            if tracker.is_quarantined(&row.site) {
+                                ctx.trace_with("negotiator.skip_quarantined", || {
+                                    format!("{name} site={}", row.site)
+                                });
+                                return None;
+                            }
+                            MachineInfo::prepare(Rc::new(Negotiator::annotate(&ad, row)))
+                        } else {
+                            MachineInfo::prepare(ad)
+                        }
+                    }
+                    _ => match self.machine_cache.remove(&name) {
+                        Some(info) if Rc::ptr_eq(&info.ad, &ad) => info,
+                        _ => MachineInfo::prepare(ad),
+                    },
                 };
-                (name, startd, info)
+                Some((name, startd, info))
             })
             .collect();
         self.machine_cache.clear();

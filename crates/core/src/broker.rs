@@ -11,9 +11,15 @@
 //! keeps a cache of GIIS ads (refreshed by the GridManager's periodic
 //! queries) and picks targets by ClassAd matchmaking and rank, following
 //! the Vazhkudai et al. pattern the paper cites.
+//!
+//! [`AdaptiveBroker`] wraps either one with the grid-weather quarantine
+//! loop: sites the [`SiteHealthTracker`] currently quarantines are added
+//! to the exclusion list, so work drains to healthy sites and the sick
+//! one is only re-tried once its probation opens.
 
 use crate::api::GridJobSpec;
 use classads::{rank, symmetric_match, ClassAd};
+use gridsim::obs::{HealthEvent, SiteHealthTracker, SiteWeather};
 use gridsim::{Addr, SimTime};
 
 /// A known gatekeeper: its contact address plus a site description ad.
@@ -40,6 +46,13 @@ pub trait Broker: Send + 'static {
     /// Record submission feedback so load spreads (a site just received a
     /// job / just failed one).
     fn note_submission(&mut self, _site: &str) {}
+
+    /// Feed a grid-weather snapshot; returns any health transitions it
+    /// triggered (so the caller can trace them). Non-adaptive brokers
+    /// ignore the weather and report none.
+    fn observe_weather(&mut self, _rows: &[SiteWeather], _now: SimTime) -> Vec<HealthEvent> {
+        Vec::new()
+    }
 }
 
 /// Round-robin over a user-supplied list of GRAM servers, skipping
@@ -165,6 +178,58 @@ impl Broker for MdsBroker {
     }
 }
 
+/// Weather-driven wrapper around any inner broker.
+///
+/// Selection extends the caller's exclusion list with every currently
+/// quarantined site; if that leaves nothing (e.g. all sites sick), it
+/// falls back to the inner broker with the original exclusions — a wrong
+/// pick beats stranding the job forever.
+pub struct AdaptiveBroker {
+    inner: Box<dyn Broker>,
+    tracker: SiteHealthTracker,
+}
+
+impl AdaptiveBroker {
+    /// Wrap `inner` with the given health tracker.
+    pub fn new(inner: Box<dyn Broker>, tracker: SiteHealthTracker) -> AdaptiveBroker {
+        AdaptiveBroker { inner, tracker }
+    }
+
+    /// The health tracker's view (for reports/tests).
+    pub fn tracker(&self) -> &SiteHealthTracker {
+        &self.tracker
+    }
+}
+
+impl Broker for AdaptiveBroker {
+    fn select(&mut self, spec: &GridJobSpec, exclude: &[String]) -> Option<GatekeeperInfo> {
+        let quarantined = self.tracker.quarantined_sites();
+        if quarantined.is_empty() {
+            return self.inner.select(spec, exclude);
+        }
+        let mut extended = exclude.to_vec();
+        extended.extend(quarantined);
+        match self.inner.select(spec, &extended) {
+            // The static broker's all-excluded fallback can still hand back
+            // a quarantined site; treat that as "nothing healthy" too.
+            Some(pick) if !self.tracker.is_quarantined(&pick.site) => Some(pick),
+            _ => self.inner.select(spec, exclude),
+        }
+    }
+
+    fn update_ads(&mut self, ads: Vec<(Addr, ClassAd)>, at: SimTime) {
+        self.inner.update_ads(ads, at);
+    }
+
+    fn note_submission(&mut self, site: &str) {
+        self.inner.note_submission(site);
+    }
+
+    fn observe_weather(&mut self, rows: &[SiteWeather], now: SimTime) -> Vec<HealthEvent> {
+        self.tracker.observe(rows, now)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,5 +341,61 @@ mod tests {
     fn mds_broker_with_no_ads_yields_none() {
         let mut b = MdsBroker::new(Duration::from_mins(30));
         assert!(b.select(&spec(), &[]).is_none());
+    }
+
+    fn weather_row(site: &str, failures: u64) -> SiteWeather {
+        SiteWeather {
+            site: site.to_string(),
+            submits: 0,
+            rejected: 0,
+            completed: 0,
+            success_rate: None,
+            queue_depth: None,
+            median_wait_secs: None,
+            commit_timeout_rate: None,
+            attempt_failures: failures,
+        }
+    }
+
+    #[test]
+    fn adaptive_broker_routes_around_quarantined_sites() {
+        let inner = StaticListBroker::new(vec![info("a", 1), info("b", 2), info("c", 3)]);
+        let mut b = AdaptiveBroker::new(Box::new(inner), SiteHealthTracker::default());
+        // Site `a` fails: weather shows an attempt failure → quarantine.
+        let evs = b.observe_weather(
+            &[
+                weather_row("a", 1),
+                weather_row("b", 0),
+                weather_row("c", 0),
+            ],
+            SimTime::ZERO,
+        );
+        assert_eq!(evs.len(), 1);
+        assert!(b.tracker().is_quarantined("a"));
+        // Selection never lands on `a` while it is quarantined.
+        let picks: Vec<String> = (0..4)
+            .map(|_| b.select(&spec(), &[]).unwrap().site)
+            .collect();
+        assert!(picks.iter().all(|s| s != "a"), "{picks:?}");
+    }
+
+    #[test]
+    fn adaptive_broker_falls_back_when_everything_is_sick() {
+        let inner = StaticListBroker::new(vec![info("a", 1)]);
+        let mut b = AdaptiveBroker::new(Box::new(inner), SiteHealthTracker::default());
+        b.observe_weather(&[weather_row("a", 2)], SimTime::ZERO);
+        assert!(b.tracker().is_quarantined("a"));
+        // The only site is quarantined: still pick it rather than strand
+        // the job.
+        assert_eq!(b.select(&spec(), &[]).unwrap().site, "a");
+    }
+
+    #[test]
+    fn non_adaptive_brokers_ignore_weather() {
+        let mut b = StaticListBroker::new(vec![info("a", 1)]);
+        assert!(b
+            .observe_weather(&[weather_row("a", 5)], SimTime::ZERO)
+            .is_empty());
+        assert_eq!(b.select(&spec(), &[]).unwrap().site, "a");
     }
 }

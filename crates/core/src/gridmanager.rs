@@ -78,6 +78,11 @@ pub struct GmConfig {
     /// The §4.2 failure-detection machinery (probing, gatekeeper pings,
     /// JobManager restarts). Disable for the fault-tolerance ablation.
     pub recovery: bool,
+    /// Feed grid weather back to the broker each tick so it can quarantine
+    /// sick sites (pair with an [`crate::broker::AdaptiveBroker`]). Off by
+    /// default: routing decisions stay byte-identical to the non-adaptive
+    /// baseline unless a run opts in.
+    pub adaptive: bool,
 }
 
 impl Default for GmConfig {
@@ -96,6 +101,7 @@ impl Default for GmConfig {
             mds_poll: Duration::from_mins(5),
             migrate_pending_after: None,
             recovery: true,
+            adaptive: false,
         }
     }
 }
@@ -379,6 +385,27 @@ impl GridManager {
         self.report(ctx, job, JobStatus::Pending);
     }
 
+    /// Adaptive mode: hand the current grid weather to the broker and
+    /// trace whatever quarantine/probe/recover transitions it decides on,
+    /// so rerouting is visible in the same causal timeline as the jobs it
+    /// moves. A no-op (not even a weather aggregation) unless enabled.
+    fn observe_weather(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.config.adaptive {
+            return;
+        }
+        let Some(broker) = self.broker.as_mut() else {
+            return;
+        };
+        let rows = gridsim::obs::grid_weather(ctx.metrics());
+        let now = ctx.now();
+        for ev in broker.observe_weather(&rows, now) {
+            ctx.metrics().incr("broker.health_transitions", 1);
+            ctx.trace_with(ev.action.kind(), || {
+                format!("site={} reason={}", ev.site, ev.reason)
+            });
+        }
+    }
+
     /// A remote attempt failed: exclude the site and resubmit elsewhere,
     /// or give up after the retry budget.
     fn attempt_failed(&mut self, ctx: &mut Ctx<'_>, job: GridJobId, why: &str) {
@@ -392,6 +419,13 @@ impl GridManager {
         ctx.metrics().incr("gm.attempt_failures", 1);
         ctx.trace_with("gm.attempt_failed", || format!("{job}: {why}"));
         j.attempts += 1;
+        // Charge the failure to the site's weather before dropping it, so
+        // a gatekeeper that never accepted anything still shows up in the
+        // per-site table (and trips the adaptive quarantine).
+        if let Some(site) = &j.site {
+            let name = format!("site.{site}.attempt_failures");
+            ctx.metrics().incr(&name, 1);
+        }
         if let Some(site) = j.site.take() {
             if !j.excluded.contains(&site) {
                 j.excluded.push(site);
@@ -739,6 +773,7 @@ impl Component for GridManager {
         }
         self.check_credentials(ctx);
         if !self.held {
+            self.observe_weather(ctx);
             self.poll_mds(ctx);
             let jobs: Vec<GridJobId> = self.jobs.keys().copied().collect();
             for job in jobs {

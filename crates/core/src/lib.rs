@@ -43,7 +43,7 @@ pub mod gridmanager;
 pub mod scheduler;
 
 pub use api::{GridJobId, GridJobSpec, JobStatus, UserCmd, UserEvent};
-pub use broker::{Broker, GatekeeperInfo, MdsBroker, StaticListBroker};
+pub use broker::{AdaptiveBroker, Broker, GatekeeperInfo, MdsBroker, StaticListBroker};
 pub use dagman::{DagMan, DagSpec};
 pub use email::Mailer;
 pub use glidein::GlideinFactory;

@@ -24,7 +24,9 @@
 //!   exported JSONL.
 //! * [`weather`] — aggregates the `site.<name>.*` metrics the protocol
 //!   components publish into a per-site grid-weather table (success rate,
-//!   queue depth, median LRM wait, commit-timeout rate).
+//!   queue depth, median LRM wait, commit-timeout rate), and runs the
+//!   [`SiteHealthTracker`] quarantine state machine brokers consult to
+//!   steer work away from sick sites.
 
 pub mod causality;
 pub mod export;
@@ -38,4 +40,7 @@ pub use export::{json_snapshot, json_string, prometheus_snapshot};
 pub use profiler::{CompProfile, Profiler};
 pub use span::{AttemptSpan, JobSpan, SpanCollector, SpanPhase, PHASES, SPAN_KIND};
 pub use subscriber::{Filtered, JsonlWriter, RingBuffer, TraceFilter};
-pub use weather::{grid_weather, SiteWeather};
+pub use weather::{
+    grid_weather, weather_json, HealthAction, HealthEvent, HealthPolicy, SiteHealthTracker,
+    SiteState, SiteWeather,
+};

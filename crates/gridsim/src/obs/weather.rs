@@ -9,8 +9,16 @@
 //! ordinary [`Metrics`] sink (so the Prometheus/JSON exporters pick it up
 //! unchanged); this module aggregates the raw metrics into one row per
 //! site for reports and the `condor-g-sim` epilogue.
+//!
+//! [`SiteHealthTracker`] closes the loop: fed successive weather
+//! snapshots, it runs a per-site quarantine state machine (Healthy →
+//! Quarantined → Probation → Healthy) whose transitions the brokers use
+//! to steer work away from sick sites and re-probe them later.
 
 use crate::metrics::Metrics;
+use crate::obs::export::json_string;
+use crate::time::{Duration, SimTime};
+use std::collections::BTreeMap;
 
 /// Metric suffixes that identify a site under the `site.<name>.` prefix.
 /// Site names may themselves contain dots (`cluster.site.edu`), so site
@@ -26,6 +34,7 @@ const SITE_SUFFIXES: &[&str] = &[
     ".commits",
     ".commit_timeouts",
     ".busy",
+    ".attempt_failures",
 ];
 
 /// One site's current weather.
@@ -49,6 +58,11 @@ pub struct SiteWeather {
     /// Two-phase commit timeouts per commit attempt (`None` before any
     /// commit attempt).
     pub commit_timeout_rate: Option<f64>,
+    /// Submission attempts the GridManager gave up on and rerouted. This
+    /// is charged by the *client* side, so a site whose gatekeeper never
+    /// answered a single request — zero successful submits — still gets a
+    /// weather row (exactly the site an operator needs to see).
+    pub attempt_failures: u64,
 }
 
 /// Extract the site name from a `site.<name>.<suffix>` metric, if it is one.
@@ -97,6 +111,7 @@ pub fn grid_weather(m: &Metrics) -> Vec<SiteWeather> {
                     .map(|h| median(h.samples())),
                 commit_timeout_rate: (commits > 0)
                     .then(|| c("commit_timeouts") as f64 / commits as f64),
+                attempt_failures: c("attempt_failures"),
                 site,
             }
         })
@@ -117,7 +132,7 @@ fn median(samples: &[f64]) -> f64 {
 /// Render the weather rows as the fixed-width table the CLI prints.
 pub fn render(rows: &[SiteWeather]) -> String {
     let mut out = String::from(
-        "site                      submits  reject  done  success  queue  med-wait  commit-to\n",
+        "site                      submits  reject  done  success  queue  med-wait  commit-to  failed\n",
     );
     let opt = |v: Option<f64>, unit: &str| match v {
         Some(x) => format!("{x:.2}{unit}"),
@@ -125,7 +140,7 @@ pub fn render(rows: &[SiteWeather]) -> String {
     };
     for r in rows {
         out.push_str(&format!(
-            "{:<25} {:>7} {:>7} {:>5}  {:>7} {:>6}  {:>8}  {:>9}\n",
+            "{:<25} {:>7} {:>7} {:>5}  {:>7} {:>6}  {:>8}  {:>9}  {:>6}\n",
             r.site,
             r.submits,
             r.rejected,
@@ -134,9 +149,248 @@ pub fn render(rows: &[SiteWeather]) -> String {
             opt(r.queue_depth, ""),
             opt(r.median_wait_secs, "s"),
             opt(r.commit_timeout_rate.map(|v| v * 100.0), "%"),
+            r.attempt_failures,
         ));
     }
     out
+}
+
+/// Serialize the weather rows as a JSON array (one object per site), for
+/// `--weather-out` sweeps that assert on site health without scraping the
+/// CLI epilogue.
+pub fn weather_json(rows: &[SiteWeather]) -> String {
+    let num = |v: Option<f64>| match v {
+        Some(x) if x.is_finite() => format!("{x}"),
+        _ => "null".to_string(),
+    };
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"site\": {}, \"submits\": {}, \"rejected\": {}, \"completed\": {}, \
+             \"attempt_failures\": {}, \"success_rate\": {}, \"queue_depth\": {}, \
+             \"median_wait_secs\": {}, \"commit_timeout_rate\": {}}}{}\n",
+            json_string(&r.site),
+            r.submits,
+            r.rejected,
+            r.completed,
+            r.attempt_failures,
+            num(r.success_rate),
+            num(r.queue_depth),
+            num(r.median_wait_secs),
+            num(r.commit_timeout_rate),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+// ---- site health: the quarantine state machine -------------------------
+
+/// Thresholds for demoting and recovering sites.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// New attempt failures in one observation window that quarantine a
+    /// healthy site.
+    pub strike_failures: u64,
+    /// A rolling LRM success rate below this quarantines a healthy site.
+    pub min_success_rate: f64,
+    /// A commit-timeout rate above this quarantines a healthy site.
+    pub max_commit_timeout_rate: f64,
+    /// How long a quarantined site is avoided before it is re-probed.
+    pub quarantine_for: Duration,
+    /// Completions during probation that restore a site to healthy.
+    pub probation_successes: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> HealthPolicy {
+        HealthPolicy {
+            strike_failures: 1,
+            min_success_rate: 0.25,
+            max_commit_timeout_rate: 0.5,
+            quarantine_for: Duration::from_mins(20),
+            probation_successes: 1,
+        }
+    }
+}
+
+/// Where a site is in the quarantine lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteState {
+    /// Full participation in brokering.
+    Healthy,
+    /// Excluded from brokering until the deadline passes.
+    Quarantined {
+        /// When the quarantine lapses into probation.
+        until: SimTime,
+    },
+    /// Eligible again, but one failure re-quarantines; enough successes
+    /// restore full health.
+    Probation,
+}
+
+/// A state-machine transition, for tracing and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// The site that changed state.
+    pub site: String,
+    /// What happened.
+    pub action: HealthAction,
+    /// Why (threshold that tripped, or the lapsed quarantine).
+    pub reason: String,
+}
+
+/// The three observable transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthAction {
+    /// Healthy/Probation → Quarantined.
+    Quarantine,
+    /// Quarantined → Probation (site may be tried again).
+    Probe,
+    /// Probation → Healthy.
+    Recover,
+}
+
+impl HealthAction {
+    /// Trace kind for this transition (`broker.quarantine` etc.).
+    pub fn kind(self) -> &'static str {
+        match self {
+            HealthAction::Quarantine => "broker.quarantine",
+            HealthAction::Probe => "broker.probe",
+            HealthAction::Recover => "broker.recover",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct SiteTrack {
+    state: Option<SiteState>,
+    /// Counter snapshots from the previous observation, for windowed deltas.
+    seen_failures: u64,
+    seen_completed: u64,
+    /// Completions accumulated while on probation.
+    probation_completed: u64,
+}
+
+/// Runs the [`SiteState`] machine over successive weather snapshots.
+///
+/// Deliberately deterministic: transitions depend only on the snapshots
+/// and the virtual clock, so adaptive runs replay exactly under a fixed
+/// seed.
+#[derive(Debug, Clone, Default)]
+pub struct SiteHealthTracker {
+    policy: HealthPolicy,
+    sites: BTreeMap<String, SiteTrack>,
+}
+
+impl SiteHealthTracker {
+    /// A tracker with the given thresholds.
+    pub fn new(policy: HealthPolicy) -> SiteHealthTracker {
+        SiteHealthTracker {
+            policy,
+            sites: BTreeMap::new(),
+        }
+    }
+
+    /// Is the site currently excluded from brokering?
+    pub fn is_quarantined(&self, site: &str) -> bool {
+        matches!(
+            self.sites.get(site).and_then(|t| t.state),
+            Some(SiteState::Quarantined { .. })
+        )
+    }
+
+    /// Current state of a site, if it has ever been observed.
+    pub fn state(&self, site: &str) -> Option<SiteState> {
+        self.sites.get(site).and_then(|t| t.state)
+    }
+
+    /// Sites currently quarantined, sorted.
+    pub fn quarantined_sites(&self) -> Vec<String> {
+        self.sites
+            .iter()
+            .filter(|(_, t)| matches!(t.state, Some(SiteState::Quarantined { .. })))
+            .map(|(s, _)| s.clone())
+            .collect()
+    }
+
+    /// Feed one weather snapshot; returns the transitions it caused.
+    pub fn observe(&mut self, rows: &[SiteWeather], now: SimTime) -> Vec<HealthEvent> {
+        let mut events = Vec::new();
+        for r in rows {
+            let t = self.sites.entry(r.site.clone()).or_default();
+            let new_failures = r.attempt_failures.saturating_sub(t.seen_failures);
+            let new_completed = r.completed.saturating_sub(t.seen_completed);
+            t.seen_failures = r.attempt_failures;
+            t.seen_completed = r.completed;
+            let state = t.state.unwrap_or(SiteState::Healthy);
+            let sick = sickness(&self.policy, r, new_failures);
+            let next = match state {
+                SiteState::Healthy => sick.map(|why| {
+                    events.push(ev(r, HealthAction::Quarantine, why));
+                    SiteState::Quarantined {
+                        until: now + self.policy.quarantine_for,
+                    }
+                }),
+                SiteState::Quarantined { until } => (now >= until).then(|| {
+                    events.push(ev(r, HealthAction::Probe, "quarantine lapsed".into()));
+                    t.probation_completed = 0;
+                    SiteState::Probation
+                }),
+                SiteState::Probation => {
+                    if new_failures > 0 {
+                        events.push(ev(
+                            r,
+                            HealthAction::Quarantine,
+                            format!("probe failed ({new_failures} new attempt failures)"),
+                        ));
+                        Some(SiteState::Quarantined {
+                            until: now + self.policy.quarantine_for,
+                        })
+                    } else {
+                        t.probation_completed += new_completed;
+                        (t.probation_completed >= self.policy.probation_successes).then(|| {
+                            events.push(ev(
+                                r,
+                                HealthAction::Recover,
+                                format!("{} completions on probation", t.probation_completed),
+                            ));
+                            SiteState::Healthy
+                        })
+                    }
+                }
+            };
+            t.state = Some(next.unwrap_or(state));
+        }
+        events
+    }
+}
+
+/// Why a site looks sick under `policy`, if it does.
+fn sickness(policy: &HealthPolicy, r: &SiteWeather, new_failures: u64) -> Option<String> {
+    if new_failures >= policy.strike_failures.max(1) {
+        return Some(format!("{new_failures} new attempt failures"));
+    }
+    if let Some(rate) = r.success_rate {
+        if rate < policy.min_success_rate {
+            return Some(format!("success rate {:.0}%", rate * 100.0));
+        }
+    }
+    if let Some(rate) = r.commit_timeout_rate {
+        if rate > policy.max_commit_timeout_rate {
+            return Some(format!("commit-timeout rate {:.0}%", rate * 100.0));
+        }
+    }
+    None
+}
+
+fn ev(r: &SiteWeather, action: HealthAction, reason: String) -> HealthEvent {
+    HealthEvent {
+        site: r.site.clone(),
+        action,
+        reason,
+    }
 }
 
 #[cfg(test)]
@@ -195,5 +449,124 @@ mod tests {
         assert!(text.lines().count() == 2, "{text}");
         assert!(text.contains("anl"));
         assert!(text.contains("med-wait"));
+        assert!(text.contains("failed"));
+    }
+
+    #[test]
+    fn a_site_with_only_failures_still_gets_a_row() {
+        // An unreachable gatekeeper accepts nothing, so the only signal is
+        // the client-side attempt-failure counter. It must be enough.
+        let mut m = Metrics::new();
+        m.incr("site.dead.attempt_failures", 3);
+        let rows = grid_weather(&m);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].site, "dead");
+        assert_eq!(rows[0].attempt_failures, 3);
+        assert_eq!(rows[0].submits, 0);
+    }
+
+    #[test]
+    fn weather_json_is_valid_and_complete() {
+        let mut m = Metrics::new();
+        m.incr("site.anl.submits", 10);
+        m.incr("site.anl.completed", 8);
+        m.incr("site.nrl.attempt_failures", 2);
+        let text = weather_json(&grid_weather(&m));
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"), "{text}");
+        assert!(text.contains("\"site\": \"anl\""));
+        assert!(text.contains("\"completed\": 8"));
+        assert!(text.contains("\"attempt_failures\": 2"));
+        assert!(text.contains("\"success_rate\": null"));
+        // One object per line, comma-separated except the last.
+        let objects: Vec<&str> = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with('{'))
+            .collect();
+        assert_eq!(objects.len(), 2);
+        assert!(objects[0].ends_with(','));
+        assert!(objects[1].ends_with('}'));
+    }
+
+    fn row(site: &str, failures: u64, completed: u64) -> SiteWeather {
+        SiteWeather {
+            site: site.to_string(),
+            submits: 0,
+            rejected: 0,
+            completed,
+            success_rate: None,
+            queue_depth: None,
+            median_wait_secs: None,
+            commit_timeout_rate: None,
+            attempt_failures: failures,
+        }
+    }
+
+    const MIN: u64 = 60 * 1_000_000;
+
+    #[test]
+    fn quarantine_probe_recover_lifecycle() {
+        let mut t = SiteHealthTracker::new(HealthPolicy::default());
+        // Healthy until a failure shows up.
+        assert!(t.observe(&[row("anl", 0, 0)], SimTime(0)).is_empty());
+        assert!(!t.is_quarantined("anl"));
+        // One new failure → quarantined for 20 minutes.
+        let evs = t.observe(&[row("anl", 1, 0)], SimTime(MIN));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].action, HealthAction::Quarantine);
+        assert_eq!(evs[0].site, "anl");
+        assert!(t.is_quarantined("anl"));
+        assert_eq!(t.quarantined_sites(), ["anl"]);
+        // Still quarantined halfway through; *no* repeat events.
+        assert!(t.observe(&[row("anl", 1, 0)], SimTime(10 * MIN)).is_empty());
+        assert!(t.is_quarantined("anl"));
+        // Deadline passes → probation (eligible again).
+        let evs = t.observe(&[row("anl", 1, 0)], SimTime(22 * MIN));
+        assert_eq!(evs[0].action, HealthAction::Probe);
+        assert!(!t.is_quarantined("anl"));
+        assert_eq!(t.state("anl"), Some(SiteState::Probation));
+        // A completion on probation restores full health.
+        let evs = t.observe(&[row("anl", 1, 1)], SimTime(30 * MIN));
+        assert_eq!(evs[0].action, HealthAction::Recover);
+        assert_eq!(t.state("anl"), Some(SiteState::Healthy));
+    }
+
+    #[test]
+    fn failed_probe_requarantines() {
+        let mut t = SiteHealthTracker::new(HealthPolicy::default());
+        t.observe(&[row("anl", 1, 0)], SimTime(0));
+        t.observe(&[row("anl", 1, 0)], SimTime(21 * MIN)); // probe
+        let evs = t.observe(&[row("anl", 2, 0)], SimTime(25 * MIN));
+        assert_eq!(evs[0].action, HealthAction::Quarantine);
+        assert!(evs[0].reason.contains("probe failed"), "{}", evs[0].reason);
+        assert!(t.is_quarantined("anl"));
+    }
+
+    #[test]
+    fn rate_thresholds_also_quarantine() {
+        let mut t = SiteHealthTracker::new(HealthPolicy::default());
+        let mut bad = row("lsf", 0, 5);
+        bad.success_rate = Some(0.1);
+        let evs = t.observe(&[bad], SimTime(0));
+        assert_eq!(evs[0].action, HealthAction::Quarantine);
+        assert!(evs[0].reason.contains("success rate"), "{}", evs[0].reason);
+
+        let mut t = SiteHealthTracker::new(HealthPolicy::default());
+        let mut bad = row("pbs", 0, 5);
+        bad.commit_timeout_rate = Some(0.8);
+        let evs = t.observe(&[bad], SimTime(0));
+        assert!(
+            evs[0].reason.contains("commit-timeout"),
+            "{}",
+            evs[0].reason
+        );
+        // A healthy sibling observed in the same snapshot is untouched.
+        assert!(t.state("other").is_none());
+    }
+
+    #[test]
+    fn transitions_map_to_trace_kinds() {
+        assert_eq!(HealthAction::Quarantine.kind(), "broker.quarantine");
+        assert_eq!(HealthAction::Probe.kind(), "broker.probe");
+        assert_eq!(HealthAction::Recover.kind(), "broker.recover");
     }
 }

@@ -6,13 +6,15 @@
 //! condor-g-trace run.jsonl --critical-path 3  # one job, with full steps
 //! condor-g-trace run.jsonl --stuck --horizon 30m
 //! condor-g-trace run.jsonl --root-cause
+//! condor-g-trace convert run.jsonl --perfetto-out run.perfetto
 //! ```
 //!
-//! Exit status: 0 on success, 1 on parse errors or an empty causal DAG
+//! Exit status: 0 on success, 1 on parse errors, an empty causal DAG
 //! (a trace with no provenance is useless for forensics, and usually means
-//! the file is not a simulator trace), 2 on usage errors.
+//! the file is not a simulator trace), or a Perfetto self-verification
+//! failure, 2 on usage errors.
 
-use condor_g_trace::{parse, Forensics};
+use condor_g_trace::{parse, perfetto, Forensics};
 use gridsim::time::Duration;
 use std::process::ExitCode;
 
@@ -29,10 +31,69 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: condor-g-trace <trace.jsonl> [--critical-path [JOB]] [--stuck] \
          [--horizon DUR] [--root-cause]\n\
+         \u{20}      condor-g-trace convert <trace.jsonl> --perfetto-out <file>\n\
          DUR accepts 90s / 30m / 2h / 1d (default horizon: 1h).\n\
-         With no report flag, all reports are printed."
+         With no report flag, all reports are printed.\n\
+         `convert` writes a Perfetto TrackEvent trace (open at ui.perfetto.dev)."
     );
     ExitCode::from(2)
+}
+
+/// `convert <trace> --perfetto-out <file>`: encode, self-verify by decoding,
+/// report the track/flow census. Exit 1 if the round-trip check fails.
+fn convert(args: &[String]) -> ExitCode {
+    let (mut path, mut out) = (None, None);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--perfetto-out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return usage(),
+            },
+            p if !p.starts_with('-') && path.is_none() => path = Some(p.to_string()),
+            _ => return usage(),
+        }
+    }
+    let (Some(path), Some(out)) = (path, out) else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("condor-g-trace: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let records = match parse(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("condor-g-trace: {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let (bytes, summary) = perfetto::encode(&records);
+    if let Err(e) = perfetto::verify(&records, &bytes, &summary) {
+        eprintln!("condor-g-trace: {path}: perfetto self-verification failed: {e}");
+        return ExitCode::from(1);
+    }
+    if let Err(e) = std::fs::write(&out, &bytes) {
+        eprintln!("condor-g-trace: {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "{out}: {} bytes, {} packets ({} events, {} phase slices) | tracks: {} jobs, \
+         {} sites, {} components | {} flow edges, {} critical-path events",
+        bytes.len(),
+        summary.packets,
+        summary.instants,
+        summary.slices,
+        summary.job_tracks,
+        summary.site_tracks,
+        summary.component_tracks,
+        summary.flow_edges,
+        summary.critical_instants,
+    );
+    ExitCode::SUCCESS
 }
 
 fn parse_horizon(s: &str) -> Option<Duration> {
@@ -169,6 +230,9 @@ fn print_root_causes(f: &Forensics) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("convert") {
+        return convert(&args[1..]);
+    }
     let Ok(opts) = parse_args(&args) else {
         return usage();
     };

@@ -12,11 +12,17 @@
 //!   attempt timelines, and derives per-job critical paths with blame
 //!   breakdowns, stuck-job reports, and root-cause attribution of
 //!   resubmissions back to injected faults.
+//! * [`perfetto`] — converts a trace into a Perfetto TrackEvent protobuf
+//!   (hand-rolled wire format, no proto dependency): per-job/site/component
+//!   tracks, phase slices, cause→effect flows, and critical-path
+//!   annotations, loadable at ui.perfetto.dev.
 //!
-//! The `condor-g-trace` binary is a thin CLI over these two modules.
+//! The `condor-g-trace` binary is a thin CLI over these modules.
 
 pub mod forensics;
 pub mod parse;
+pub mod perfetto;
 
 pub use forensics::{Attempt, Attribution, CriticalPath, Forensics, JobForensics, StuckJob};
 pub use parse::{parse, parse_line, ParseError, Record};
+pub use perfetto::{decode as perfetto_decode, encode as perfetto_encode, Summary};

@@ -17,6 +17,7 @@
 //! proxy 48h
 //! job grid app.exe 2h x10 stdout=1M   # 10 grid-universe jobs
 //! job pool worker.exe 30m x20 io=300s/64K
+//! adaptive on                         # weather-driven site quarantine
 //! crash site 0 at 1h for 30m          # crash a site's gatekeeper machine
 //! partition at 2h for 20m             # submit machine vs everything
 //! run 24h
@@ -40,6 +41,7 @@ pub struct Scenario {
     mds: bool,
     mds_broker: bool,
     personal_pool: bool,
+    adaptive: bool,
     glideins: Option<(u32, Duration)>,
     proxy: Option<Duration>,
     jobs: Vec<GridJobSpec>,
@@ -126,6 +128,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ScnError> {
             "mds" => scn.mds = words.get(1) == Some(&"on"),
             "broker" => scn.mds_broker = words.get(1) == Some(&"mds"),
             "personal-pool" => scn.personal_pool = words.get(1) == Some(&"on"),
+            "adaptive" => scn.adaptive = words.get(1) == Some(&"on"),
             "glideins" => {
                 let n: u32 = words
                     .get(1)
@@ -228,6 +231,11 @@ pub struct ObsOptions {
     /// Write a metrics snapshot here at end of run (`.json` selects the
     /// JSON format, anything else Prometheus text).
     metrics_out: Option<String>,
+    /// Convert the run's trace to a Perfetto TrackEvent protobuf here
+    /// (open at ui.perfetto.dev).
+    perfetto_out: Option<String>,
+    /// Write the final per-site weather snapshot as JSON here.
+    weather_out: Option<String>,
     /// Enable the kernel profiler and print its summary.
     profile: bool,
 }
@@ -240,6 +248,7 @@ pub fn run_scenario(scn: Scenario, obs: ObsOptions) {
         with_mds: scn.mds,
         mds_broker: scn.mds_broker,
         with_personal_pool: scn.personal_pool,
+        adaptive: scn.adaptive,
         proxy_lifetime: scn.proxy.unwrap_or(Duration::from_hours(24)),
         // The span reconstructor and JSONL exporter both read the trace
         // stream, so scenario runs always collect it.
@@ -392,6 +401,52 @@ pub fn run_scenario(scn: Scenario, obs: ObsOptions) {
             condor_g_suite::gridsim::obs::weather::render(&weather)
         );
     }
+    if let Some(path) = &obs.weather_out {
+        let json = condor_g_suite::gridsim::obs::weather_json(&weather);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("weather snapshot written to {path}");
+    }
+    if let Some(path) = &obs.perfetto_out {
+        // The in-memory trace holds the same records the JSONL exporter
+        // streams; mirror them into the offline form and encode.
+        let records: Vec<condor_g_trace::Record> = tb
+            .world
+            .trace()
+            .events()
+            .iter()
+            .map(|e| condor_g_trace::Record {
+                time: e.time,
+                node: u64::from(e.addr.node.0),
+                comp: u64::from(e.addr.comp.0),
+                kind: e.kind.to_string(),
+                detail: e.detail.clone(),
+                id: e.id,
+                cause: e.cause,
+            })
+            .collect();
+        let (bytes, summary) = condor_g_trace::perfetto::encode(&records);
+        if let Err(e) = condor_g_trace::perfetto::verify(&records, &bytes, &summary) {
+            eprintln!("perfetto self-verification failed: {e}");
+            std::process::exit(2);
+        }
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "perfetto trace written to {path}: {} packets | tracks: {} jobs, {} sites, \
+             {} components | {} flow edges, {} critical-path events",
+            summary.packets,
+            summary.job_tracks,
+            summary.site_tracks,
+            summary.component_tracks,
+            summary.flow_edges,
+            summary.critical_instants,
+        );
+    }
     if let Some(path) = &obs.metrics_out {
         let now = tb.world.now();
         let snapshot = if path.ends_with(".json") {
@@ -413,7 +468,7 @@ pub fn run_scenario(scn: Scenario, obs: ObsOptions) {
 fn usage() -> ! {
     eprintln!(
         "usage: condor-g-sim [--trace-out <file.jsonl>] [--metrics-out <file.prom|file.json>] \
-         [--profile] <scenario-file>"
+         [--perfetto-out <file.pb>] [--weather-out <file.json>] [--profile] <scenario-file>"
     );
     std::process::exit(2);
 }
@@ -426,6 +481,8 @@ fn main() {
         match arg.as_str() {
             "--trace-out" => obs.trace_out = Some(argv.next().unwrap_or_else(|| usage())),
             "--metrics-out" => obs.metrics_out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--perfetto-out" => obs.perfetto_out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--weather-out" => obs.weather_out = Some(argv.next().unwrap_or_else(|| usage())),
             "--profile" => obs.profile = true,
             _ if arg.starts_with("--") => usage(),
             _ if path.is_none() => path = Some(arg),
@@ -474,6 +531,7 @@ mod tests {
              personal-pool on\n\
              glideins 16 12h\n\
              proxy 48h\n\
+             adaptive on\n\
              job grid app.exe 2h x10 stdout=1M\n\
              job pool worker.exe 30m x20 io=300s/64K\n\
              crash site 0 at 1h for 30m\n\
@@ -483,7 +541,7 @@ mod tests {
         .unwrap();
         assert_eq!(scn.seed, 7);
         assert_eq!(scn.sites.len(), 2);
-        assert!(scn.mds && scn.mds_broker && scn.personal_pool);
+        assert!(scn.mds && scn.mds_broker && scn.personal_pool && scn.adaptive);
         assert_eq!(scn.glideins, Some((16, Duration::from_hours(12))));
         assert_eq!(scn.jobs.len(), 30);
         assert_eq!(scn.jobs[0].stdout_size, 1_000_000);

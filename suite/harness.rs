@@ -7,11 +7,12 @@ use condor_g::glidein::GlideinSite;
 use condor_g::gridmanager::GmConfig;
 use condor_g::scheduler::SchedulerConfig;
 use condor_g::{
-    Broker, GatekeeperInfo, GlideinFactory, Mailer, MdsBroker, Scheduler, StaticListBroker,
-    UserCmd, UserEvent,
+    AdaptiveBroker, Broker, GatekeeperInfo, GlideinFactory, Mailer, MdsBroker, Scheduler,
+    StaticListBroker, UserCmd, UserEvent,
 };
 use gass::GassServer;
 use gram::Gatekeeper;
+use gridsim::obs::{HealthPolicy, SiteHealthTracker};
 use gridsim::prelude::*;
 use gridsim::rng::Dist;
 use gridsim::world::BootCtx;
@@ -176,6 +177,10 @@ pub struct TestbedConfig {
     pub gm: GmConfig,
     /// Use the MDS matchmaking broker instead of the static list.
     pub mds_broker: bool,
+    /// Weather-driven adaptive brokering: wrap the broker in an
+    /// [`AdaptiveBroker`], feed it grid weather each GridManager tick, and
+    /// (with a personal pool) run the negotiator with weather annotation.
+    pub adaptive: bool,
     /// Stop the whole simulation at this virtual time (safety net).
     pub max_time: Option<Duration>,
 }
@@ -192,6 +197,7 @@ impl Default for TestbedConfig {
             proxy_lifetime: Duration::from_hours(24),
             gm: GmConfig::default(),
             mds_broker: false,
+            adaptive: false,
             max_time: None,
         }
     }
@@ -379,11 +385,11 @@ pub fn build(config: TestbedConfig) -> Testbed {
     // "the originating location or a local checkpoint server").
     let (collector, pool_schedd, ckpt_server) = if config.with_personal_pool {
         let collector = world.add_component(submit, "collector", Collector::new());
-        world.add_component(
-            submit,
-            "negotiator",
-            Negotiator::new(collector, Duration::from_mins(1)),
-        );
+        let mut negotiator = Negotiator::new(collector, Duration::from_mins(1));
+        if config.adaptive {
+            negotiator = negotiator.with_weather(HealthPolicy::default());
+        }
+        world.add_component(submit, "negotiator", negotiator);
         let schedd = world.add_component(
             submit,
             "schedd",
@@ -402,7 +408,7 @@ pub fn build(config: TestbedConfig) -> Testbed {
     if config.mds_broker {
         gm.giis = giis;
     }
-    let broker: Box<dyn Broker> = if config.mds_broker {
+    let mut broker: Box<dyn Broker> = if config.mds_broker {
         Box::new(MdsBroker::new(Duration::from_mins(30)))
     } else {
         Box::new(StaticListBroker::new(
@@ -416,6 +422,13 @@ pub fn build(config: TestbedConfig) -> Testbed {
                 .collect(),
         ))
     };
+    if config.adaptive {
+        gm.adaptive = true;
+        broker = Box::new(AdaptiveBroker::new(
+            broker,
+            SiteHealthTracker::new(HealthPolicy::default()),
+        ));
+    }
     let sched_config = SchedulerConfig {
         user: "jane".into(),
         credential: proxy.clone(),
