@@ -11,6 +11,12 @@
 //!   bench_baseline --record after    run + update "after" fields
 //!   bench_baseline --check           run + fail if any metric regressed >25%
 //!                                    against the committed "after" numbers
+//!   bench_baseline --full            include the 1M-job campaign (minutes);
+//!                                    --record always measures it
+//!
+//! The campaign metrics spawn the sibling `condor-g-campaign` binary per
+//! measurement so peak RSS is the campaign's own; build it first (the
+//! `scripts/bench_baseline` wrapper does).
 //!
 //! `--file <path>` overrides the default `BENCH_kernel.json` location.
 
@@ -224,6 +230,121 @@ fn run_batch_profiled(jobs: u64, profile: bool) -> u64 {
 }
 
 // ---------------------------------------------------------------------------
+// Campaign workloads (child process per measurement, so peak RSS is the
+// campaign's own high-water mark, not this harness's)
+// ---------------------------------------------------------------------------
+
+/// The sibling `condor-g-campaign` binary (same target directory).
+fn campaign_bin() -> std::path::PathBuf {
+    std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("bin dir")
+        .join("condor-g-campaign")
+}
+
+/// Run the campaign binary and parse its final `RESULT k=v ...` line.
+fn run_campaign_child(args: &[&str]) -> Option<BTreeMap<String, f64>> {
+    let bin = campaign_bin();
+    if !bin.exists() {
+        eprintln!(
+            "bench_baseline: {} not built, skipping campaign metrics \
+             (scripts/bench_baseline builds it)",
+            bin.display()
+        );
+        return None;
+    }
+    let out = std::process::Command::new(&bin)
+        .arg("--quiet")
+        .args(args)
+        .output()
+        .expect("spawn condor-g-campaign");
+    assert!(out.status.success(), "campaign run failed: {args:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let result = stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with("RESULT "))
+        .expect("no RESULT line");
+    let mut fields = BTreeMap::new();
+    for kv in result.trim_start_matches("RESULT ").split_whitespace() {
+        if let Some((k, v)) = kv.split_once('=') {
+            if let Ok(v) = v.parse::<f64>() {
+                fields.insert(k.to_string(), v);
+            }
+        }
+    }
+    Some(fields)
+}
+
+/// Throughput + memory for one campaign size, as check-friendly metrics
+/// (both higher-is-better, matching the regression floor's direction —
+/// jobs per GB of peak RSS *falls* when memory bloats).
+fn campaign_metrics(label: &str, jobs: u64, sites: u32, users: u32, out: &mut Vec<Metric>) {
+    eprintln!("bench_baseline: campaign {label} ({jobs} jobs)...");
+    let Some(f) = run_campaign_child(&[
+        "--jobs",
+        &jobs.to_string(),
+        "--sites",
+        &sites.to_string(),
+        "--users",
+        &users.to_string(),
+    ]) else {
+        return;
+    };
+    assert_eq!(
+        f.get("done").copied().unwrap_or(0.0) + f.get("failed").copied().unwrap_or(0.0),
+        jobs as f64,
+        "campaign {label} did not settle every job"
+    );
+    let name: &'static str = match label {
+        "100k" => "campaign_100k_jobs_per_sec",
+        _ => "campaign_1m_jobs_per_sec",
+    };
+    out.push(Metric {
+        name,
+        unit: "jobs/s",
+        value: f.get("jobs_per_sec").copied().unwrap_or(0.0),
+    });
+    let rss_kb = f.get("peak_rss_kb").copied().unwrap_or(f64::INFINITY);
+    out.push(Metric {
+        name: match label {
+            "100k" => "campaign_100k_jobs_per_gb_rss",
+            _ => "campaign_1m_jobs_per_gb_rss",
+        },
+        unit: "jobs/GB",
+        value: jobs as f64 / (rss_kb / 1_000_000.0),
+    });
+}
+
+/// The 8-cell sweep farm: honest speedup on whatever cores this host has
+/// (a 1-core container reports ~1x; the per-cell digests still must match
+/// a serial run, which tests/campaign.rs asserts).
+fn sweep_metric(out: &mut Vec<Metric>) {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("bench_baseline: sweep farm (8 cells, {threads} threads)...");
+    let Some(f) = run_campaign_child(&[
+        "--sweep",
+        "8",
+        "--threads",
+        &threads.to_string(),
+        "--jobs",
+        "2000",
+        "--sites",
+        "10",
+        "--users",
+        "50",
+    ]) else {
+        return;
+    };
+    out.push(Metric {
+        name: "sweep_8cell_speedup_x",
+        unit: "x (serial-equivalent / wall)",
+        value: f.get("speedup").copied().unwrap_or(0.0),
+    });
+}
+
+// ---------------------------------------------------------------------------
 // Measurement
 // ---------------------------------------------------------------------------
 
@@ -244,7 +365,7 @@ fn measure(runs: u32, units: u64, work: impl Fn() -> u64) -> f64 {
     units as f64 / best
 }
 
-fn run_all() -> Vec<Metric> {
+fn run_all(full: bool) -> Vec<Metric> {
     let mut out = Vec::new();
     eprintln!("bench_baseline: sim_kernel timers...");
     out.push(Metric {
@@ -276,6 +397,14 @@ fn run_all() -> Vec<Metric> {
         unit: "jobs/s",
         value: measure(1, 10_000, || run_batch(10_000)),
     });
+    campaign_metrics("100k", 100_000, 50, 500, &mut out);
+    sweep_metric(&mut out);
+    if full {
+        // The million-job campaign takes a couple of minutes; measured for
+        // --record (and --full) so BENCH_kernel.json carries the number,
+        // skipped on routine --check runs.
+        campaign_metrics("1m", 1_000_000, 200, 2_000, &mut out);
+    }
     out
 }
 
@@ -352,6 +481,7 @@ fn main() {
     let mut mode = "run".to_string();
     let mut record_label = String::new();
     let mut path = "BENCH_kernel.json".to_string();
+    let mut full = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -362,6 +492,7 @@ fn main() {
             }
             "--check" => mode = "check".into(),
             "--profile" => mode = "profile".into(),
+            "--full" => full = true,
             "--file" => {
                 path = args.get(i + 1).cloned().unwrap_or(path);
                 i += 1;
@@ -386,7 +517,9 @@ fn main() {
         return;
     }
 
-    let results = run_all();
+    // --record runs everything so BENCH_kernel.json carries the 1M-job
+    // campaign numbers; routine runs and --check stay under CI budgets.
+    let results = run_all(full || mode == "record");
     println!("{:<36} {:>16}  unit", "metric", "value");
     for m in &results {
         println!("{:<36} {:>16.0}  {}", m.name, m.value, m.unit);

@@ -28,7 +28,7 @@ use gridsim::AnyMsg;
 use gsi::{MyProxyReply, MyProxyRequest, ProxyCredential};
 use mds::{attr_to_addr, GripQuery, GripReply};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// MyProxy auto-refresh settings (§4.3's proposed enhancement).
@@ -83,6 +83,10 @@ pub struct GmConfig {
     /// default: routing decisions stay byte-identical to the non-adaptive
     /// baseline unless a run opts in.
     pub adaptive: bool,
+    /// Campaign (lean) mode: delete a terminal job's persistent record
+    /// outright instead of leaving a tombstone, so the store footprint also
+    /// tracks live jobs. Trades away recover-after-finish detection.
+    pub lean: bool,
 }
 
 impl Default for GmConfig {
@@ -102,6 +106,7 @@ impl Default for GmConfig {
             migrate_pending_after: None,
             recovery: true,
             adaptive: false,
+            lean: false,
         }
     }
 }
@@ -226,12 +231,23 @@ pub struct GridManager {
     gass: Addr,
     broker: Option<Box<dyn Broker>>,
     jobs: BTreeMap<GridJobId, GmJob>,
+    /// Secondary indexes over `jobs` — protocol replies arrive keyed by
+    /// submit sequence number or job contact, and a campaign-sized queue
+    /// cannot afford a linear scan per reply.
+    by_seq: HashMap<u64, GridJobId>,
+    by_contact: HashMap<JobContact, GridJobId>,
+    /// Jobs that reached a terminal state and were evicted from `jobs`
+    /// (their persisted record shrinks to a tombstone). Keeps the hot map
+    /// proportional to *live* jobs, not campaign size.
+    retired: u64,
     next_seq: u64,
     held: bool,
     warned: bool,
     myproxy_req: u64,
     last_mds_poll: Option<SimTime>,
     mds_req: u64,
+    /// Correlation ids for lean-mode GASS cache cleanup requests.
+    gass_req: u64,
     recovering: bool,
 }
 
@@ -253,12 +269,16 @@ impl GridManager {
             gass,
             broker: Some(broker),
             jobs: BTreeMap::new(),
+            by_seq: HashMap::new(),
+            by_contact: HashMap::new(),
+            retired: 0,
             next_seq: 0,
             held: false,
             warned: false,
             myproxy_req: 0,
             last_mds_poll: None,
             mds_req: 0,
+            gass_req: 0,
             recovering,
         }
     }
@@ -273,20 +293,79 @@ impl GridManager {
 
     fn persist_job(&self, ctx: &mut Ctx<'_>, job: GridJobId) {
         let Some(j) = self.jobs.get(&job) else { return };
-        let disk = GmJobDisk {
-            spec: j.spec.clone(),
-            attempts: j.attempts,
-            seq: j.seq,
-            site: j.site.clone(),
-            gatekeeper: j.gatekeeper,
-            contact: j.contact.map(|c| c.0),
-            stdout_path: j.stdout_path.clone(),
-            excluded: j.excluded.clone(),
-            terminal: matches!(j.phase, Phase::Terminal),
+        let terminal = matches!(j.phase, Phase::Terminal);
+        // Terminal records shrink to a tombstone: recovery only reads the
+        // `terminal` flag for finished jobs (the spec is re-supplied by the
+        // scheduler's Recover command), so the strings need not survive.
+        let disk = if terminal {
+            GmJobDisk {
+                spec: GridJobSpec::grid("", "", Duration::from_secs(0)),
+                attempts: j.attempts,
+                seq: None,
+                site: None,
+                gatekeeper: None,
+                contact: None,
+                stdout_path: String::new(),
+                excluded: Vec::new(),
+                terminal: true,
+            }
+        } else {
+            GmJobDisk {
+                spec: j.spec.clone(),
+                attempts: j.attempts,
+                seq: j.seq,
+                site: j.site.clone(),
+                gatekeeper: j.gatekeeper,
+                contact: j.contact.map(|c| c.0),
+                stdout_path: j.stdout_path.clone(),
+                excluded: j.excluded.clone(),
+                terminal: false,
+            }
         };
         let key = self.job_key(job);
         let node = ctx.node();
         ctx.store().put(node, &key, &disk);
+    }
+
+    /// Evict a terminal job from the hot map (its tombstone is already on
+    /// disk). Must run *after* the final `report`, which needs the record.
+    fn retire(&mut self, ctx: &mut Ctx<'_>, job: GridJobId) {
+        let Some(j) = self.jobs.get(&job) else { return };
+        if !matches!(j.phase, Phase::Terminal) {
+            return;
+        }
+        if let Some(seq) = j.seq {
+            self.by_seq.remove(&seq);
+        }
+        if let Some(contact) = j.contact {
+            self.by_contact.remove(&contact);
+        }
+        let staged_out =
+            (j.spec.stdout_size > 0 && !j.stdout_path.is_empty()).then(|| j.stdout_path.clone());
+        self.jobs.remove(&job);
+        self.retired += 1;
+        if self.config.lean {
+            // Campaign mode: no tombstone either.
+            let key = self.job_key(job);
+            let node = ctx.node();
+            ctx.store().remove(node, &key);
+            // Collect-and-discard the staged output: the user agent has
+            // seen the terminal status, so the GASS cache entry is dead
+            // weight (a million-job campaign would otherwise keep a
+            // million stdout files). Fire-and-forget — deletion is
+            // idempotent and losing one costs only memory.
+            if let Some(path) = staged_out {
+                self.gass_req += 1;
+                ctx.send(
+                    self.gass,
+                    gass::GassRequest::Delete {
+                        request_id: self.gass_req,
+                        credential: self.credential.clone(),
+                        path,
+                    },
+                );
+            }
+        }
     }
 
     fn persist_seq(&self, ctx: &mut Ctx<'_>) {
@@ -372,6 +451,7 @@ impl GridManager {
             format!("job={} seq={seq} phase=submit site={}", job.0, target.site)
         });
         ctx.send(target.addr, session.request());
+        self.by_seq.insert(seq, job);
         let j = self.jobs.get_mut(&job).expect("job exists");
         j.seq = Some(seq);
         j.site = Some(target.site);
@@ -432,32 +512,38 @@ impl GridManager {
             }
         }
         j.gatekeeper = None;
-        j.contact = None;
-        j.seq = None;
+        let (old_seq, old_contact) = (j.seq.take(), j.contact.take());
         if j.attempts > max_retries {
             j.phase = Phase::Terminal;
             let reason = format!("{why} (after {} attempts)", j.attempts);
+            self.unindex(old_seq, old_contact);
             self.persist_job(ctx, job);
             self.report(ctx, job, JobStatus::Failed(reason));
+            self.retire(ctx, job);
         } else {
             j.phase = Phase::NeedSite;
+            self.unindex(old_seq, old_contact);
             self.persist_job(ctx, job);
             self.begin_submit(ctx, job);
         }
     }
 
     fn job_by_seq(&mut self, seq: u64) -> Option<GridJobId> {
-        self.jobs
-            .iter()
-            .find(|(_, j)| j.seq == Some(seq))
-            .map(|(id, _)| *id)
+        self.by_seq.get(&seq).copied()
     }
 
     fn job_by_contact(&mut self, contact: JobContact) -> Option<GridJobId> {
-        self.jobs
-            .iter()
-            .find(|(_, j)| j.contact == Some(contact))
-            .map(|(id, _)| *id)
+        self.by_contact.get(&contact).copied()
+    }
+
+    /// Drop a job's seq/contact index entries (site abandoned or job moved).
+    fn unindex(&mut self, seq: Option<u64>, contact: Option<JobContact>) {
+        if let Some(seq) = seq {
+            self.by_seq.remove(&seq);
+        }
+        if let Some(contact) = contact {
+            self.by_contact.remove(&contact);
+        }
     }
 
     /// Bytes of this job's stdout already present on the local GASS server
@@ -721,12 +807,9 @@ impl GridManager {
     }
 
     fn maybe_exit(&mut self, ctx: &mut Ctx<'_>) {
-        if self.jobs.is_empty()
-            || !self
-                .jobs
-                .values()
-                .all(|j| matches!(j.phase, Phase::Terminal))
-        {
+        // Terminal jobs are evicted from `jobs` as they finish, so "all
+        // jobs terminal" becomes "no live jobs left, and we had some".
+        if self.retired == 0 || !self.jobs.is_empty() {
             return;
         }
         if let Some(broker) = self.broker.take() {
@@ -825,6 +908,12 @@ impl Component for GridManager {
                         migrating: false,
                     };
                     if let Some(d) = disk {
+                        if d.terminal {
+                            // Already finished in a previous life: count it
+                            // toward exit without resurrecting the record.
+                            self.retired += 1;
+                            return;
+                        }
                         rec.attempts = d.attempts;
                         rec.seq = d.seq;
                         rec.site = d.site;
@@ -832,15 +921,18 @@ impl Component for GridManager {
                         rec.contact = d.contact.map(JobContact);
                         rec.stdout_path = d.stdout_path;
                         rec.excluded = d.excluded;
-                        if d.terminal {
-                            rec.phase = Phase::Terminal;
-                        }
                     }
                     // Re-establish contact: if we know the job's contact,
                     // ping the gatekeeper and restart its JobManager; else
                     // the submission never stuck, so submit afresh.
+                    if let Some(seq) = rec.seq {
+                        self.by_seq.insert(seq, *job);
+                    }
+                    if let Some(contact) = rec.contact {
+                        self.by_contact.insert(contact, *job);
+                    }
                     match (rec.contact, rec.gatekeeper) {
-                        (Some(_), Some(gk)) if !matches!(rec.phase, Phase::Terminal) => {
+                        (Some(_), Some(gk)) => {
                             ctx.metrics().incr("gm.job_recoveries", 1);
                             ctx.send(gk, GramRequest::Ping { nonce: job.0 });
                             rec.phase = Phase::PingingGk {
@@ -849,11 +941,8 @@ impl Component for GridManager {
                             self.jobs.insert(*job, rec);
                         }
                         _ => {
-                            let terminal = matches!(rec.phase, Phase::Terminal);
                             self.jobs.insert(*job, rec);
-                            if !terminal {
-                                self.begin_submit(ctx, *job);
-                            }
+                            self.begin_submit(ctx, *job);
                         }
                     }
                 }
@@ -870,6 +959,7 @@ impl Component for GridManager {
                             j.phase = Phase::Terminal;
                             self.persist_job(ctx, *job);
                             self.report(ctx, *job, JobStatus::Removed);
+                            self.retire(ctx, *job);
                         }
                     }
                 }
@@ -925,6 +1015,14 @@ impl Component for GridManager {
                             pending_since: Some(ctx.now()),
                         };
                         self.persist_job(ctx, job);
+                    }
+                    // Either branch may have learned the contact just now.
+                    if self
+                        .jobs
+                        .get(&job)
+                        .is_some_and(|j| j.contact == Some(*contact))
+                    {
+                        self.by_contact.insert(*contact, job);
                     }
                 }
                 GramReply::SubmitFailed { seq, error } => {
@@ -1053,6 +1151,7 @@ impl Component for GridManager {
                             self.persist_job(ctx, job);
                             ctx.metrics().incr("gm.jobs_done", 1);
                             self.report(ctx, job, JobStatus::Done);
+                            self.retire(ctx, job);
                         }
                         GramJobState::Done | GramJobState::Failed => {
                             if let Phase::Live { jm, .. } = j.phase {
@@ -1072,9 +1171,9 @@ impl Component for GridManager {
                                 }
                             }
                             j.gatekeeper = None;
-                            j.contact = None;
-                            j.seq = None;
+                            let (old_seq, old_contact) = (j.seq.take(), j.contact.take());
                             j.phase = Phase::NeedSite;
+                            self.unindex(old_seq, old_contact);
                             self.persist_job(ctx, job);
                             self.begin_submit(ctx, job);
                         }
@@ -1085,6 +1184,7 @@ impl Component for GridManager {
                             j.phase = Phase::Terminal;
                             self.persist_job(ctx, job);
                             self.report(ctx, job, JobStatus::Removed);
+                            self.retire(ctx, job);
                         }
                         state => {
                             if !self.held {
@@ -1140,6 +1240,7 @@ impl Component for GridManager {
                             self.persist_job(ctx, job);
                             ctx.metrics().incr("gm.jobs_done", 1);
                             self.report(ctx, job, JobStatus::Done);
+                            self.retire(ctx, job);
                         }
                         GramJobState::Failed => {
                             if let Phase::Live { jm, .. } = j.phase {
@@ -1154,6 +1255,7 @@ impl Component for GridManager {
                             j.phase = Phase::Terminal;
                             self.persist_job(ctx, job);
                             self.report(ctx, job, JobStatus::Removed);
+                            self.retire(ctx, job);
                         }
                         _ => {}
                     }

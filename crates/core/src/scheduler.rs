@@ -37,6 +37,33 @@ pub struct SchedulerConfig {
     pub gm: GmConfig,
     /// Send an e-mail on every terminal job state.
     pub email_on_termination: bool,
+    /// Campaign (lean) mode: terminal jobs retire out of the queue into an
+    /// append-only completed log and their persistent records are
+    /// reclaimed, so memory tracks *live* jobs rather than total submitted.
+    /// Trades away `Query`/`GetLog` history for finished jobs.
+    pub lean: bool,
+}
+
+/// One entry of the lean-mode completed log: fixed-size, no strings.
+#[derive(Clone, Copy, Debug)]
+pub struct CompletedJob {
+    /// The job.
+    pub job: GridJobId,
+    /// When it reached its terminal state.
+    pub at: SimTime,
+    /// The terminal state it reached.
+    pub outcome: Outcome,
+}
+
+/// Terminal outcome classes (compact form of [`JobStatus`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Exited cleanly.
+    Done,
+    /// Failed for good.
+    Failed,
+    /// Cancelled.
+    Removed,
 }
 
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -56,6 +83,9 @@ pub struct Scheduler {
     pool_map: BTreeMap<u64, GridJobId>,
     next_id: u64,
     log: Vec<(SimTime, GridJobId, String)>,
+    /// Lean mode: terminal jobs move here (24 bytes each, append-only)
+    /// instead of lingering in `jobs` with their spec strings.
+    completed: Vec<CompletedJob>,
     gridmanager: Option<Addr>,
     /// True when this instance was rebuilt from stable storage.
     recovered: bool,
@@ -71,6 +101,7 @@ impl Scheduler {
             pool_map: BTreeMap::new(),
             next_id: 0,
             log: Vec::new(),
+            completed: Vec::new(),
             gridmanager: None,
             recovered: false,
         }
@@ -155,6 +186,16 @@ impl Scheduler {
 
     fn log_event(&mut self, ctx: &mut Ctx<'_>, job: GridJobId, message: String) {
         ctx.trace("condor_g.log", format!("{job}: {message}"));
+        if self.config.lean {
+            // Campaign mode: the durable user log is the trace stream; keep
+            // only a bounded recent window in memory for GetLog, and skip
+            // the per-event chunk rewrite entirely.
+            self.log.push((ctx.now(), job, message));
+            if self.log.len() >= 2 * Self::LOG_CHUNK {
+                self.log.drain(..Self::LOG_CHUNK);
+            }
+            return;
+        }
         self.log.push((ctx.now(), job, message));
         // Rewrite only the current (last, partial) chunk.
         let chunk_idx = (self.log.len() - 1) / Self::LOG_CHUNK;
@@ -306,7 +347,43 @@ impl Scheduler {
                 },
                 1,
             );
+            if self.config.lean {
+                self.retire(ctx, job, &status);
+            }
         }
+    }
+
+    /// Lean mode: move a terminal job out of the queue into the compact
+    /// completed log and reclaim its persistent record.
+    fn retire(&mut self, ctx: &mut Ctx<'_>, job: GridJobId, status: &JobStatus) {
+        if self.jobs.remove(&job).is_none() {
+            return;
+        }
+        let outcome = match status {
+            JobStatus::Done => Outcome::Done,
+            JobStatus::Removed => Outcome::Removed,
+            _ => Outcome::Failed,
+        };
+        self.completed.push(CompletedJob {
+            job,
+            at: ctx.now(),
+            outcome,
+        });
+        let key = format!("{}{:012}", self.job_key_prefix(), job.0);
+        let node = ctx.node();
+        ctx.store().remove(node, &key);
+        // Pool-universe correlation entries die with the job too.
+        if let Some((pool_id, _)) = self.pool_map.iter().find(|(_, g)| **g == job) {
+            let pool_id = *pool_id;
+            self.pool_map.remove(&pool_id);
+            let pk = format!("condor_g/{}/pm/{pool_id}", self.config.user);
+            ctx.store().remove(node, &pk);
+        }
+    }
+
+    /// The lean-mode completed log (empty unless `lean`).
+    pub fn completed_log(&self) -> &[CompletedJob] {
+        &self.completed
     }
 }
 

@@ -95,6 +95,18 @@ pub enum GassRequest {
         /// Path on the server.
         path: String,
     },
+    /// Delete a file (cache cleanup: the submit agent reclaims staged
+    /// output it has finished with, like `globus-gass-cache -cleanup`).
+    /// Deleting a missing file is acknowledged too — cleanup is
+    /// idempotent, so a retransmitted delete is harmless.
+    Delete {
+        /// Correlation id.
+        request_id: u64,
+        /// Requester credential.
+        credential: ProxyCredential,
+        /// Path on the server.
+        path: String,
+    },
 }
 
 impl GassRequest {
@@ -105,7 +117,8 @@ impl GassRequest {
             | GassRequest::Put { request_id, .. }
             | GassRequest::Append { request_id, .. }
             | GassRequest::WriteAt { request_id, .. }
-            | GassRequest::Stat { request_id, .. } => *request_id,
+            | GassRequest::Stat { request_id, .. }
+            | GassRequest::Delete { request_id, .. } => *request_id,
         }
     }
 }

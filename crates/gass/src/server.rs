@@ -142,7 +142,8 @@ impl Component for GassServer {
                 | GassRequest::Put { credential, .. }
                 | GassRequest::Append { credential, .. }
                 | GassRequest::WriteAt { credential, .. }
-                | GassRequest::Stat { credential, .. } => credential,
+                | GassRequest::Stat { credential, .. }
+                | GassRequest::Delete { credential, .. } => credential,
             };
             if let Err(e) = credential.verify(now, &self.trust) {
                 ctx.metrics().incr("gass.auth_failures", 1);
@@ -277,6 +278,25 @@ impl Component for GassServer {
                     },
                 ),
             },
+            GassRequest::Delete {
+                request_id, path, ..
+            } => {
+                // Reclaim memory and "disk" alike; acknowledge even when
+                // the file is already gone (idempotent cleanup).
+                self.files.delete(&path);
+                let node = ctx.node();
+                ctx.store().remove(node, &file_key(&path));
+                ctx.store().remove(node, &size_key(&path));
+                ctx.metrics().incr("gass.deletes", 1);
+                ctx.trace_with("gass.delete", || path.clone());
+                ctx.send(
+                    from,
+                    GassReply::Ok {
+                        request_id,
+                        new_size: 0,
+                    },
+                );
+            }
         }
     }
 }

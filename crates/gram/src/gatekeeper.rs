@@ -8,7 +8,7 @@
 //! machine or network down" (§4.2).
 
 use crate::jobmanager::{JmLog, JobManager};
-use crate::proto::{GramError, GramReply, GramRequest, JobContact};
+use crate::proto::{GramError, GramReply, GramRequest, JmMsg, JobContact};
 use gridsim::prelude::*;
 use gridsim::AnyMsg;
 use gsi::{Capability, GridMap, PublicKey, TrustRoot};
@@ -38,6 +38,13 @@ pub struct Gatekeeper {
     /// Site-scoped grid-weather counters, precomputed once.
     metric_submits: String,
     metric_rejected: String,
+    /// Lean (campaign) mode: JobManagers notify us on exit and we reclaim
+    /// every per-job record, keeping gatekeeper memory bounded by the
+    /// *in-flight* job count rather than the lifetime total.
+    lean: bool,
+    /// Reverse dedup index, maintained only in lean mode so `Exited` can
+    /// drop the `(DN, seq)` entry in O(1).
+    dedup_rev: HashMap<JobContact, (String, u64)>,
 }
 
 impl Gatekeeper {
@@ -57,12 +64,26 @@ impl Gatekeeper {
             next_contact: (gsi::keys::digest(site.as_bytes()) & 0xFFFF_FFFF) << 32,
             metric_submits: format!("site.{site}.submits"),
             metric_rejected: format!("site.{site}.rejected"),
+            lean: false,
+            dedup_rev: HashMap::new(),
         }
     }
 
     /// Disable two-phase commit and dedup (the pre-revision GRAM baseline).
     pub fn one_phase(mut self) -> Gatekeeper {
         self.two_phase = false;
+        self
+    }
+
+    /// Lean (campaign) mode: reclaim all per-job state — dedup entry,
+    /// JobManager registration, persisted JobManager log and dedup record —
+    /// once the client acknowledges a job's terminal callback. Exactly-once
+    /// still holds for every live job; a done-acked job can only be
+    /// "resubmitted" by a client that lost its own stable store, which the
+    /// Condor-G scheduler never does (it persists the terminal state
+    /// *before* acking). Off by default: audit-trail runs keep every record.
+    pub fn lean(mut self) -> Gatekeeper {
+        self.lean = true;
         self
     }
 
@@ -98,6 +119,10 @@ impl Gatekeeper {
         for key in store.keys_with_prefix(node, &self.dedup_prefix()) {
             let (dn, seq, contact): DedupRecord =
                 store.get(node, &key).expect("listed key present");
+            if self.lean {
+                self.dedup_rev
+                    .insert(JobContact(contact), (dn.clone(), seq));
+            }
             self.dedup.insert((dn, seq), JobContact(contact));
         }
         if let Some(next) = store.get::<u64>(node, &self.contact_key()) {
@@ -129,14 +154,38 @@ impl Gatekeeper {
     }
 
     fn spawn_jobmanager(&mut self, ctx: &mut Ctx<'_>, contact: JobContact, jm: JobManager) -> Addr {
+        let jm = if self.lean {
+            jm.with_exit_notify(ctx.self_addr())
+        } else {
+            jm
+        };
         let addr = ctx.spawn(ctx.node(), &format!("jm-{contact}"), jm);
         self.jobmanagers.insert(contact, addr);
         addr
+    }
+
+    /// Lean-mode reclamation on a JobManager's exit notice: every per-job
+    /// record this site holds goes away.
+    fn reclaim(&mut self, ctx: &mut Ctx<'_>, contact: JobContact) {
+        self.jobmanagers.remove(&contact);
+        let node = ctx.node();
+        ctx.store().remove(node, &JmLog::key(contact));
+        if let Some(key) = self.dedup_rev.remove(&contact) {
+            self.dedup.remove(&key);
+        }
+        let dedup_key = format!("{}{:016x}", self.dedup_prefix(), contact.0);
+        ctx.store().remove(node, &dedup_key);
     }
 }
 
 impl Component for Gatekeeper {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Addr, msg: AnyMsg) {
+        if let Some(JmMsg::Exited { contact }) = msg.downcast_ref::<JmMsg>() {
+            if self.lean {
+                self.reclaim(ctx, *contact);
+            }
+            return;
+        }
         let Ok(req) = msg.downcast::<GramRequest>() else {
             return;
         };
@@ -257,6 +306,9 @@ impl Component for Gatekeeper {
                 let jm_addr = self.spawn_jobmanager(ctx, contact, jm);
                 if self.two_phase {
                     self.persist_entry(ctx, &dn, seq, contact);
+                    if self.lean {
+                        self.dedup_rev.insert(contact, (dn.clone(), seq));
+                    }
                     self.dedup.insert((dn, seq), contact);
                 }
                 ctx.send(

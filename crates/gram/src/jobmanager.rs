@@ -79,6 +79,9 @@ pub struct JobManager {
     /// gatekeeper's site name.
     metric_commits: String,
     metric_commit_timeouts: String,
+    /// Lean (campaign) mode: tell this gatekeeper we are exiting after the
+    /// client's done-ack so it can reclaim the job's records.
+    notify_exit: Option<Addr>,
 }
 
 /// Retry timer tags.
@@ -129,7 +132,15 @@ impl JobManager {
             committed: false,
             metric_commits: format!("site.{site}.commits"),
             metric_commit_timeouts: format!("site.{site}.commit_timeouts"),
+            notify_exit: None,
         }
+    }
+
+    /// Builder: lean mode — notify `gatekeeper` on exit so it reclaims the
+    /// job's per-site records.
+    pub fn with_exit_notify(mut self, gatekeeper: Addr) -> JobManager {
+        self.notify_exit = Some(gatekeeper);
+        self
     }
 
     /// A JobManager reattaching to an existing job from its log.
@@ -164,6 +175,7 @@ impl JobManager {
             committed: true,
             metric_commits: format!("site.{site}.commits"),
             metric_commit_timeouts: format!("site.{site}.commit_timeouts"),
+            notify_exit: None,
         }
     }
 
@@ -465,9 +477,26 @@ impl Component for JobManager {
                     self.credential = credential.clone();
                 }
                 JmMsg::DoneAck => {
-                    ctx.kill(ctx.self_addr());
+                    // Lean mode: the gatekeeper reclaims this job's records
+                    // (same-node message, so it never traverses the WAN
+                    // model). Safe because the client persisted the
+                    // terminal outcome before acking.
+                    if let Some(gk) = self.notify_exit {
+                        ctx.send_local(
+                            gk,
+                            JmMsg::Exited {
+                                contact: self.contact,
+                            },
+                        );
+                    }
+                    // A finished JobManager never respawns under this name,
+                    // so die without retiring the address.
+                    ctx.kill_transient(ctx.self_addr());
                 }
-                JmMsg::Callback { .. } | JmMsg::ProbeReply { .. } | JmMsg::CommitAck { .. } => {}
+                JmMsg::Exited { .. }
+                | JmMsg::Callback { .. }
+                | JmMsg::ProbeReply { .. }
+                | JmMsg::CommitAck { .. } => {}
             }
             return;
         }

@@ -213,6 +213,14 @@ pub enum JmMsg {
     },
     /// Client acknowledges the final callback; the JobManager may exit.
     DoneAck,
+    /// JobManager → its gatekeeper, sent just before exiting in lean
+    /// (campaign) mode: the job reached a terminal state and the client has
+    /// acknowledged it, so every per-job record at this site (dedup entry,
+    /// JobManager registration, persisted log) may be reclaimed.
+    Exited {
+        /// The finished job.
+        contact: JobContact,
+    },
     /// Re-forward a refreshed proxy (§4.3: "it also needs to re-forward
     /// the refreshed proxy to the remote GRAM server").
     RefreshCredential {

@@ -163,8 +163,15 @@ pub(crate) enum Effect {
         name: String,
         comp: Box<dyn Component>,
         id: CompId,
+        /// Set when `id` was recycled from the transient free list: the
+        /// epoch the new incarnation must start at so the old incarnation's
+        /// timers stay dead.
+        epoch: Option<u32>,
     },
     Kill {
+        addr: Addr,
+    },
+    KillTransient {
         addr: Addr,
     },
     CrashNode {
@@ -192,6 +199,11 @@ pub struct Ctx<'w> {
     pub(crate) next_timer: &'w mut u64,
     pub(crate) next_comp: &'w mut u32,
     pub(crate) retired: &'w std::collections::HashMap<(NodeId, String), CompId>,
+    /// `(id, next_epoch)` pairs released by [`Ctx::kill_transient`], reused
+    /// by [`Ctx::spawn`] when the world runs with
+    /// [`crate::world::Config::reuse_comp_ids`]. `None` when recycling is
+    /// off (the default).
+    pub(crate) free_comps: Option<&'w mut Vec<(u32, u32)>>,
     /// Sequence number of the kernel event currently being processed;
     /// stamped onto trace records as their `id`.
     pub(crate) event_id: u64,
@@ -275,19 +287,23 @@ impl<'w> Ctx<'w> {
     /// over the old address (a restarted daemon listens on the same
     /// host:port), with a fresh timer epoch.
     pub fn spawn<C: Component>(&mut self, node: NodeId, name: &str, comp: C) -> Addr {
-        let id = match self.retired.get(&(node, name.to_string())) {
-            Some(&old) => old,
-            None => {
-                let id = CompId(*self.next_comp);
-                *self.next_comp += 1;
-                id
-            }
+        let (id, epoch) = match self.retired.get(&(node, name.to_string())) {
+            Some(&old) => (old, None),
+            None => match self.free_comps.as_mut().and_then(|f| f.pop()) {
+                Some((recycled, epoch)) => (CompId(recycled), Some(epoch)),
+                None => {
+                    let id = CompId(*self.next_comp);
+                    *self.next_comp += 1;
+                    (id, None)
+                }
+            },
         };
         self.effects.push(Effect::Spawn {
             node,
             name: name.to_string(),
             comp: Box::new(comp),
             id,
+            epoch,
         });
         Addr { node, comp: id }
     }
@@ -295,6 +311,19 @@ impl<'w> Ctx<'w> {
     /// Gracefully remove a component (its `on_stop` runs).
     pub fn kill(&mut self, addr: Addr) {
         self.effects.push(Effect::Kill { addr });
+    }
+
+    /// Gracefully remove a *transient* component (its `on_stop` runs)
+    /// without retiring its name for address reuse. Use for per-job
+    /// ephemera that are never re-spawned under the same name — e.g. a GRAM
+    /// JobManager after its done-ack — so a million-job campaign doesn't
+    /// accumulate a retired-name and epoch entry per finished job.
+    /// Outstanding timers and in-flight messages to the dead address are
+    /// still dropped (the component slot is empty). A later spawn under the
+    /// same name gets a *fresh* address rather than the old one; callers
+    /// must only use this where that distinction cannot matter.
+    pub fn kill_transient(&mut self, addr: Addr) {
+        self.effects.push(Effect::KillTransient { addr });
     }
 
     /// Abruptly crash a node: every component on it loses its in-memory

@@ -516,7 +516,7 @@ mod tests {
         let mut q = EventQueue::new();
         let mut r = BaselineQueue::default();
         let mut x = 0x9e3779b97f4a7c15u64;
-        let mut step = |x: &mut u64| {
+        let step = |x: &mut u64| {
             *x ^= *x << 13;
             *x ^= *x >> 7;
             *x ^= *x << 17;

@@ -7,65 +7,124 @@
 use crate::time::{Duration, SimTime};
 use std::collections::BTreeMap;
 
-/// A latency/size histogram with explicit samples (experiments are small
-/// enough that storing samples beats choosing bucket boundaries up front).
-#[derive(Debug, Default, Clone)]
+/// Retained-sample cap for [`Histogram`] and point cap for [`TimeSeries`].
+/// Below the cap both containers keep every observation and all statistics
+/// are exact (experiments stay well under it); above it they decimate
+/// deterministically so a million-job campaign holds O(cap) memory per
+/// metric instead of O(jobs).
+pub const METRIC_RETAIN_CAP: usize = 16_384;
+
+/// A latency/size histogram. Scalar statistics (count, sum, mean, min, max)
+/// are always exact; the explicit sample set backing quantiles is exact up
+/// to [`METRIC_RETAIN_CAP`] observations, after which a deterministic
+/// stride-doubling reservoir keeps an evenly spaced (by arrival order)
+/// subset — quantiles degrade gracefully from exact to approximate.
+#[derive(Debug, Clone)]
 pub struct Histogram {
     samples: Vec<f64>,
     sorted: bool,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Keep every `stride`-th observation (1 = keep all).
+    stride: u64,
+    /// Observations skipped since the last retained one.
+    skipped: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            samples: Vec::new(),
+            sorted: false,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            stride: 1,
+            skipped: 0,
+        }
+    }
 }
 
 impl Histogram {
     /// Record one observation.
     pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        if self.stride > 1 {
+            self.skipped += 1;
+            if self.skipped < self.stride {
+                return;
+            }
+            self.skipped = 0;
+        }
         self.samples.push(v);
         self.sorted = false;
+        if self.samples.len() >= METRIC_RETAIN_CAP {
+            // Halve the reservoir (keep even arrival ranks) and record half
+            // as often from here on. Deterministic: no RNG involved.
+            let mut keep = 0;
+            for i in (0..self.samples.len()).step_by(2) {
+                self.samples[keep] = self.samples[i];
+                keep += 1;
+            }
+            self.samples.truncate(keep);
+            self.stride *= 2;
+            self.skipped = 0;
+        }
     }
 
-    /// Number of observations.
+    /// Number of observations (exact).
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.count as usize
     }
 
-    /// Arithmetic mean (0 when empty).
+    /// Arithmetic mean (0 when empty; exact).
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             0.0
         } else {
-            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+            self.sum / self.count as f64
         }
     }
 
-    /// Sum of all observations.
+    /// Sum of all observations (exact).
     pub fn sum(&self) -> f64 {
-        self.samples.iter().sum()
+        self.sum
     }
 
-    /// Largest observation. Empty histograms report 0 by convention ("no
-    /// data" reads as zero in experiment tables), so an all-negative sample
-    /// set is distinguishable from no samples only via [`Histogram::count`].
+    /// Largest observation (exact). Empty histograms report 0 by convention
+    /// ("no data" reads as zero in experiment tables), so an all-negative
+    /// sample set is distinguishable from no samples only via
+    /// [`Histogram::count`].
     pub fn max(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             0.0
         } else {
-            self.samples
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max)
+            self.max
         }
     }
 
-    /// Smallest observation (0 when empty, same convention as
+    /// Smallest observation (exact; 0 when empty, same convention as
     /// [`Histogram::max`]).
     pub fn min(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             0.0
         } else {
-            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+            self.min
         }
     }
 
-    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; 0 when empty.
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank over the retained
+    /// samples; 0 when empty. Exact until the retain cap is reached.
     pub fn quantile(&mut self, q: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
@@ -79,7 +138,7 @@ impl Histogram {
         self.samples[idx]
     }
 
-    /// Borrow the raw samples.
+    /// Borrow the retained samples (all of them until the retain cap).
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
@@ -88,49 +147,96 @@ impl Histogram {
 /// A step-function time series (e.g. "processors in use"), from which
 /// time-weighted statistics like the paper's "average of 653 processors
 /// active" are computed.
-#[derive(Debug, Default, Clone)]
+///
+/// Memory is bounded: up to [`METRIC_RETAIN_CAP`] points are kept verbatim
+/// (experiments stay under this and see exact statistics); beyond it the
+/// series decimates deterministically by doubling its record stride, so a
+/// week-long million-job campaign keeps an evenly thinned step function
+/// instead of every transition. [`TimeSeries::last`] and
+/// [`TimeSeries::max`] stay exact throughout, and time-weighted statistics
+/// always account for the true latest value.
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
+    /// Exact most-recent sample, even when decimation dropped it.
+    last: Option<(SimTime, f64)>,
+    /// Exact running maximum.
+    max: f64,
+    /// Keep every `stride`-th point (1 = keep all).
+    stride: u64,
+    skipped: u64,
+}
+
+impl Default for TimeSeries {
+    fn default() -> TimeSeries {
+        TimeSeries {
+            points: Vec::new(),
+            last: None,
+            max: f64::NEG_INFINITY,
+            stride: 1,
+            skipped: 0,
+        }
+    }
 }
 
 impl TimeSeries {
     /// Record the series value from `t` onwards.
     pub fn record(&mut self, t: SimTime, v: f64) {
         debug_assert!(
-            self.points.last().is_none_or(|&(pt, _)| pt <= t),
+            self.last.is_none_or(|(pt, _)| pt <= t),
             "time series must be appended in order"
         );
+        self.last = Some((t, v));
+        if v > self.max {
+            self.max = v;
+        }
+        if self.stride > 1 {
+            self.skipped += 1;
+            if self.skipped < self.stride {
+                return;
+            }
+            self.skipped = 0;
+        }
         self.points.push((t, v));
+        if self.points.len() >= METRIC_RETAIN_CAP {
+            let mut keep = 0;
+            for i in (0..self.points.len()).step_by(2) {
+                self.points[keep] = self.points[i];
+                keep += 1;
+            }
+            self.points.truncate(keep);
+            self.stride *= 2;
+            self.skipped = 0;
+        }
     }
 
-    /// The recorded points.
+    /// The retained points (all of them until the retain cap).
     pub fn points(&self) -> &[(SimTime, f64)] {
         &self.points
     }
 
-    /// Latest value (0 when empty).
+    /// Latest value (0 when empty; exact even after decimation).
     pub fn last(&self) -> f64 {
-        self.points.last().map_or(0.0, |&(_, v)| v)
+        self.last.map_or(0.0, |(_, v)| v)
     }
 
-    /// Maximum recorded value. Empty series report 0 by convention (same
-    /// as [`Histogram::max`]); an all-negative series returns its true
-    /// (negative) maximum.
+    /// Maximum recorded value (exact). Empty series report 0 by convention
+    /// (same as [`Histogram::max`]); an all-negative series returns its
+    /// true (negative) maximum.
     pub fn max(&self) -> f64 {
-        if self.points.is_empty() {
+        if self.last.is_none() {
             0.0
         } else {
-            self.points
-                .iter()
-                .map(|&(_, v)| v)
-                .fold(f64::NEG_INFINITY, f64::max)
+            self.max
         }
     }
 
     /// Time-weighted average over `[start, end]`, treating the series as a
-    /// step function that holds each value until the next point.
+    /// step function that holds each value until the next point. The true
+    /// latest sample participates even if decimation dropped it from the
+    /// retained set.
     pub fn time_weighted_mean(&self, start: SimTime, end: SimTime) -> f64 {
-        if end <= start || self.points.is_empty() {
+        if end <= start || self.last.is_none() {
             return 0.0;
         }
         let total = (end - start).as_secs_f64();
@@ -138,7 +244,10 @@ impl TimeSeries {
         // Value in effect at `start`: last point at or before it (0 if none).
         let mut cur_t = start;
         let mut cur_v = 0.0;
-        for &(t, v) in &self.points {
+        let tail = self
+            .last
+            .filter(|lp| self.points.last().is_none_or(|rp| lp.0 > rp.0));
+        for &(t, v) in self.points.iter().chain(tail.iter()) {
             if t <= start {
                 cur_v = v;
                 continue;
@@ -359,6 +468,47 @@ mod tests {
         // Window entirely inside the value-10 regime.
         let mean = s.time_weighted_mean(SimTime(10_000_000), SimTime(20_000_000));
         assert!((mean - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_decimates_but_scalars_stay_exact() {
+        let mut h = Histogram::default();
+        let n = (METRIC_RETAIN_CAP * 5) as u64;
+        for i in 0..n {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count() as u64, n, "count is exact");
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), (n - 1) as f64);
+        let exact_mean = (n - 1) as f64 / 2.0;
+        assert!((h.mean() - exact_mean).abs() < 1e-9, "mean is exact");
+        assert!(
+            h.samples().len() < METRIC_RETAIN_CAP,
+            "reservoir bounded: {}",
+            h.samples().len()
+        );
+        // Quantiles are approximate but must stay in the right ballpark.
+        let med = h.quantile(0.5);
+        assert!(
+            (med - exact_mean).abs() < n as f64 * 0.01,
+            "median {med} far from {exact_mean}"
+        );
+    }
+
+    #[test]
+    fn series_decimates_but_last_and_max_stay_exact() {
+        let mut s = TimeSeries::default();
+        let n = (METRIC_RETAIN_CAP * 3) as u64;
+        for i in 0..n {
+            // One point per simulated second, sawtooth values.
+            s.record(SimTime(i * 1_000_000), (i % 100) as f64);
+        }
+        assert!(s.points().len() < METRIC_RETAIN_CAP, "points bounded");
+        assert_eq!(s.last(), ((n - 1) % 100) as f64, "last is exact");
+        assert_eq!(s.max(), 99.0, "max is exact");
+        // The sawtooth's time-weighted mean is ~49.5 whatever the thinning.
+        let mean = s.time_weighted_mean(SimTime::ZERO, SimTime(n * 1_000_000));
+        assert!((mean - 49.5).abs() < 2.0, "{mean}");
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub use profiler::{CompProfile, Profiler};
 pub use span::{AttemptSpan, JobSpan, SpanCollector, SpanPhase, PHASES, SPAN_KIND};
 pub use subscriber::{Filtered, JsonlWriter, RingBuffer, TraceFilter};
 pub use weather::{
-    grid_weather, weather_json, HealthAction, HealthEvent, HealthPolicy, SiteHealthTracker,
-    SiteState, SiteWeather,
+    grid_weather, render_top, weather_json, HealthAction, HealthEvent, HealthPolicy,
+    SiteHealthTracker, SiteState, SiteWeather,
 };

@@ -189,6 +189,20 @@ impl<W: Write> JsonlWriter<W> {
     }
 }
 
+impl JsonlWriter<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncate) `path` and stream to it through a [`BufWriter`]
+    /// (one `write(2)` per ~8 KiB instead of per event — a trace-heavy
+    /// campaign emits millions of lines). The subscriber's `flush` hook
+    /// drains the buffer once when the world finishes.
+    ///
+    /// [`BufWriter`]: std::io::BufWriter
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        Ok(JsonlWriter::new(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
 /// Render `id`/`cause` for JSONL: the [`NO_CAUSE`](crate::event::NO_CAUSE)
 /// sentinel becomes `null`, everything else a plain integer.
 fn jsonl_event_ref(v: u64) -> String {

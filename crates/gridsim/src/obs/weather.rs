@@ -155,6 +155,29 @@ pub fn render(rows: &[SiteWeather]) -> String {
     out
 }
 
+/// Render at most the `n` busiest sites (by submits + client-side attempt
+/// failures, the two counters that make a site worth an operator's
+/// glance), with a trailer noting how many rows were elided. On a
+/// hundreds-of-sites campaign the full table drowns the epilogue; the
+/// complete data is still available via `--weather-out`.
+pub fn render_top(rows: &[SiteWeather], n: usize) -> String {
+    if rows.len() <= n {
+        return render(rows);
+    }
+    let mut busiest: Vec<&SiteWeather> = rows.iter().collect();
+    busiest.sort_by(|a, b| {
+        (b.submits + b.attempt_failures, &a.site).cmp(&(a.submits + a.attempt_failures, &b.site))
+    });
+    busiest.truncate(n);
+    let top: Vec<SiteWeather> = busiest.into_iter().cloned().collect();
+    let mut out = render(&top);
+    out.push_str(&format!(
+        "... {} more sites (full table: --weather-out)\n",
+        rows.len() - n
+    ));
+    out
+}
+
 /// Serialize the weather rows as a JSON array (one object per site), for
 /// `--weather-out` sweeps that assert on site health without scraping the
 /// CLI epilogue.
@@ -439,6 +462,26 @@ mod tests {
         assert_eq!(nrl.site, "nrl");
         assert_eq!(nrl.success_rate, None, "no outcomes yet");
         assert_eq!(nrl.commit_timeout_rate, None, "no commits yet");
+    }
+
+    #[test]
+    fn render_top_caps_at_busiest_sites() {
+        let mut m = Metrics::new();
+        for i in 0..30u64 {
+            // site00 busiest, site29 quietest.
+            m.incr(&format!("site.site{i:02}.submits"), 60 - i);
+        }
+        m.incr("site.site29.attempt_failures", 100); // failures count as traffic
+        let rows = grid_weather(&m);
+        let table = render_top(&rows, 5);
+        let body: Vec<&str> = table.lines().collect();
+        // Header + 5 rows + elision trailer.
+        assert_eq!(body.len(), 7);
+        assert!(body[1].starts_with("site29"), "failing site floats up");
+        assert!(body[2].starts_with("site00"));
+        assert!(body[6].contains("25 more sites"));
+        // Under the cap, render_top is exactly render.
+        assert_eq!(render_top(&rows[..3], 5), render(&rows[..3]));
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub struct Config {
     pub max_time: Option<SimTime>,
     /// Hard stop: maximum number of events to process.
     pub max_events: Option<u64>,
+    /// Recycle the ids of transiently killed components
+    /// ([`Ctx::kill_transient`]) into later spawns, keeping the dense
+    /// component table sized by the *active* set instead of the lifetime
+    /// spawn count. Off by default because reuse renumbers components and
+    /// therefore changes trace output; campaign-scale runs turn it on.
+    pub reuse_comp_ids: bool,
 }
 
 impl Config {
@@ -64,6 +70,13 @@ impl Config {
     /// Stop the run after this many events.
     pub fn max_events(mut self, n: u64) -> Config {
         self.max_events = Some(n);
+        self
+    }
+
+    /// Enable transient component-id recycling (see
+    /// [`Config::reuse_comp_ids`]).
+    pub fn reuse_comp_ids(mut self) -> Config {
+        self.reuse_comp_ids = true;
         self
     }
 }
@@ -156,6 +169,10 @@ pub struct World {
     retired: HashMap<(NodeId, String), CompId>,
     /// Next epoch for a reused component id.
     epochs: HashMap<u32, u32>,
+    /// Ids released by transient kills, with the epoch their next
+    /// incarnation must start at. `Some` only when
+    /// [`Config::reuse_comp_ids`] is on.
+    free_comps: Option<Vec<(u32, u32)>>,
     halted: bool,
     events_processed: u64,
     max_time: Option<SimTime>,
@@ -216,6 +233,7 @@ impl World {
             fifo: HashMap::new(),
             retired: HashMap::new(),
             epochs: HashMap::new(),
+            free_comps: config.reuse_comp_ids.then(Vec::new),
             halted: false,
             events_processed: 0,
             max_time: config.max_time,
@@ -658,6 +676,7 @@ impl World {
             next_timer: &mut self.next_timer,
             next_comp: &mut self.next_comp,
             retired: &self.retired,
+            free_comps: self.free_comps.as_mut(),
             event_id: self.cur_event_id,
             event_cause: self.cur_inherited,
         };
@@ -762,6 +781,7 @@ impl World {
                     name,
                     comp,
                     id,
+                    epoch,
                 } => {
                     if !self.nodes[node.0 as usize].up {
                         // Spawning onto a dead node fails silently, like
@@ -771,7 +791,10 @@ impl World {
                     // The id may be a retired one being reused.
                     self.retired.remove(&(node, name.clone()));
                     let addr = Addr { node, comp: id };
-                    let epoch = self.epochs.get(&id.0).copied().unwrap_or(0);
+                    // Recycled ids carry their epoch with them; retired
+                    // (same-name) reuse reads the epochs map as before.
+                    let epoch =
+                        epoch.unwrap_or_else(|| self.epochs.get(&id.0).copied().unwrap_or(0));
                     *self.comp_slot(id) = Some(CompEntry {
                         addr,
                         name: name.as_str().into(),
@@ -785,6 +808,10 @@ impl World {
                 Effect::Kill { addr } => {
                     self.dispatch(addr, |comp, ctx| comp.on_stop(ctx));
                     self.remove_component(addr);
+                }
+                Effect::KillTransient { addr } => {
+                    self.dispatch(addr, |comp, ctx| comp.on_stop(ctx));
+                    self.remove_component_transient(addr);
                 }
                 Effect::CrashNode { node } => self.do_crash(node),
                 Effect::RestartNode { node, after } => {
@@ -812,6 +839,26 @@ impl World {
             self.names.remove(&(addr.node, name.clone()));
             self.nodes[addr.node.0 as usize].comps.remove(&addr.comp);
             self.retire(addr.node, name, addr.comp);
+        }
+    }
+
+    /// Remove a component without retiring its name: no `retired` or
+    /// `epochs` entry survives it, so per-job transients (JobManagers) cost
+    /// zero residual kernel memory. Stale timers and deliveries still drop
+    /// because the slot is empty and the id is never reused.
+    fn remove_component_transient(&mut self, addr: Addr) {
+        if let Some(entry) = self
+            .comps
+            .get_mut(addr.comp.0 as usize)
+            .and_then(|s| s.take())
+        {
+            self.names.remove(&(addr.node, entry.name.to_string()));
+            self.nodes[addr.node.0 as usize].comps.remove(&addr.comp);
+            if let Some(free) = &mut self.free_comps {
+                // Bump the epoch so the dead incarnation's timers cannot
+                // fire into whatever reuses the id.
+                free.push((addr.comp.0, entry.epoch + 1));
+            }
         }
     }
 
@@ -1129,6 +1176,72 @@ mod tests {
         w.run_until_quiescent();
         assert!(w.lookup(n, "child").is_none());
         assert_eq!(w.store().get::<bool>(n, "child_stopped"), Some(true));
+    }
+
+    #[test]
+    fn kill_transient_leaves_no_residue_and_recycles_ids() {
+        // A short-lived worker that sets a far-future timer, then is
+        // transiently killed; with id recycling on, the next worker reuses
+        // the id and the dead worker's timer must not fire into it.
+        struct Worker;
+        impl Component for Worker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(Duration::from_hours(1), 99);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, _tag: u64) {
+                let node = ctx.node();
+                let fired: u64 = ctx.store().get(node, "fired_count").unwrap_or(0);
+                ctx.store().put(node, "fired_count", &(fired + 1));
+            }
+        }
+        #[derive(Debug)]
+        struct Cycle(u32);
+        struct Boss {
+            child: Option<Addr>,
+            ids: Vec<u32>,
+        }
+        impl Component for Boss {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Addr, msg: AnyMsg) {
+                let Cycle(n) = *msg.downcast::<Cycle>().unwrap();
+                if let Some(old) = self.child.take() {
+                    ctx.kill_transient(old);
+                }
+                let addr = ctx.spawn(ctx.node(), &format!("w{n}"), Worker);
+                self.ids.push(addr.comp.0);
+                self.child = Some(addr);
+                let node = ctx.node();
+                let ids = self.ids.clone();
+                ctx.store().put(node, "ids", &ids);
+            }
+        }
+        let mut w = World::new(Config::default().seed(1).reuse_comp_ids());
+        let n = w.add_node("n");
+        let boss = w.add_component(
+            n,
+            "boss",
+            Boss {
+                child: None,
+                ids: vec![],
+            },
+        );
+        for i in 0..5u32 {
+            w.post(boss, Cycle(i));
+            w.run_until(w.now() + Duration::from_secs(1));
+        }
+        w.run_until_quiescent();
+        let ids: Vec<u32> = w.store().get(n, "ids").unwrap();
+        assert_eq!(ids.len(), 5);
+        // Ids recycle instead of growing without bound: a kill's id is
+        // free by the *next* cycle, so five kill/spawn rounds touch at most
+        // two distinct ids (alternating), not five.
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert!(distinct.len() <= 2, "ids grew: {ids:?}");
+        // Only the final (still live) worker's timer fires: the four dead
+        // incarnations' timers die with their epochs even though the id was
+        // recycled.
+        assert_eq!(w.store().get::<u64>(n, "fired_count"), Some(1));
+        // No retired-name residue from transient kills.
+        assert!(w.lookup(n, "w0").is_none());
     }
 
     #[test]

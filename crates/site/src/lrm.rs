@@ -73,7 +73,16 @@ pub struct Lrm {
     /// Processors held by `running`, maintained incrementally so busy
     /// accounting stays O(1) with ten thousand concurrent jobs.
     used: u32,
-    terminal: HashMap<u64, LrmJobState>,
+    /// Terminal outcomes kept for late `Status` polls. Bounded: entries are
+    /// evicted FIFO past [`TERMINAL_RETAIN`], since a poll for a job that
+    /// finished tens of thousands of completions ago no longer has a
+    /// JobManager waiting on it — and a campaign would otherwise grow this
+    /// map with every job that ever ran here. Values carry an insertion
+    /// generation so a re-inserted id is not evicted by its stale entry in
+    /// the order queue.
+    terminal: HashMap<u64, (LrmJobState, u64)>,
+    terminal_order: std::collections::VecDeque<(u64, u64)>,
+    terminal_gen: u64,
     next_local: u64,
     last_busy: f64,
     /// Site-scoped metric names, precomputed once (these are recorded on
@@ -92,6 +101,9 @@ pub struct Lrm {
 /// Terminal outcomes in the rolling success-rate window.
 const OUTCOME_WINDOW: usize = 32;
 
+/// Terminal-state entries retained for late status polls.
+const TERMINAL_RETAIN: usize = 16_384;
+
 impl Lrm {
     /// A scheduler for `total_cpus` processors under `policy`.
     pub fn new(site: &str, total_cpus: u32, policy: impl SchedPolicy) -> Lrm {
@@ -108,6 +120,8 @@ impl Lrm {
             running: HashMap::new(),
             used: 0,
             terminal: HashMap::new(),
+            terminal_order: std::collections::VecDeque::new(),
+            terminal_gen: 0,
             next_local: 0,
             last_busy: 0.0,
             metric_busy: format!("site.{site}.busy"),
@@ -152,6 +166,36 @@ impl Lrm {
             "incremental CPU accounting out of sync"
         );
         self.used
+    }
+
+    /// Record a terminal outcome, evicting the oldest entries past the cap.
+    fn note_terminal(&mut self, local_id: u64, state: LrmJobState) {
+        self.terminal_gen += 1;
+        let gen = self.terminal_gen;
+        self.terminal.insert(local_id, (state, gen));
+        self.terminal_order.push_back((local_id, gen));
+        while self.terminal_order.len() > TERMINAL_RETAIN {
+            let Some((old_id, old_gen)) = self.terminal_order.pop_front() else {
+                break;
+            };
+            // Only drop the map entry if it is the one this queue slot
+            // registered (not a newer re-insertion under the same id).
+            if self
+                .terminal
+                .get(&old_id)
+                .is_some_and(|&(_, g)| g == old_gen)
+            {
+                self.terminal.remove(&old_id);
+            }
+        }
+    }
+
+    fn take_terminal(&mut self, local_id: u64) -> Option<LrmJobState> {
+        self.terminal.remove(&local_id).map(|(s, _)| s)
+    }
+
+    fn get_terminal(&self, local_id: u64) -> Option<LrmJobState> {
+        self.terminal.get(&local_id).map(|&(s, _)| s)
     }
 
     fn free_cpus(&self) -> u32 {
@@ -309,8 +353,7 @@ impl Lrm {
         );
         // Remember whether this run will exceed the wall limit.
         if exceeded {
-            self.terminal
-                .insert(job.local_id, LrmJobState::WallTimeExceeded);
+            self.note_terminal(job.local_id, LrmJobState::WallTimeExceeded);
         }
         self.record_busy(ctx);
     }
@@ -322,7 +365,7 @@ impl Lrm {
         self.used -= run.spec.cpus;
         let now = ctx.now();
         // Was this completion actually a wall-limit kill?
-        let state = match self.terminal.remove(&local_id) {
+        let state = match self.take_terminal(local_id) {
             Some(LrmJobState::WallTimeExceeded) => LrmJobState::WallTimeExceeded,
             _ => LrmJobState::Completed,
         };
@@ -347,7 +390,7 @@ impl Lrm {
         ctx.trace_with("lrm.done", || {
             format!("{} job {local_id} -> {state:?}", self.site)
         });
-        self.terminal.insert(local_id, state);
+        self.note_terminal(local_id, state);
         ctx.send(
             run.submitter,
             LrmEvent {
@@ -391,7 +434,7 @@ impl Lrm {
                 &run.spec.owner,
                 (now - run.started) * u64::from(run.spec.cpus),
             );
-            self.terminal.remove(&victim);
+            self.take_terminal(victim);
             if self.requeue_on_vacate {
                 ctx.send(
                     run.submitter,
@@ -411,7 +454,7 @@ impl Lrm {
                     },
                 );
             } else {
-                self.terminal.insert(victim, LrmJobState::Vacated);
+                self.note_terminal(victim, LrmJobState::Vacated);
                 self.note_outcome(ctx, false);
                 ctx.send(
                     run.submitter,
@@ -466,7 +509,7 @@ impl Component for Lrm {
                                 self.site, self.arch
                             )
                         });
-                        self.terminal.insert(local_id, LrmJobState::Vacated);
+                        self.note_terminal(local_id, LrmJobState::Vacated);
                         self.note_outcome(ctx, false);
                         ctx.send(
                             from,
@@ -512,7 +555,7 @@ impl Component for Lrm {
                 let now = ctx.now();
                 if let Some(pos) = self.queue.iter().position(|j| j.local_id == local_id) {
                     let job = self.queue.remove(pos);
-                    self.terminal.insert(local_id, LrmJobState::Removed);
+                    self.note_terminal(local_id, LrmJobState::Removed);
                     ctx.send(
                         job.submitter,
                         LrmEvent {
@@ -524,8 +567,7 @@ impl Component for Lrm {
                 } else if let Some(run) = self.running.remove(&local_id) {
                     self.used -= run.spec.cpus;
                     ctx.cancel_timer(run.timer);
-                    self.terminal.remove(&local_id);
-                    self.terminal.insert(local_id, LrmJobState::Removed);
+                    self.note_terminal(local_id, LrmJobState::Removed);
                     ctx.send(
                         run.submitter,
                         LrmEvent {
@@ -546,7 +588,7 @@ impl Component for Lrm {
                 } else if self.queue.iter().any(|j| j.local_id == local_id) {
                     Some(LrmJobState::Queued)
                 } else {
-                    self.terminal.get(&local_id).copied()
+                    self.get_terminal(local_id)
                 };
                 ctx.send(from, LrmReply::StatusIs { local_id, state });
             }

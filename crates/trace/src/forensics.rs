@@ -599,13 +599,7 @@ mod tests {
     fn failure_blamed_on_failed_attempt_not_same_instant_resubmit() {
         let t = vec![
             rec(0, "fault.crash", "node=gk.anl", 1, NO_CAUSE),
-            rec(
-                1 * S,
-                "span",
-                "job=4 seq=1 phase=submit site=anl",
-                2,
-                NO_CAUSE,
-            ),
+            rec(S, "span", "job=4 seq=1 phase=submit site=anl", 2, NO_CAUSE),
             // Failure and the failover submit land in the same event.
             rec(
                 30 * S,

@@ -1,0 +1,179 @@
+//! Parallel sweep farm: fan independent simulation cells across threads.
+//!
+//! A parameter sweep is a grid of `(scenario, seed)` cells, each a fully
+//! independent deterministic simulation. The farm runs the cells across a
+//! worker pool (`std::thread::scope`, no dependencies), preserves cell
+//! order in the results, and merges per-cell statistics. Because every
+//! cell owns its own `World` and its own seed, a parallel run is
+//! *byte-identical* to a serial one — [`run_cells`] with `threads = 1` is
+//! the reference the tests compare against.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One cell of a sweep: an opaque label plus the seed that makes it
+/// deterministic. The farm never interprets `label`; it only reports it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Scenario label (e.g. `"jobs=100k"`), carried through to results.
+    pub label: String,
+    /// Seed for this cell's simulation.
+    pub seed: u64,
+}
+
+/// Per-cell outcome, mergeable into [`FarmStats`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResult {
+    /// The cell's label, as given.
+    pub label: String,
+    /// The cell's seed, as given.
+    pub seed: u64,
+    /// Jobs completed successfully in this cell.
+    pub jobs_done: u64,
+    /// Jobs that ended failed/removed in this cell.
+    pub jobs_failed: u64,
+    /// Simulated seconds the cell covered.
+    pub sim_secs: f64,
+    /// Wall-clock seconds this cell took to simulate.
+    pub wall_secs: f64,
+    /// Determinism digest (e.g. an FNV over the cell's outcome stream).
+    /// Serial and parallel runs of the same cell must agree exactly.
+    pub digest: u64,
+}
+
+/// Merged statistics over a sweep's cells.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FarmStats {
+    /// Number of cells merged.
+    pub cells: u64,
+    /// Total jobs completed across cells.
+    pub jobs_done: u64,
+    /// Total jobs failed across cells.
+    pub jobs_failed: u64,
+    /// Total simulated seconds across cells.
+    pub sim_secs: f64,
+    /// Sum of per-cell wall-clock seconds (serial-equivalent cost).
+    pub cell_wall_secs: f64,
+    /// Order-independent combination of the per-cell digests.
+    pub digest: u64,
+}
+
+impl FarmStats {
+    /// Fold one cell into the totals. The digest combines per-cell
+    /// digests with a commutative mix so merge order cannot matter.
+    pub fn merge(&mut self, cell: &CellResult) {
+        self.cells += 1;
+        self.jobs_done += cell.jobs_done;
+        self.jobs_failed += cell.jobs_failed;
+        self.sim_secs += cell.sim_secs;
+        self.cell_wall_secs += cell.wall_secs;
+        self.digest = self
+            .digest
+            .wrapping_add(cell.digest.rotate_left(17) ^ cell.seed);
+    }
+
+    /// Merge a whole result set.
+    pub fn of(results: &[CellResult]) -> FarmStats {
+        let mut stats = FarmStats::default();
+        for r in results {
+            stats.merge(r);
+        }
+        stats
+    }
+}
+
+/// Run every cell through `run`, fanning across `threads` workers, and
+/// return the results **in cell order** regardless of completion order.
+///
+/// `threads = 1` degenerates to a serial loop on the caller's thread (no
+/// spawning), which is the equivalence baseline: per-cell determinism
+/// means `run_cells(cells, 1, f) == run_cells(cells, n, f)` for any `n`.
+/// Panics in `run` propagate to the caller.
+pub fn run_cells<T, F>(cells: &[Cell], threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Cell) -> T + Sync,
+{
+    if threads <= 1 || cells.len() <= 1 {
+        return cells.iter().map(&run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(cells.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let result = run(cell);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("cell not run"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells(n: u64) -> Vec<Cell> {
+        (0..n)
+            .map(|i| Cell {
+                label: format!("cell{i}"),
+                seed: 1000 + i,
+            })
+            .collect()
+    }
+
+    fn fake_run(cell: &Cell) -> CellResult {
+        // Deterministic in the seed, like a real simulation cell.
+        let mut h = cell.seed ^ 0x9E37_79B9;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        CellResult {
+            label: cell.label.clone(),
+            seed: cell.seed,
+            jobs_done: cell.seed % 97,
+            jobs_failed: cell.seed % 5,
+            sim_secs: 3600.0,
+            wall_secs: 0.0,
+            digest: h,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_order_and_content() {
+        let cells = cells(17);
+        let serial = run_cells(&cells, 1, fake_run);
+        for threads in [2, 4, 8] {
+            let parallel = run_cells(&cells, threads, fake_run);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn merged_stats_are_order_independent() {
+        let cells = cells(9);
+        let results = run_cells(&cells, 4, fake_run);
+        let forward = FarmStats::of(&results);
+        let mut reversed: Vec<CellResult> = results.clone();
+        reversed.reverse();
+        let backward = FarmStats::of(&reversed);
+        assert_eq!(forward, backward);
+        assert_eq!(forward.cells, 9);
+        assert_eq!(
+            forward.jobs_done,
+            results.iter().map(|r| r.jobs_done).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn more_threads_than_cells_is_fine() {
+        let cells = cells(3);
+        let results = run_cells(&cells, 16, fake_run);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results, run_cells(&cells, 1, fake_run));
+    }
+}

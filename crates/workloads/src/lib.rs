@@ -20,15 +20,25 @@
 //!   credential, and dependency handling that Nimrod-G lacks).
 //! * [`stats`] — small summary-statistics helpers for the experiment
 //!   reports.
+//! * [`campaign`] — deterministic multi-institution campaign generator
+//!   and the streaming driver that pumps million-job campaigns through
+//!   the agent with bounded memory.
+//! * [`farm`] — the parallel sweep farm: independent `(scenario, seed)`
+//!   cells fanned across threads with order-preserving, mergeable
+//!   results.
 
+pub mod campaign;
 pub mod cms;
+pub mod farm;
 pub mod lap;
 pub mod mw;
 pub mod qap;
 pub mod stats;
 pub mod sweep;
 
+pub use campaign::{CampaignDriver, CampaignJob, CampaignSpec, CampaignStream, DriverConfig};
 pub use cms::cms_pipeline;
+pub use farm::{run_cells, Cell, CellResult, FarmStats};
 pub use lap::solve_lap;
 pub use mw::{MwConfig, MwMaster};
 pub use qap::{gilmore_lawler_bound, QapInstance, QapSolution};

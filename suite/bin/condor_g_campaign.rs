@@ -1,0 +1,260 @@
+//! `condor-g-campaign` — run a deterministic large-scale campaign (or a
+//! parallel sweep of campaigns) through the lean testbed and report
+//! throughput plus peak memory.
+//!
+//! ```text
+//! cargo run --release --bin condor-g-campaign -- --jobs 100000 --sites 50
+//! cargo run --release --bin condor-g-campaign -- --jobs 1000000 --sites 200
+//! cargo run --release --bin condor-g-campaign -- --sweep 8 --threads 4 --jobs 5000
+//! ```
+//!
+//! The last stdout line is machine-readable:
+//!
+//! ```text
+//! RESULT jobs=… done=… failed=… sim_secs=… wall_secs=… jobs_per_sec=… peak_rss_kb=… digest=…
+//! ```
+//!
+//! (In sweep mode the totals are the merged farm statistics and
+//! `wall_secs` is the whole sweep's wall clock; `speedup=` compares it to
+//! the sum of per-cell costs.)
+
+use condor_g_suite::gridsim::prelude::*;
+use condor_g_suite::harness::{build, SiteSpec, TestbedConfig};
+use condor_g_suite::workloads::campaign::{CampaignDriver, CampaignSpec, DriverConfig};
+use condor_g_suite::workloads::farm::{run_cells, Cell, CellResult, FarmStats};
+use std::time::Instant;
+
+/// Peak resident set (VmHWM) of this process, in KiB.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+struct Args {
+    spec: CampaignSpec,
+    max_inflight: u32,
+    sweep: u32,
+    threads: usize,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: condor-g-campaign [--jobs N] [--sites N] [--users N] [--seed N]\n\
+         \x20                        [--duration-hours H] [--mean-runtime-secs S]\n\
+         \x20                        [--max-inflight N] [--sweep CELLS] [--threads N] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        spec: CampaignSpec {
+            sites: 50,
+            users: 500,
+            jobs: 100_000,
+            ..CampaignSpec::default()
+        },
+        max_inflight: 4_096,
+        sweep: 0,
+        threads: 1,
+        quiet: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    fn num<T: std::str::FromStr>(argv: &mut impl Iterator<Item = String>) -> T {
+        argv.next()
+            .and_then(|w| w.parse().ok())
+            .unwrap_or_else(|| usage())
+    }
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--jobs" => args.spec.jobs = num(&mut argv),
+            "--sites" => args.spec.sites = num(&mut argv),
+            "--users" => args.spec.users = num(&mut argv),
+            "--seed" => args.spec.seed = num(&mut argv),
+            "--duration-hours" => args.spec.duration = Duration::from_hours(num(&mut argv)),
+            "--mean-runtime-secs" => args.spec.mean_runtime_secs = num(&mut argv),
+            "--max-inflight" => args.max_inflight = num(&mut argv),
+            "--sweep" => args.sweep = num(&mut argv),
+            "--threads" => args.threads = num(&mut argv),
+            "--quiet" => args.quiet = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// Run one campaign cell to completion; deterministic in `spec`.
+fn run_campaign(spec: &CampaignSpec, max_inflight: u32, label: &str) -> CellResult {
+    let started = Instant::now();
+    let sites = spec
+        .grid()
+        .iter()
+        .map(|s| SiteSpec::pbs(&s.name, s.cpus))
+        .collect();
+    // The campaign outlives the default 24h proxy; credential churn is
+    // exercised elsewhere, so mint one that covers the whole horizon.
+    let mut tb = build(TestbedConfig {
+        seed: spec.seed,
+        sites,
+        lean: true,
+        proxy_lifetime: spec.duration * 20.0 + Duration::from_days(60),
+        ..TestbedConfig::default()
+    });
+    let driver = CampaignDriver::new(
+        tb.scheduler,
+        spec,
+        DriverConfig {
+            max_inflight,
+            ..DriverConfig::default()
+        },
+    );
+    tb.world.add_component(tb.submit, "campaign", driver);
+    if std::env::var_os("CAMPAIGN_PROFILE").is_some() {
+        tb.world.enable_profiler();
+    }
+
+    // Run in chunks until every job reached a terminal state (with a hard
+    // horizon so a wedged campaign still terminates and reports).
+    let chunk = Duration::from_hours(6);
+    let horizon = SimTime::ZERO + spec.duration * 20.0 + Duration::from_days(30);
+    loop {
+        let next = tb.world.now() + chunk;
+        tb.world.run_until(next);
+        let settled = CampaignDriver::done(&tb.world, tb.submit)
+            + CampaignDriver::failed(&tb.world, tb.submit);
+        if settled >= spec.jobs || tb.world.now() >= horizon {
+            break;
+        }
+    }
+    if let Some(p) = tb.world.profiler() {
+        eprintln!("{}", p.summary());
+    }
+    if std::env::var_os("CAMPAIGN_DEBUG").is_some() {
+        let m = tb.world.metrics();
+        let counters = m.counter_names().count();
+        let series: usize = m.all_series().map(|(_, s)| s.points().len()).sum();
+        let series_n = m.all_series().count();
+        let hist: usize = m.histograms().map(|(_, h)| h.samples().len()).sum();
+        let hist_n = m.histograms().count();
+        eprintln!(
+            "debug: store_records={} counters={counters} series={series_n}/{series} hists={hist_n}/{hist} events={} nodes={}",
+            tb.world.store().len(),
+            tb.world.events_processed(),
+            tb.world.node_count(),
+        );
+        let mut by_prefix: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for n in 0..tb.world.node_count() {
+            for key in tb.world.store().keys_with_prefix(NodeId(n as u32), "") {
+                let prefix: String = key.chars().take_while(|c| !c.is_ascii_digit()).collect();
+                *by_prefix.entry(prefix).or_default() += 1;
+            }
+        }
+        let mut rows: Vec<(usize, String)> = by_prefix.into_iter().map(|(k, v)| (v, k)).collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.0));
+        for (count, prefix) in rows.iter().take(12) {
+            eprintln!("debug:   {count:>8}  {prefix:?}");
+        }
+    }
+    CellResult {
+        label: label.to_string(),
+        seed: spec.seed,
+        jobs_done: CampaignDriver::done(&tb.world, tb.submit),
+        jobs_failed: CampaignDriver::failed(&tb.world, tb.submit),
+        sim_secs: (tb.world.now() - SimTime::ZERO).as_secs_f64(),
+        wall_secs: started.elapsed().as_secs_f64(),
+        digest: CampaignDriver::digest(&tb.world, tb.submit),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let wall = Instant::now();
+    if args.sweep > 0 {
+        // Sweep mode: independent (scenario, seed) cells across threads.
+        let cells: Vec<Cell> = (0..args.sweep)
+            .map(|i| Cell {
+                label: format!("jobs={};cell={i}", args.spec.jobs),
+                seed: args.spec.seed + u64::from(i),
+            })
+            .collect();
+        let spec = args.spec.clone();
+        let results = run_cells(&cells, args.threads, |cell| {
+            let cell_spec = CampaignSpec {
+                seed: cell.seed,
+                ..spec.clone()
+            };
+            run_campaign(&cell_spec, args.max_inflight, &cell.label)
+        });
+        let stats = FarmStats::of(&results);
+        let wall_secs = wall.elapsed().as_secs_f64();
+        if !args.quiet {
+            for r in &results {
+                println!(
+                    "cell {} seed={} done={} failed={} wall={:.2}s digest={:016x}",
+                    r.label, r.seed, r.jobs_done, r.jobs_failed, r.wall_secs, r.digest
+                );
+            }
+            println!(
+                "sweep: {} cells on {} threads, {:.2}s wall ({:.2}s serial-equivalent, {:.2}x speedup)",
+                stats.cells,
+                args.threads,
+                wall_secs,
+                stats.cell_wall_secs,
+                stats.cell_wall_secs / wall_secs.max(1e-9),
+            );
+        }
+        println!(
+            "RESULT jobs={} done={} failed={} sim_secs={:.0} wall_secs={:.3} jobs_per_sec={:.1} peak_rss_kb={} digest={:016x} speedup={:.3}",
+            stats.jobs_done + stats.jobs_failed,
+            stats.jobs_done,
+            stats.jobs_failed,
+            stats.sim_secs,
+            wall_secs,
+            (stats.jobs_done + stats.jobs_failed) as f64 / wall_secs.max(1e-9),
+            peak_rss_kb(),
+            stats.digest,
+            stats.cell_wall_secs / wall_secs.max(1e-9),
+        );
+        return;
+    }
+
+    let r = run_campaign(&args.spec, args.max_inflight, "campaign");
+    if !args.quiet {
+        println!(
+            "campaign: {} jobs over {} sites / {} users (seed {})",
+            args.spec.jobs, args.spec.sites, args.spec.users, args.spec.seed
+        );
+        println!(
+            "  done={} failed={} sim={:.1}h wall={:.2}s",
+            r.jobs_done,
+            r.jobs_failed,
+            r.sim_secs / 3600.0,
+            r.wall_secs
+        );
+    }
+    println!(
+        "RESULT jobs={} done={} failed={} sim_secs={:.0} wall_secs={:.3} jobs_per_sec={:.1} peak_rss_kb={} digest={:016x}",
+        args.spec.jobs,
+        r.jobs_done,
+        r.jobs_failed,
+        r.sim_secs,
+        r.wall_secs,
+        (r.jobs_done + r.jobs_failed) as f64 / r.wall_secs.max(1e-9),
+        peak_rss_kb(),
+        r.digest,
+    );
+}

@@ -393,12 +393,15 @@ pub fn run_scenario(scn: Scenario, obs: ObsOptions) {
         println!("{}", pt.render());
     }
     // Per-site grid weather: the MDS-style health summary aggregated from
-    // the site.<name>.* metrics the protocol components publish.
+    // the site.<name>.* metrics the protocol components publish. Capped at
+    // the busiest sites so a hundreds-of-sites campaign stays readable;
+    // --weather-out still carries every row.
+    const WEATHER_TOP: usize = 20;
     let weather = condor_g_suite::gridsim::obs::grid_weather(tb.world.metrics());
     if !weather.is_empty() {
         println!(
             "\ngrid weather:\n{}",
-            condor_g_suite::gridsim::obs::weather::render(&weather)
+            condor_g_suite::gridsim::obs::render_top(&weather, WEATHER_TOP)
         );
     }
     if let Some(path) = &obs.weather_out {

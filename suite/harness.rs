@@ -183,6 +183,14 @@ pub struct TestbedConfig {
     pub adaptive: bool,
     /// Stop the whole simulation at this virtual time (safety net).
     pub max_time: Option<Duration>,
+    /// Campaign (lean) mode: every layer reclaims per-job state as jobs
+    /// finish — the scheduler retires terminal records to a compact
+    /// completed log, the GridManager deletes job tombstones, gatekeepers
+    /// reap dedup/log entries when JobManagers exit, and the kernel
+    /// recycles component ids. Memory then tracks *in-flight* jobs, so
+    /// million-job campaigns run in flat RSS. Off by default (trace output
+    /// is not byte-identical to non-lean runs: component ids differ).
+    pub lean: bool,
 }
 
 impl Default for TestbedConfig {
@@ -199,6 +207,7 @@ impl Default for TestbedConfig {
             mds_broker: false,
             adaptive: false,
             max_time: None,
+            lean: false,
         }
     }
 }
@@ -279,6 +288,9 @@ pub fn build(config: TestbedConfig) -> Testbed {
     if config.trace {
         wconf = wconf.with_trace();
     }
+    if config.lean {
+        wconf = wconf.reuse_comp_ids();
+    }
     if let Some(mt) = config.max_time {
         wconf = wconf.max_time(SimTime::ZERO + mt);
     }
@@ -341,22 +353,23 @@ pub fn build(config: TestbedConfig) -> Testbed {
             });
         }
         let lrm = world.add_component(cluster, "lrm", lrm);
-        let gatekeeper = world.add_component(
-            interface,
-            "gatekeeper",
-            Gatekeeper::new(&spec.name, trust.clone(), gridmap.clone(), lrm),
-        );
+        let mut gk = Gatekeeper::new(&spec.name, trust.clone(), gridmap.clone(), lrm);
+        if config.lean {
+            gk = gk.lean();
+        }
+        let gatekeeper = world.add_component(interface, "gatekeeper", gk);
         // Boot hook so gatekeeper machines can crash-restart in experiments.
         {
             let trust = trust.clone();
             let gm = gridmap.clone();
             let site_name = spec.name.clone();
+            let lean = config.lean;
             world.set_boot(interface, move |b: &mut BootCtx<'_>| {
-                b.add_component(
-                    "gatekeeper",
-                    Gatekeeper::new(&site_name, trust.clone(), gm.clone(), lrm)
-                        .recover(b.store(), b.node()),
-                );
+                let mut gk = Gatekeeper::new(&site_name, trust.clone(), gm.clone(), lrm);
+                if lean {
+                    gk = gk.lean();
+                }
+                b.add_component("gatekeeper", gk.recover(b.store(), b.node()));
             });
         }
         // GRIS: advertise the site (with its gatekeeper contact) to MDS.
@@ -405,6 +418,9 @@ pub fn build(config: TestbedConfig) -> Testbed {
     let mut gm = config.gm.clone();
     gm.user = "jane".into();
     gm.mailer = Some(mailer);
+    if config.lean {
+        gm.lean = true;
+    }
     if config.mds_broker {
         gm.giis = giis;
     }
@@ -438,6 +454,7 @@ pub fn build(config: TestbedConfig) -> Testbed {
         user_addr: None,
         gm,
         email_on_termination: false,
+        lean: config.lean,
     };
     let scheduler = world.add_component(submit, "scheduler", Scheduler::new(sched_config, broker));
 

@@ -219,6 +219,7 @@ fn submit_machine_crash_recovers_from_persistent_queue() {
                     ..Default::default()
                 },
                 email_on_termination: false,
+                lean: false,
             };
             b.add_component(
                 "scheduler",
@@ -270,6 +271,7 @@ fn termination_emails_are_sent_when_enabled() {
             ..Default::default()
         },
         email_on_termination: true,
+        lean: false,
     };
     let broker = Box::new(condor_g_suite::condor_g::StaticListBroker::new(
         tb.sites

@@ -67,6 +67,7 @@ fn chaos_run(seed: u64) -> (u64, u64, u64) {
                     ..GmConfig::default()
                 },
                 email_on_termination: false,
+                lean: false,
             };
             b.add_component(
                 "scheduler",
@@ -172,6 +173,7 @@ fn outputs_survive_a_submit_crash_during_staging() {
                     ..GmConfig::default()
                 },
                 email_on_termination: false,
+                lean: false,
             };
             b.add_component(
                 "scheduler",
