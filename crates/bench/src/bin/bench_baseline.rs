@@ -35,6 +35,11 @@ use std::time::Instant;
 /// Allowed slowdown before `--check` fails: current >= 0.75 * recorded.
 const REGRESSION_FLOOR: f64 = 0.75;
 
+/// `*_overhead_pct` metrics are lower-is-better and checked against this
+/// absolute cap instead of the regression floor: the flight recorder must
+/// stay within 10% of the uninstrumented campaign.
+const OVERHEAD_CAP_PCT: f64 = 10.0;
+
 // ---------------------------------------------------------------------------
 // Workloads (mirrors of the criterion benches, self-timed)
 // ---------------------------------------------------------------------------
@@ -317,6 +322,54 @@ fn campaign_metrics(label: &str, jobs: u64, sites: u32, users: u32, out: &mut Ve
     });
 }
 
+/// Flight-recorder tax: the same 100k-job campaign twice, once plain and
+/// once with the black box subscribed and telemetry heartbeats streaming.
+/// Reported as percent wall-clock overhead (lower is better; `--check`
+/// caps it at [`OVERHEAD_CAP_PCT`] instead of applying the ratio floor).
+fn flight_overhead_metric(out: &mut Vec<Metric>) {
+    eprintln!("bench_baseline: campaign 100k flight overhead...");
+    let base = ["--jobs", "100000", "--sites", "50", "--users", "500"];
+    let tel = std::env::temp_dir().join("bench_flight.tel.jsonl");
+    let dump = std::env::temp_dir().join("bench_flight.flight");
+    let (tel_s, dump_s) = (tel.display().to_string(), dump.display().to_string());
+    let mut flight_args: Vec<&str> = base.to_vec();
+    flight_args.extend_from_slice(&[
+        "--flight",
+        "--flight-out",
+        &dump_s,
+        "--telemetry-out",
+        &tel_s,
+    ]);
+    // Best-of-2 per variant: a single noisy run on a shared CI host can
+    // swing the single-run delta by more than the whole budget.
+    let best = |args: &[&str]| -> Option<f64> {
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let wall = run_campaign_child(args)?
+                .get("wall_secs")
+                .copied()
+                .unwrap_or(f64::INFINITY);
+            best = best.min(wall);
+        }
+        Some(best)
+    };
+    let plain_wall = best(&base);
+    let flown_wall = best(&flight_args);
+    let _ = std::fs::remove_file(&tel);
+    let _ = std::fs::remove_file(&dump);
+    let (Some(plain_wall), Some(flown_wall)) = (plain_wall, flown_wall) else {
+        return;
+    };
+    if plain_wall <= 0.0 {
+        return;
+    }
+    out.push(Metric {
+        name: "campaign_100k_flight_overhead_pct",
+        unit: "% wall vs plain",
+        value: (flown_wall - plain_wall) / plain_wall * 100.0,
+    });
+}
+
 /// The 8-cell sweep farm: honest speedup on whatever cores this host has
 /// (a 1-core container reports ~1x; the per-cell digests still must match
 /// a serial run, which tests/campaign.rs asserts).
@@ -398,6 +451,7 @@ fn run_all(full: bool) -> Vec<Metric> {
         value: measure(1, 10_000, || run_batch(10_000)),
     });
     campaign_metrics("100k", 100_000, 50, 500, &mut out);
+    flight_overhead_metric(&mut out);
     sweep_metric(&mut out);
     if full {
         // The million-job campaign takes a couple of minutes; measured for
@@ -556,6 +610,20 @@ fn main() {
             let mut failed = false;
             println!();
             for m in &results {
+                // Overhead metrics are lower-is-better with an absolute
+                // budget; the measured value is checked directly, no
+                // committed baseline needed.
+                if m.name.ends_with("_overhead_pct") {
+                    let ok = m.value <= OVERHEAD_CAP_PCT;
+                    println!(
+                        "{:<36} {:>7.2}% (cap {OVERHEAD_CAP_PCT}%) {}",
+                        m.name,
+                        m.value,
+                        if ok { "ok" } else { "OVER BUDGET" }
+                    );
+                    failed |= !ok;
+                    continue;
+                }
                 let rec = parse_recorded(&text, m.name);
                 let Some(baseline) = rec.after.or(rec.before) else {
                     println!("{:<36} no committed baseline, skipping", m.name);

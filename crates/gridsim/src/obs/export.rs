@@ -113,6 +113,13 @@ pub fn prometheus_snapshot(metrics: &Metrics, now: SimTime) -> String {
         let _ = writeln!(out, "# TYPE {n} gauge");
         let _ = writeln!(out, "{n} {}", num(series.last()));
         let _ = writeln!(out, "{n}_max {}", num(series.max()));
+        // The time-weighted mean is the load signal heartbeat scrapers
+        // want: `last` is an instant, `avg` is the interval's truth.
+        let _ = writeln!(
+            out,
+            "{n}_avg {}",
+            num(series.time_weighted_mean(SimTime::ZERO, now))
+        );
         let _ = writeln!(
             out,
             "{n}_integral {}",
@@ -227,6 +234,7 @@ gm_submit_latency_max 4
 # TYPE site_busy_cpus gauge
 site_busy_cpus 4
 site_busy_cpus_max 4
+site_busy_cpus_avg 2
 site_busy_cpus_integral 40
 ";
         assert_eq!(snap, expected);

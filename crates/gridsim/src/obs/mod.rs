@@ -30,6 +30,7 @@
 
 pub mod causality;
 pub mod export;
+pub mod flight;
 pub mod profiler;
 pub mod span;
 pub mod subscriber;
@@ -37,6 +38,11 @@ pub mod weather;
 
 pub use causality::{CausalDag, DagNode};
 pub use export::{json_snapshot, json_string, prometheus_snapshot};
+pub use flight::{
+    encode_dump, site_aggregates, telemetry_line, Anomaly, AnomalyDetector, AnomalyKind,
+    DetectorConfig, DumpMeta, FlightRecord, FlightRecorder, TelemetrySample, TelemetryWriter,
+    DUMP_MAGIC, DUMP_VERSION,
+};
 pub use profiler::{CompProfile, Profiler};
 pub use span::{AttemptSpan, JobSpan, SpanCollector, SpanPhase, PHASES, SPAN_KIND};
 pub use subscriber::{Filtered, JsonlWriter, RingBuffer, TraceFilter};

@@ -165,8 +165,12 @@ pub fn render_top(rows: &[SiteWeather], n: usize) -> String {
         return render(rows);
     }
     let mut busiest: Vec<&SiteWeather> = rows.iter().collect();
+    // Busiest first; sites with equal counts order by name so same-seed
+    // runs always render the identical table.
     busiest.sort_by(|a, b| {
-        (b.submits + b.attempt_failures, &a.site).cmp(&(a.submits + a.attempt_failures, &b.site))
+        let ka = a.submits + a.attempt_failures;
+        let kb = b.submits + b.attempt_failures;
+        kb.cmp(&ka).then_with(|| a.site.cmp(&b.site))
     });
     busiest.truncate(n);
     let top: Vec<SiteWeather> = busiest.into_iter().cloned().collect();
@@ -482,6 +486,27 @@ mod tests {
         assert!(body[6].contains("25 more sites"));
         // Under the cap, render_top is exactly render.
         assert_eq!(render_top(&rows[..3], 5), render(&rows[..3]));
+    }
+
+    #[test]
+    fn render_top_breaks_ties_by_site_name() {
+        // Every site equally busy: the cut must fall deterministically on
+        // lexicographic order, whatever order the rows arrive in.
+        let mut m = Metrics::new();
+        for name in ["zeta", "alpha", "mu", "beta", "omega", "kappa"] {
+            m.incr(&format!("site.{name}.submits"), 7);
+        }
+        let mut rows = grid_weather(&m);
+        let table = render_top(&rows, 3);
+        rows.reverse();
+        assert_eq!(render_top(&rows, 3), table, "row order must not matter");
+        let names: Vec<&str> = table
+            .lines()
+            .skip(1)
+            .take(3)
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        assert_eq!(names, vec!["alpha", "beta", "kappa"]);
     }
 
     #[test]

@@ -428,6 +428,12 @@ impl World {
         self.events_processed
     }
 
+    /// Pending events in the kernel queue (telemetry heartbeats sample
+    /// this as a backpressure signal).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
     /// The metrics sink.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics

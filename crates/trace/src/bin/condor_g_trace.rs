@@ -7,6 +7,8 @@
 //! condor-g-trace run.jsonl --stuck --horizon 30m
 //! condor-g-trace run.jsonl --root-cause
 //! condor-g-trace convert run.jsonl --perfetto-out run.perfetto
+//! condor-g-trace flight campaign.flight          # decode a flight dump
+//! condor-g-trace flight campaign.flight --root-cause
 //! ```
 //!
 //! Exit status: 0 on success, 1 on parse errors, an empty causal DAG
@@ -14,7 +16,7 @@
 //! the file is not a simulator trace), or a Perfetto self-verification
 //! failure, 2 on usage errors.
 
-use condor_g_trace::{parse, perfetto, Forensics};
+use condor_g_trace::{flight_decode, parse, perfetto, Forensics};
 use gridsim::time::Duration;
 use std::process::ExitCode;
 
@@ -32,9 +34,11 @@ fn usage() -> ExitCode {
         "usage: condor-g-trace <trace.jsonl> [--critical-path [JOB]] [--stuck] \
          [--horizon DUR] [--root-cause]\n\
          \u{20}      condor-g-trace convert <trace.jsonl> --perfetto-out <file>\n\
+         \u{20}      condor-g-trace flight <dump.flight> [report flags as above]\n\
          DUR accepts 90s / 30m / 2h / 1d (default horizon: 1h).\n\
          With no report flag, all reports are printed.\n\
-         `convert` writes a Perfetto TrackEvent trace (open at ui.perfetto.dev)."
+         `convert` writes a Perfetto TrackEvent trace (open at ui.perfetto.dev).\n\
+         `flight` decodes a binary flight-recorder dump and runs the same reports."
     );
     ExitCode::from(2)
 }
@@ -228,10 +232,78 @@ fn print_root_causes(f: &Forensics) {
     }
 }
 
+fn print_summary(f: &Forensics, path: &str) {
+    println!(
+        "{}: {} records, {} observable events, {} roots, {} jobs ({} terminal, {} resubmitted)",
+        path,
+        f.records.len(),
+        f.dag.len(),
+        f.dag.roots().count(),
+        f.jobs.len(),
+        f.jobs.values().filter(|j| j.terminal.is_some()).count(),
+        f.resubmitted_jobs().count(),
+    );
+}
+
+fn run_reports(f: &Forensics, opts: &Options) {
+    let all = !opts.critical_path && !opts.stuck && !opts.root_cause;
+    if opts.critical_path || all {
+        print_critical_paths(f, opts.job);
+    }
+    if opts.stuck || all {
+        print_stuck(f, opts.horizon);
+    }
+    if opts.root_cause || all {
+        print_root_causes(f);
+    }
+}
+
+/// `flight <dump> [report flags]`: decode a binary flight-recorder dump
+/// into the record model and run the standard reports on its window.
+fn flight(args: &[String]) -> ExitCode {
+    let Ok(opts) = parse_args(args) else {
+        return usage();
+    };
+    let bytes = match std::fs::read(&opts.path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("condor-g-trace: {}: {e}", opts.path);
+            return ExitCode::from(2);
+        }
+    };
+    let (meta, records) = match flight_decode(&bytes) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("condor-g-trace: {}: {e}", opts.path);
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "{}: flight dump at {} — {} ({})",
+        opts.path,
+        meta.time,
+        meta.reason,
+        if meta.anchor.is_empty() {
+            "whole ring".to_string()
+        } else {
+            format!("anchored on {}", meta.anchor)
+        },
+    );
+    // A dump is a window, not a whole trace: causes may point outside it,
+    // so an empty DAG is reported but not fatal.
+    let f = Forensics::build(records);
+    print_summary(&f, &opts.path);
+    run_reports(&f, &opts);
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("convert") {
         return convert(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("flight") {
+        return flight(&args[1..]);
     }
     let Ok(opts) = parse_args(&args) else {
         return usage();
@@ -258,25 +330,7 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(1);
     }
-    println!(
-        "{}: {} records, {} observable events, {} roots, {} jobs ({} terminal, {} resubmitted)",
-        opts.path,
-        f.records.len(),
-        f.dag.len(),
-        f.dag.roots().count(),
-        f.jobs.len(),
-        f.jobs.values().filter(|j| j.terminal.is_some()).count(),
-        f.resubmitted_jobs().count(),
-    );
-    let all = !opts.critical_path && !opts.stuck && !opts.root_cause;
-    if opts.critical_path || all {
-        print_critical_paths(&f, opts.job);
-    }
-    if opts.stuck || all {
-        print_stuck(&f, opts.horizon);
-    }
-    if opts.root_cause || all {
-        print_root_causes(&f);
-    }
+    print_summary(&f, &opts.path);
+    run_reports(&f, &opts);
     ExitCode::SUCCESS
 }

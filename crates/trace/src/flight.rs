@@ -1,0 +1,222 @@
+//! Decoder for flight-recorder dumps.
+//!
+//! The in-sim [`gridsim::obs::flight::FlightRecorder`] dumps the causal
+//! window around an anomaly as a compact binary file
+//! ([`gridsim::obs::flight::encode_dump`]). This module is the exact
+//! inverse: it decodes a dump into the same [`Record`] model the JSONL
+//! parser produces, so every offline analysis — [`crate::Forensics`]
+//! critical paths, stuck-job reports, root-cause attribution, Perfetto
+//! conversion — works on dumps unchanged.
+
+use crate::parse::Record;
+use gridsim::obs::flight::{DumpMeta, DUMP_MAGIC, DUMP_VERSION};
+use gridsim::time::SimTime;
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.b.len() - self.i < n {
+            return Err(format!(
+                "truncated dump: wanted {n} bytes at offset {}, have {}",
+                self.i,
+                self.b.len() - self.i
+            ));
+        }
+        let s = &self.b[self.i..self.i + n];
+        self.i += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid UTF-8 in string: {e}"))
+    }
+}
+
+/// Decode a flight dump into its metadata and records (time order as
+/// written). Errors describe the first structural problem encountered.
+pub fn decode(bytes: &[u8]) -> Result<(DumpMeta, Vec<Record>), String> {
+    let mut c = Cursor { b: bytes, i: 0 };
+    if c.take(4)? != DUMP_MAGIC {
+        return Err("not a flight dump (bad magic; expected CGFR)".to_string());
+    }
+    let version = c.u16()?;
+    if version != DUMP_VERSION {
+        return Err(format!(
+            "unsupported dump version {version} (this build reads {DUMP_VERSION})"
+        ));
+    }
+    let reason = c.string()?;
+    let anchor = c.string()?;
+    let time = SimTime(c.u64()?);
+    let kind_count = c.u32()? as usize;
+    let mut kinds = Vec::with_capacity(kind_count);
+    for _ in 0..kind_count {
+        kinds.push(c.string()?);
+    }
+    let count = c.u64()? as usize;
+    let mut records = Vec::with_capacity(count.min(1 << 20));
+    for n in 0..count {
+        let time = SimTime(c.u64()?);
+        let node = u64::from(c.u32()?);
+        let comp = u64::from(c.u32()?);
+        let kind_idx = c.u32()? as usize;
+        let kind = kinds
+            .get(kind_idx)
+            .ok_or_else(|| format!("record {n}: kind index {kind_idx} out of range"))?
+            .clone();
+        let id = c.u64()?;
+        let cause = c.u64()?;
+        let detail = c.string()?;
+        records.push(Record {
+            time,
+            node,
+            comp,
+            kind,
+            detail,
+            id,
+            cause,
+        });
+    }
+    if c.i != bytes.len() {
+        return Err(format!(
+            "trailing garbage: {} bytes past the last record",
+            bytes.len() - c.i
+        ));
+    }
+    Ok((
+        DumpMeta {
+            reason,
+            anchor,
+            time,
+        },
+        records,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsim::event::NO_CAUSE;
+    use gridsim::obs::flight::{encode_dump, FlightRecord};
+
+    fn rec(time_us: u64, kind: &str, detail: &str, id: u64, cause: u64) -> FlightRecord {
+        FlightRecord {
+            time: SimTime(time_us),
+            node: 3,
+            comp: 7,
+            kind: kind.to_string(),
+            detail: detail.to_string(),
+            id,
+            cause,
+        }
+    }
+
+    fn meta() -> DumpMeta {
+        DumpMeta {
+            reason: "stuck_job: oldest waited 99s".to_string(),
+            anchor: "gj42".to_string(),
+            time: SimTime(123_456_789),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let records = vec![
+            rec(1, "gram.submit", "gj42 to gk.siteA", 10, NO_CAUSE),
+            rec(2, "span", "job=42 seq=0 phase=submit site=siteA", 11, 10),
+            rec(3, "gm.attempt_failed", "gj42: submission failed", 12, 11),
+        ];
+        let bytes = encode_dump(&meta(), &records);
+        let (m, decoded) = decode(&bytes).expect("decodes");
+        assert_eq!(m, meta());
+        assert_eq!(decoded.len(), 3);
+        for (d, r) in decoded.iter().zip(&records) {
+            assert_eq!(d.time, r.time);
+            assert_eq!(d.node, u64::from(r.node));
+            assert_eq!(d.comp, u64::from(r.comp));
+            assert_eq!(d.kind, r.kind);
+            assert_eq!(d.detail, r.detail);
+            assert_eq!(d.id, r.id);
+            assert_eq!(d.cause, r.cause);
+        }
+    }
+
+    #[test]
+    fn round_trip_utf8_and_escape_edges() {
+        // Details that would need escaping in JSONL must survive the
+        // binary format verbatim: quotes, backslashes, newlines, tabs,
+        // control chars, multibyte UTF-8, and the empty string.
+        let edges = [
+            "",
+            "\"quoted\" and \\backslashed\\",
+            "line\nbreak\tand\rreturn",
+            "\u{1}\u{1f}control bytes",
+            "grüße from site-α (€ 100, 日本語, 🛰️)",
+            "null\u{0}byte",
+        ];
+        let records: Vec<FlightRecord> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, d)| rec(i as u64, "k.edge", d, i as u64, NO_CAUSE))
+            .collect();
+        let m = DumpMeta {
+            reason: "reason with \"quotes\" and 日本語".to_string(),
+            anchor: "anchor-α".to_string(),
+            time: SimTime(7),
+        };
+        let bytes = encode_dump(&m, &records);
+        let (m2, decoded) = decode(&bytes).expect("decodes");
+        assert_eq!(m2, m);
+        let details: Vec<&str> = decoded.iter().map(|r| r.detail.as_str()).collect();
+        assert_eq!(details, edges);
+    }
+
+    #[test]
+    fn empty_dump_round_trips() {
+        let bytes = encode_dump(&meta(), &[]);
+        let (m, decoded) = decode(&bytes).expect("decodes");
+        assert_eq!(m, meta());
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_truncation() {
+        assert!(decode(b"nope").is_err());
+        assert!(decode(b"JUNKJUNKJUNK").is_err());
+        let mut bytes = encode_dump(&meta(), &[rec(1, "k", "d", 1, NO_CAUSE)]);
+        // Truncation anywhere inside the record section errors cleanly.
+        bytes.truncate(bytes.len() - 3);
+        assert!(decode(&bytes).is_err());
+        // Version bump is refused.
+        let mut versioned = encode_dump(&meta(), &[]);
+        versioned[4] = 0xff;
+        let err = decode(&versioned).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = encode_dump(&meta(), &[]);
+        bytes.extend_from_slice(b"extra");
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+    }
+}

@@ -12,6 +12,9 @@
 //!   attempt timelines, and derives per-job critical paths with blame
 //!   breakdowns, stuck-job reports, and root-cause attribution of
 //!   resubmissions back to injected faults.
+//! * [`flight`] — decodes the binary dumps the in-sim flight recorder
+//!   writes when an anomaly detector fires, into the same [`Record`]
+//!   model, so all of the above run on campaign black-box dumps too.
 //! * [`perfetto`] — converts a trace into a Perfetto TrackEvent protobuf
 //!   (hand-rolled wire format, no proto dependency): per-job/site/component
 //!   tracks, phase slices, cause→effect flows, and critical-path
@@ -19,10 +22,12 @@
 //!
 //! The `condor-g-trace` binary is a thin CLI over these modules.
 
+pub mod flight;
 pub mod forensics;
 pub mod parse;
 pub mod perfetto;
 
+pub use flight::decode as flight_decode;
 pub use forensics::{Attempt, Attribution, CriticalPath, Forensics, JobForensics, StuckJob};
 pub use parse::{parse, parse_line, ParseError, Record};
 pub use perfetto::{decode as perfetto_decode, encode as perfetto_encode, Summary};

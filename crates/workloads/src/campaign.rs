@@ -296,8 +296,14 @@ pub struct CampaignDriver {
     head: Option<CampaignJob>,
     /// Due arrivals waiting for in-flight headroom (bounded).
     pending: VecDeque<CampaignJob>,
-    /// Submitted command id -> () (bounded by `max_inflight`).
-    inflight: HashMap<u64, ()>,
+    /// Submitted command id -> submit time (bounded by `max_inflight`).
+    inflight: HashMap<u64, SimTime>,
+    /// Lower bound on the oldest in-flight command id. Command ids are
+    /// assigned monotonically, so the oldest in-flight submission is the
+    /// smallest live id; this pointer only ever advances (amortized O(1)
+    /// per command over the whole campaign), making "how long has the
+    /// oldest job been in flight" cheap enough for every heartbeat.
+    oldest_cmd: u64,
     /// Grid job id -> command id (bounded by `max_inflight`).
     jobs: HashMap<u64, u64>,
     dispatched: u64,
@@ -322,6 +328,7 @@ impl CampaignDriver {
             head: None,
             pending: VecDeque::new(),
             inflight: HashMap::new(),
+            oldest_cmd: 1,
             jobs: HashMap::new(),
             dispatched: 0,
             done: 0,
@@ -344,6 +351,35 @@ impl CampaignDriver {
     /// Outcome digest recorded to stable storage.
     pub fn digest(world: &gridsim::World, node: NodeId) -> u64 {
         world.store().get(node, "campaign/digest").unwrap_or(0)
+    }
+
+    /// Jobs submitted so far, recorded to stable storage.
+    pub fn dispatched(world: &gridsim::World, node: NodeId) -> u64 {
+        world.store().get(node, "campaign/dispatched").unwrap_or(0)
+    }
+
+    /// Jobs submitted but not yet terminal, recorded to stable storage.
+    pub fn inflight(world: &gridsim::World, node: NodeId) -> u64 {
+        world.store().get(node, "campaign/inflight").unwrap_or(0)
+    }
+
+    /// Due arrivals buffered behind the in-flight window, recorded to
+    /// stable storage.
+    pub fn pending(world: &gridsim::World, node: NodeId) -> u64 {
+        world.store().get(node, "campaign/pending").unwrap_or(0)
+    }
+
+    /// Submit time (microseconds) of the oldest job still in flight, or
+    /// `None` when nothing is in flight. Telemetry heartbeats turn this
+    /// into the stuck-job signal.
+    pub fn oldest_inflight_at(world: &gridsim::World, node: NodeId) -> Option<SimTime> {
+        if Self::inflight(world, node) == 0 {
+            return None;
+        }
+        world
+            .store()
+            .get(node, "campaign/oldest_at_us")
+            .map(SimTime)
     }
 
     fn spec_for(&self, job: &CampaignJob, id: u64) -> GridJobSpec {
@@ -380,7 +416,7 @@ impl CampaignDriver {
             self.dispatched += 1;
             let id = self.dispatched;
             let spec = self.spec_for(&job, id);
-            self.inflight.insert(id, ());
+            self.inflight.insert(id, now);
             ctx.send(self.scheduler, UserCmd::Submit { id, spec });
         }
         // While the window is full, buffer due arrivals — but never more
@@ -410,13 +446,27 @@ impl CampaignDriver {
         self.persist(ctx);
     }
 
-    fn persist(&self, ctx: &mut Ctx<'_>) {
+    fn persist(&mut self, ctx: &mut Ctx<'_>) {
+        // Advance the oldest-in-flight pointer past completed ids.
+        while self.oldest_cmd <= self.dispatched && !self.inflight.contains_key(&self.oldest_cmd) {
+            self.oldest_cmd += 1;
+        }
+        let oldest_at_us = self
+            .inflight
+            .get(&self.oldest_cmd)
+            .map_or(0, |t| t.micros());
         let node = ctx.node();
         ctx.store().put(node, "campaign/done", &self.done);
         ctx.store().put(node, "campaign/failed", &self.failed);
         ctx.store()
             .put(node, "campaign/dispatched", &self.dispatched);
         ctx.store().put(node, "campaign/digest", &self.digest);
+        ctx.store()
+            .put(node, "campaign/inflight", &(self.inflight.len() as u64));
+        ctx.store()
+            .put(node, "campaign/pending", &(self.pending.len() as u64));
+        ctx.store()
+            .put(node, "campaign/oldest_at_us", &oldest_at_us);
     }
 }
 

@@ -25,7 +25,8 @@
 
 use condor_g_suite::condor_g::api::{GridJobSpec, Universe};
 use condor_g_suite::gridsim::obs::{
-    json_snapshot, prometheus_snapshot, JsonlWriter, SpanCollector,
+    json_snapshot, prometheus_snapshot, site_aggregates, JsonlWriter, SpanCollector,
+    TelemetrySample, TelemetryWriter,
 };
 use condor_g_suite::gridsim::prelude::*;
 use condor_g_suite::harness::{build, SiteSpec, Testbed, TestbedConfig, UserConsole};
@@ -236,6 +237,11 @@ pub struct ObsOptions {
     perfetto_out: Option<String>,
     /// Write the final per-site weather snapshot as JSON here.
     weather_out: Option<String>,
+    /// Stream JSONL telemetry heartbeats here, one line per sim-time
+    /// interval (see `--telemetry-interval`).
+    telemetry_out: Option<String>,
+    /// Heartbeat interval (default 10 minutes of sim time).
+    telemetry_interval: Option<Duration>,
     /// Enable the kernel profiler and print its summary.
     profile: bool,
 }
@@ -313,7 +319,54 @@ pub fn run_scenario(scn: Scenario, obs: ObsOptions) {
         plan.len(),
         scn.run_for
     );
-    tb.world.run_until(SimTime::ZERO + scn.run_for);
+    let end = SimTime::ZERO + scn.run_for;
+    if let Some(path) = &obs.telemetry_out {
+        // Heartbeat mode: run in interval-sized chunks, snapshotting the
+        // run's vitals after each (scenario runs have no campaign driver,
+        // so the backpressure fields derive from the job counters).
+        let mut w = match TelemetryWriter::create(path) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let interval = obs
+            .telemetry_interval
+            .unwrap_or(Duration::from_mins(10))
+            .max(Duration::from_secs(1));
+        while tb.world.now() < end {
+            let next = (tb.world.now() + interval).min(end);
+            tb.world.run_until(next);
+            let m = tb.world.metrics();
+            let (done, failed, submitted) = (
+                m.counter("condor_g.jobs_done"),
+                m.counter("condor_g.jobs_failed"),
+                m.counter("condor_g.submitted"),
+            );
+            let (sites, site_submits, site_attempt_failures) = site_aggregates(m);
+            w.emit(&TelemetrySample {
+                t_us: tb.world.now().micros(),
+                events: tb.world.events_processed(),
+                queue_depth: tb.world.queue_len() as u64,
+                done,
+                failed,
+                dispatched: submitted,
+                inflight: submitted.saturating_sub(done + failed),
+                sites,
+                site_submits,
+                site_attempt_failures,
+                ..TelemetrySample::default()
+            });
+        }
+        w.flush();
+        println!(
+            "telemetry heartbeats written to {path} ({} lines)",
+            w.lines()
+        );
+    } else {
+        tb.world.run_until(end);
+    }
 
     let m = tb.world.metrics();
     let mut t = Table::new(&["metric", "value"]);
@@ -471,7 +524,8 @@ pub fn run_scenario(scn: Scenario, obs: ObsOptions) {
 fn usage() -> ! {
     eprintln!(
         "usage: condor-g-sim [--trace-out <file.jsonl>] [--metrics-out <file.prom|file.json>] \
-         [--perfetto-out <file.pb>] [--weather-out <file.json>] [--profile] <scenario-file>"
+         [--perfetto-out <file.pb>] [--weather-out <file.json>] \
+         [--telemetry-out <file.jsonl>] [--telemetry-interval <dur>] [--profile] <scenario-file>"
     );
     std::process::exit(2);
 }
@@ -486,6 +540,14 @@ fn main() {
             "--metrics-out" => obs.metrics_out = Some(argv.next().unwrap_or_else(|| usage())),
             "--perfetto-out" => obs.perfetto_out = Some(argv.next().unwrap_or_else(|| usage())),
             "--weather-out" => obs.weather_out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--telemetry-out" => obs.telemetry_out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--telemetry-interval" => {
+                obs.telemetry_interval = Some(
+                    argv.next()
+                        .and_then(|w| parse_duration(&w))
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--profile" => obs.profile = true,
             _ if arg.starts_with("--") => usage(),
             _ if path.is_none() => path = Some(arg),
