@@ -184,6 +184,22 @@ impl Network {
         Some(rng.duration(&dist))
     }
 
+    /// The WAN lookahead: a lower bound on the latency of *any* inter-node
+    /// message under the current configuration — the minimum over the
+    /// default latency distribution and every per-link override. The
+    /// sharded kernel uses it as the conservative null-message bound: a
+    /// cross-shard message sent at `t` can never be delivered before
+    /// `t + lookahead()`.
+    pub fn lookahead(&self) -> Duration {
+        let mut lo = self.config.default_latency.min_bound();
+        for link in self.overrides.values() {
+            if let Some(d) = &link.latency {
+                lo = lo.min(d.min_bound());
+            }
+        }
+        Duration::from_secs_f64(lo)
+    }
+
     /// Bandwidth of the directed link in bytes/second.
     pub fn bandwidth(&self, from: NodeId, to: NodeId) -> f64 {
         if from == to {

@@ -191,6 +191,13 @@ pub struct TestbedConfig {
     /// million-job campaigns run in flat RSS. Off by default (trace output
     /// is not byte-identical to non-lean runs: component ids differ).
     pub lean: bool,
+    /// Kernel shard count. Shard 0 is the *home* shard (submit machine,
+    /// GIIS, MyProxy); each site's node pair (`gk.*` + `cluster.*`) is
+    /// assigned as a group, round-robin over shards `1..N`. With 1 shard
+    /// everything lands on shard 0 — the classic layout. Any shard count
+    /// produces the same seeded results (events commit in global
+    /// `(time, seq)` order); see `gridsim::shard`.
+    pub shards: usize,
 }
 
 impl Default for TestbedConfig {
@@ -208,6 +215,7 @@ impl Default for TestbedConfig {
             adaptive: false,
             max_time: None,
             lean: false,
+            shards: 1,
         }
     }
 }
@@ -294,6 +302,8 @@ pub fn build(config: TestbedConfig) -> Testbed {
     if let Some(mt) = config.max_time {
         wconf = wconf.max_time(SimTime::ZERO + mt);
     }
+    let shards = config.shards.max(1);
+    wconf = wconf.shards(shards);
     let mut world = World::new(wconf);
 
     // Submit machine.
@@ -326,11 +336,17 @@ pub fn build(config: TestbedConfig) -> Testbed {
         None
     };
 
-    // Sites.
+    // Sites. Each site's node pair goes to one shard so gatekeeper↔LRM
+    // traffic stays shard-local; only WAN hops cross shards.
     let mut sites = Vec::new();
-    for spec in &config.sites {
-        let interface = world.add_node(&format!("gk.{}", spec.name));
-        let cluster = world.add_node(&format!("cluster.{}", spec.name));
+    for (site_idx, spec) in config.sites.iter().enumerate() {
+        let site_shard = if shards <= 1 {
+            ShardId::HOME
+        } else {
+            ShardId(1 + (site_idx % (shards - 1)) as u32)
+        };
+        let interface = world.add_node_on(&format!("gk.{}", spec.name), site_shard);
+        let cluster = world.add_node_on(&format!("cluster.{}", spec.name), site_shard);
         let mut lrm = Lrm::new(&spec.name, spec.cpus, BoxedPolicy(policy_for(&spec.kind)))
             .with_arch(&spec.arch);
         if let Some(limit) = spec.wall_limit {

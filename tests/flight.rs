@@ -62,6 +62,8 @@ fn sample(tb: &Testbed, recorder: &FlightRecorder) -> TelemetrySample {
         quarantines: recorder.quarantines(),
         ring_len: recorder.len() as u64,
         ring_evicted: recorder.evicted(),
+        shards: tb.world.shard_count() as u64,
+        shard_events: tb.world.shard_events(),
     }
 }
 
@@ -178,7 +180,7 @@ fn flight_recorder_does_not_change_campaign_outcomes() {
         }
         if let Some(rec) = &recorder {
             assert!(rec.seen() > 0, "recorder saw traffic");
-            assert!(rec.len() > 0);
+            assert!(!rec.is_empty());
         }
         (
             CampaignDriver::done(&tb.world, tb.submit),

@@ -1,0 +1,106 @@
+//! Sharded-kernel acceptance oracle: any `--shards N` must reproduce the
+//! single-shard run bit-for-bit. The kernel partitions state per shard
+//! but commits events in one global `(time, seq)` order, so the trace
+//! stream, job outcomes, and campaign digests are invariants of the
+//! partitioning — these tests pin that contract from the outside, through
+//! the real binaries.
+
+/// FNV-1a 64 over a byte stream — matches tests/determinism.rs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The same golden constant `demo_scenario_trace_is_golden` pins: the
+/// sharded kernel must not move it for ANY shard count.
+const DEMO_GOLDEN_FNV: u64 = 0x8236_2c72_acb4_9633;
+
+#[test]
+fn demo_trace_is_golden_for_every_shard_count() {
+    let exe = env!("CARGO_BIN_EXE_condor-g-sim");
+    let dir = std::env::temp_dir().join(format!("shard-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for shards in ["1", "2", "4"] {
+        let trace = dir.join(format!("demo-{shards}.jsonl"));
+        let out = std::process::Command::new(exe)
+            .arg("--shards")
+            .arg(shards)
+            .arg("--trace-out")
+            .arg(&trace)
+            .arg(format!("{}/scenarios/demo.scn", env!("CARGO_MANIFEST_DIR")))
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "--shards {shards} exit {:?}: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let bytes = std::fs::read(&trace).expect("trace written");
+        assert_eq!(
+            fnv1a(&bytes),
+            DEMO_GOLDEN_FNV,
+            "--shards {shards} diverged from the golden demo.scn trace"
+        );
+        // The run actually used the requested partitioning.
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let row = stdout
+            .lines()
+            .find(|l| l.trim_start().starts_with("kernel shards"))
+            .unwrap_or_else(|| panic!("--shards {shards}: no shard row in report:\n{stdout}"));
+        assert_eq!(
+            row.split_whitespace().last(),
+            Some(shards),
+            "--shards {shards}: report disagrees on shard count"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pull `key=value` off a campaign RESULT line.
+fn result_field<'a>(line: &'a str, key: &str) -> &'a str {
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(&format!("{key}=")[..]))
+        .unwrap_or_else(|| panic!("no {key}= in RESULT line: {line}"))
+}
+
+#[test]
+fn campaign_digest_is_shard_count_invariant() {
+    let exe = env!("CARGO_BIN_EXE_condor-g-campaign");
+    let mut digests = Vec::new();
+    for shards in ["1", "2", "4"] {
+        let out = std::process::Command::new(exe)
+            .args([
+                "--jobs", "2000", "--sites", "10", "--users", "50", "--quiet", "--shards", shards,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "--shards {shards} campaign failed");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let result = stdout
+            .lines()
+            .rev()
+            .find(|l| l.starts_with("RESULT "))
+            .expect("no RESULT line");
+        assert_eq!(result_field(result, "done"), "2000");
+        assert_eq!(result_field(result, "shards"), shards);
+        // Per-shard totals: one slash-separated bucket per shard, summing
+        // to a real event count.
+        let per_shard = result_field(result, "shard_events");
+        let buckets: Vec<u64> = per_shard
+            .split('/')
+            .map(|w| w.parse().expect("numeric shard bucket"))
+            .collect();
+        assert_eq!(buckets.len(), shards.parse::<usize>().unwrap());
+        assert!(buckets.iter().sum::<u64>() > 0);
+        digests.push(result_field(result, "digest").to_string());
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "campaign digests diverged across shard counts: {digests:?}"
+    );
+}
