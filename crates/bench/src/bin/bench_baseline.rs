@@ -158,6 +158,10 @@ struct BatchClient {
     gatekeeper: Addr,
     credential: ProxyCredential,
     gass: GassUrl,
+    /// RSL executable: a plain path skips staging, a `gass://` URL makes
+    /// every job stage the image in (the flow-mode storm relies on this).
+    exe: String,
+    image_size: u64,
     jobs: u64,
     sessions: BTreeMap<u64, SubmitSession>,
 }
@@ -165,9 +169,11 @@ struct BatchClient {
 impl Component for BatchClient {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         for seq in 0..self.jobs {
+            let mut rsl = RslSpec::job(&self.exe, Duration::from_secs(60));
+            rsl.image_size = self.image_size;
             let mut s = SubmitSession::new(
                 seq,
-                RslSpec::job("/site/bin/task", Duration::from_secs(60)).to_string(),
+                rsl.to_string(),
                 self.credential.clone(),
                 ctx.self_addr(),
                 self.gass.clone(),
@@ -222,6 +228,8 @@ fn run_batch_profiled(jobs: u64, profile: bool) -> u64 {
             gatekeeper: gk,
             credential: cred,
             gass: GassUrl::gass(gass, ""),
+            exe: "/site/bin/task".into(),
+            image_size: 0,
             jobs,
             sessions: BTreeMap::new(),
         },
@@ -238,6 +246,68 @@ fn run_batch_profiled(jobs: u64, profile: bool) -> u64 {
     if profile {
         eprintln!("{}", w.profiler().expect("enabled above").summary());
     }
+    w.events_processed()
+}
+
+/// Image size each storm job stages in over the shared link.
+const STORM_IMAGE: u64 = 16_000_000;
+
+/// Flow-mode stage-in storm: every job's executable is a `gass://` URL to
+/// a 16 MB image, and the submit↔site paths share one fair-share WAN link,
+/// so each completion rescales every surviving flow. This is the flow
+/// model's worst case (O(active flows) deadline churn per event) and the
+/// number regression-checked in BENCH_kernel.json.
+fn run_stagein_storm(jobs: u64) -> u64 {
+    let mut ca = CertificateAuthority::new("/CN=CA", 1);
+    let id = ca.issue_identity("/CN=jane", Duration::from_days(30));
+    let cred = id.new_proxy(SimTime::ZERO, Duration::from_days(1));
+    let mut gridmap = GridMap::new();
+    gridmap.add("/CN=jane", "jane");
+    let mut w = World::new(Config::default().seed(11));
+    let submit = w.add_node("submit");
+    let interface = w.add_node("gk");
+    let cluster = w.add_node("cluster");
+    // A fat link: wide enough that no staging timer fires before the
+    // transfer lands, so the measurement is pure flow-model churn.
+    let wan = w.network_mut().add_flow_link("wan", 1e9, 0.030);
+    w.network_mut().set_flow_route(submit, interface, &[wan]);
+    w.network_mut().set_flow_route(submit, cluster, &[wan]);
+    let gass = w.add_component(
+        submit,
+        "gass",
+        GassServer::new(ca.trust_root()).preload("/app.exe", FileData::bulk(STORM_IMAGE, 9)),
+    );
+    let lrm = w.add_component(cluster, "lrm", Lrm::new("site", 100_000, Fifo));
+    let gk = w.add_component(
+        interface,
+        "gatekeeper",
+        Gatekeeper::new("site", ca.trust_root(), gridmap, lrm),
+    );
+    let exe = GassUrl::gass(gass, "/app.exe").to_string();
+    w.add_component(
+        submit,
+        "client",
+        BatchClient {
+            gatekeeper: gk,
+            credential: cred,
+            gass: GassUrl::gass(gass, ""),
+            exe,
+            image_size: STORM_IMAGE,
+            jobs,
+            sessions: BTreeMap::new(),
+        },
+    );
+    w.run_until_quiescent();
+    assert_eq!(
+        w.metrics().counter("site.completed"),
+        jobs,
+        "storm did not complete"
+    );
+    assert_eq!(
+        w.metrics().counter("net.flows_done"),
+        jobs,
+        "every stage-in must ride the flow network"
+    );
     w.events_processed()
 }
 
@@ -513,6 +583,12 @@ fn run_all(full: bool) -> Vec<Metric> {
         name: "gram_batch_10k_jobs_per_sec",
         unit: "jobs/s",
         value: measure(1, 10_000, || run_batch(10_000)),
+    });
+    eprintln!("bench_baseline: stage-in storm (flow mode)...");
+    out.push(Metric {
+        name: "stagein_storm_jobs_per_sec",
+        unit: "jobs/s",
+        value: measure(1, 2_000, || run_stagein_storm(2_000)),
     });
     campaign_metrics("100k", 100_000, 50, 500, &mut out);
     flight_overhead_metric(&mut out);

@@ -82,6 +82,11 @@ pub struct JobManager {
     /// Lean (campaign) mode: tell this gatekeeper we are exiting after the
     /// client's done-ack so it can reclaim the job's records.
     notify_exit: Option<Addr>,
+    /// Consecutive staging retries in the current phase; each one doubles
+    /// the retry timeout (capped), so a congested shared link sees
+    /// progressively gentler retransmission instead of a retry storm.
+    /// Reset when a staging phase starts or completes.
+    stage_backoff: u32,
 }
 
 /// Retry timer tags.
@@ -133,6 +138,7 @@ impl JobManager {
             metric_commits: format!("site.{site}.commits"),
             metric_commit_timeouts: format!("site.{site}.commit_timeouts"),
             notify_exit: None,
+            stage_backoff: 0,
         }
     }
 
@@ -176,6 +182,7 @@ impl JobManager {
             metric_commits: format!("site.{site}.commits"),
             metric_commit_timeouts: format!("site.{site}.commit_timeouts"),
             notify_exit: None,
+            stage_backoff: 0,
         }
     }
 
@@ -234,16 +241,26 @@ impl JobManager {
         }
         if outstanding > 0 {
             self.staging = Staging::Fetching { outstanding };
-            // Allow generous time for the payload itself before retrying.
+            // Allow generous time for the payload itself before retrying,
+            // doubling per consecutive retry (shared links under a
+            // stage-in storm legitimately run far below the floor
+            // bandwidth — hammering them makes it worse).
             let payload = self.rsl.image_size.max(1_000_000);
-            let timeout = STAGE_RETRY + Duration::from_secs(payload / RETRY_FLOOR_BW);
+            let timeout = (STAGE_RETRY + Duration::from_secs(payload / RETRY_FLOOR_BW))
+                * (1u64 << self.stage_backoff);
             ctx.set_timer(timeout, TAG_STAGE_IN);
         }
         outstanding
     }
 
+    /// Bump the staging-retry backoff (doubles the timeout, capped at 16x).
+    fn bump_backoff(&mut self) {
+        self.stage_backoff = (self.stage_backoff + 1).min(4);
+    }
+
     fn begin_stage_in(&mut self, ctx: &mut Ctx<'_>) {
         self.committed = true;
+        self.stage_backoff = 0;
         ctx.trace_with("span", || {
             format!("contact={} phase=commit", self.contact.0)
         });
@@ -266,6 +283,7 @@ impl JobManager {
             owner: self.local_user.clone(),
             required_arch,
         };
+        self.stage_backoff = 0;
         ctx.trace_with("span", || {
             format!("contact={} phase=stage_in_done", self.contact.0)
         });
@@ -279,6 +297,7 @@ impl JobManager {
     }
 
     fn begin_stage_out(&mut self, ctx: &mut Ctx<'_>) {
+        self.stage_backoff = 0;
         let Some(stdout_url) = self.rsl.stdout.clone() else {
             // No output to stage: straight to Done.
             self.exit_ok = true;
@@ -334,8 +353,10 @@ impl JobManager {
             },
         );
         // The retry timeout must cover the transfer itself, or large
-        // outputs would be retransmitted while still in flight.
-        let timeout = STAGE_RETRY + Duration::from_secs(remaining / RETRY_FLOOR_BW);
+        // outputs would be retransmitted while still in flight; consecutive
+        // retries back off exponentially (see `stage_backoff`).
+        let timeout = (STAGE_RETRY + Duration::from_secs(remaining / RETRY_FLOOR_BW))
+            * (1u64 << self.stage_backoff);
         ctx.set_timer(timeout, TAG_STAGE_OUT);
     }
 
@@ -404,11 +425,13 @@ impl Component for JobManager {
             TAG_STAGE_IN => {
                 if matches!(self.staging, Staging::Fetching { .. }) {
                     ctx.metrics().incr("gram.stage_retries", 1);
+                    self.bump_backoff();
                     self.send_stage_requests(ctx);
                 }
             }
             TAG_STAGE_OUT if self.stdout_req.is_some() => {
                 ctx.metrics().incr("gram.stage_retries", 1);
+                self.bump_backoff();
                 self.send_stdout_chunk(ctx);
             }
             TAG_STATUS_POLL if !self.state.is_terminal() => {
@@ -561,6 +584,20 @@ impl Component for JobManager {
             }
             return;
         }
+        // Flow mode: our own bulk send (the stdout WriteAt) was cut in
+        // flight. Resend immediately — the positioned write is idempotent
+        // — with the armed retry timer as the backstop if the route is
+        // still dead (the immediate resend is then dropped at flow start).
+        if let Some(aborted) = msg.downcast_ref::<BulkAborted>() {
+            if self.stdout_req.is_some() {
+                ctx.metrics().incr("gram.stage_retries", 1);
+                let bytes = aborted.bytes;
+                ctx.trace_with("jm.stage_out_aborted", || format!("bytes={bytes}"));
+                self.bump_backoff();
+                self.send_stdout_chunk(ctx);
+            }
+            return;
+        }
         // GASS staging replies.
         if let Ok(reply) = msg.downcast::<GassReply>() {
             match *reply {
@@ -586,6 +623,25 @@ impl Component for JobManager {
                         self.exit_ok = true;
                         ctx.metrics().incr("gram.staged_out", 1);
                         self.callback(ctx, GramJobState::Done);
+                    }
+                }
+                GassReply::Failed { ref error, .. } if error.is_retryable() => {
+                    // An in-flight transfer was cut (partition, link
+                    // failure): the job is fine, the route died. Re-drive
+                    // whichever staging phase is active instead of failing
+                    // the job — if the network is still down the resent
+                    // requests are lost and the (backed-off) retry timer
+                    // takes over.
+                    ctx.metrics().incr("gram.staging_aborts", 1);
+                    ctx.trace_with("jm.staging_aborted", || error.to_string());
+                    if matches!(self.staging, Staging::Fetching { .. }) {
+                        ctx.metrics().incr("gram.stage_retries", 1);
+                        self.bump_backoff();
+                        self.send_stage_requests(ctx);
+                    } else if self.stdout_req.is_some() {
+                        ctx.metrics().incr("gram.stage_retries", 1);
+                        self.bump_backoff();
+                        self.send_stdout_chunk(ctx);
                     }
                 }
                 GassReply::Failed { ref error, .. } => {

@@ -272,10 +272,17 @@ impl<'w> Ctx<'w> {
     }
 
     /// Send `bytes` of bulk data to `to`, delivering `msg` when the
-    /// transfer completes. The delivery delay is one latency sample plus
-    /// `bytes / bandwidth` for the link, so GASS/GridFTP staging costs what
-    /// the network model says it should. Loss/partition rules apply once,
-    /// to the whole transfer.
+    /// transfer completes. In the legacy (uncontended) model the delivery
+    /// delay is one latency sample plus `bytes / bandwidth` for the link,
+    /// and loss/partition rules apply once, to the whole transfer,
+    /// regardless of its size. When the world declares flow links
+    /// (`Network::add_flow_link`) and the endpoints are on different
+    /// nodes, the transfer becomes a *flow* instead: it shares routed
+    /// link capacity max-min fairly with concurrent flows, loss compounds
+    /// per megabyte, and a partition or link failure mid-transfer aborts
+    /// it — the *sender* then receives a
+    /// [`crate::network::flow::BulkAborted`] carrying the undelivered
+    /// payload, so protocols can retry.
     pub fn send_bulk<M: Message>(&mut self, to: Addr, bytes: u64, msg: M) {
         self.effects.push(Effect::SendBulk {
             to,

@@ -79,6 +79,31 @@ pub enum EventKind {
         /// New rate (NaN restores the configured default).
         rate: f64,
     },
+    /// A flow-mode bulk transfer's completion deadline. Valid only if the
+    /// flow still exists *and* its current deadline equals the fire time —
+    /// rate changes reschedule by pushing a fresh event and letting the
+    /// old one go stale (no queue surgery).
+    FlowDone {
+        /// The flow id.
+        flow: u64,
+    },
+    /// Take a flow-mode topology link down (crossing flows abort).
+    LinkDown {
+        /// The link name.
+        link: String,
+    },
+    /// Bring a downed flow-mode link back up.
+    LinkUp {
+        /// The link name.
+        link: String,
+    },
+    /// Override a flow-mode link's capacity; active flows rescale.
+    LinkBandwidth {
+        /// The link name.
+        link: String,
+        /// New capacity in bytes/s (NaN restores the configured value).
+        capacity: f64,
+    },
 }
 
 /// Causal-provenance sentinel: "no observable cause" (external stimulus,

@@ -23,6 +23,14 @@ pub enum FaultAction {
     Heal(Vec<NodeId>, Vec<NodeId>),
     /// Set the global message loss rate (`None` restores the configured rate).
     SetLoss(Option<f64>),
+    /// Take a named flow-mode topology link down (crossing flows abort).
+    LinkDown(String),
+    /// Bring a downed link back up.
+    LinkUp(String),
+    /// Override a link's capacity in bytes/s (`None` restores the
+    /// configured capacity); active flows rescale, an override of `0.0`
+    /// stalls them without aborting.
+    LinkBandwidth(String, Option<f64>),
 }
 
 /// A time-ordered schedule of fault actions.
@@ -62,6 +70,31 @@ impl FaultPlan {
             FaultAction::Partition(group_a.clone(), group_b.clone()),
         )
         .at(start + length, FaultAction::Heal(group_a, group_b))
+    }
+
+    /// Take link `name` down over `[start, start+length]`.
+    pub fn link_down_window(self, name: &str, start: SimTime, length: Duration) -> FaultPlan {
+        self.at(start, FaultAction::LinkDown(name.to_string()))
+            .at(start + length, FaultAction::LinkUp(name.to_string()))
+    }
+
+    /// Override link `name`'s capacity to `bytes_per_sec` over
+    /// `[start, start+length]`, then restore the configured capacity.
+    pub fn link_bandwidth_window(
+        self,
+        name: &str,
+        bytes_per_sec: f64,
+        start: SimTime,
+        length: Duration,
+    ) -> FaultPlan {
+        self.at(
+            start,
+            FaultAction::LinkBandwidth(name.to_string(), Some(bytes_per_sec)),
+        )
+        .at(
+            start + length,
+            FaultAction::LinkBandwidth(name.to_string(), None),
+        )
     }
 
     /// Generate exponential crash/repair cycles for each node over

@@ -76,6 +76,7 @@ pub mod world;
 pub mod prelude {
     pub use crate::component::{Addr, AnyMsg, CompId, Component, Ctx, NodeId, ShardId, TimerId};
     pub use crate::fault::FaultPlan;
+    pub use crate::network::flow::{BulkAborted, LinkId};
     pub use crate::network::NetConfig;
     pub use crate::rng::SimRng;
     pub use crate::store::StableStore;

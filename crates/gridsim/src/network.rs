@@ -14,9 +14,17 @@
 //! GridFTP staging) is modelled explicitly by `gass` on top of
 //! [`Network::transfer_duration`].
 
-use crate::component::NodeId;
+pub mod flow;
+
+use crate::component::{Addr, AnyMsg, NodeId};
 use crate::rng::{Dist, SimRng};
-use crate::time::Duration;
+use crate::time::{Duration, SimTime};
+use flow::{AbortedFlow, FlowNet, LinkId};
+
+/// Updated `(flow id, completion deadline)` schedule after a rescale.
+pub(crate) type FlowResched = Vec<(u64, SimTime)>;
+/// A completed flow: sender, receiver, payload, survivors' new schedule.
+pub(crate) type FlowDelivery = (Addr, Addr, AnyMsg, FlowResched);
 use std::collections::{HashMap, HashSet};
 
 /// Static configuration of the network model.
@@ -66,6 +74,9 @@ pub struct Network {
     partitioned: HashSet<(NodeId, NodeId)>,
     /// Dynamic loss rate override (set by fault plans); falls back to config.
     dynamic_loss: Option<f64>,
+    /// Shared-bandwidth topology + active flows; `Some` iff flow mode is
+    /// enabled (by declaring at least one link). See [`flow`].
+    flow: Option<FlowNet>,
     /// Messages dropped so far (for reporting).
     pub dropped: u64,
 }
@@ -86,6 +97,7 @@ impl Network {
             overrides: HashMap::new(),
             partitioned: HashSet::new(),
             dynamic_loss: None,
+            flow: None,
             dropped: 0,
         }
     }
@@ -169,33 +181,54 @@ impl Network {
             self.dropped += 1;
             return None;
         }
-        let link = self.overrides.get(&(from, to));
-        let loss = link
-            .and_then(|l| l.loss_rate)
-            .or(self.dynamic_loss)
-            .unwrap_or(self.config.loss_rate);
+        let loss = self.loss_for(from, to);
         if rng.chance(loss) {
             self.dropped += 1;
             return None;
         }
-        let dist = link
+        let dist = self
+            .overrides
+            .get(&(from, to))
             .and_then(|l| l.latency)
             .unwrap_or(self.config.default_latency);
         Some(rng.duration(&dist))
     }
 
-    /// The WAN lookahead: a lower bound on the latency of *any* inter-node
-    /// message under the current configuration — the minimum over the
-    /// default latency distribution and every per-link override. The
-    /// sharded kernel uses it as the conservative null-message bound: a
-    /// cross-shard message sent at `t` can never be delivered before
-    /// `t + lookahead()`.
+    /// Effective loss probability on `from → to`. A per-link override and a
+    /// fault-plan dynamic loss *combine as the max* — a chaos plan that
+    /// raises global loss to 1.0 must black out overridden links too, not
+    /// be silently shadowed by them.
+    fn loss_for(&self, from: NodeId, to: NodeId) -> f64 {
+        let link = self.overrides.get(&(from, to)).and_then(|l| l.loss_rate);
+        match (link, self.dynamic_loss) {
+            (Some(l), Some(d)) => l.max(d),
+            (Some(l), None) => l,
+            (None, Some(d)) => d,
+            (None, None) => self.config.loss_rate,
+        }
+    }
+
+    /// The WAN lookahead: a lower bound on the latency of *any* message
+    /// under the current configuration — the minimum over the default
+    /// latency distribution, the loopback floor, every per-link override,
+    /// and (in flow mode) every declared topology link's propagation
+    /// latency. The sharded kernel uses it as the conservative
+    /// null-message bound: a message sent at `t` can never be delivered
+    /// before `t + lookahead()`, so `shard::safe_horizon` must stay a true
+    /// lower bound no matter which latency path a message takes.
     pub fn lookahead(&self) -> Duration {
-        let mut lo = self.config.default_latency.min_bound();
+        let mut lo = self
+            .config
+            .default_latency
+            .min_bound()
+            .min(self.config.loopback_latency.min_bound());
         for link in self.overrides.values() {
             if let Some(d) = &link.latency {
                 lo = lo.min(d.min_bound());
             }
+        }
+        if let Some(flow) = &self.flow {
+            lo = flow.min_latency(lo);
         }
         Duration::from_secs_f64(lo)
     }
@@ -214,6 +247,15 @@ impl Network {
 
     /// Time to move `bytes` across `from → to` at the link bandwidth plus
     /// one latency sample. Used by the `gass` bulk-transfer model.
+    ///
+    /// **Legacy (uncontended) model.** The pipe is private — concurrent
+    /// transfers don't slow each other down — and loss is sampled exactly
+    /// *once* via [`Network::route`] regardless of size, so a 10 GB
+    /// stage-in and a 200-byte control message share a drop probability.
+    /// Both simplifications are deliberate (and keep historical traces
+    /// byte-identical); scenarios that care opt into flow mode, where
+    /// transfers contend on declared links and loss is per-volume
+    /// ([`Network::flow_start`]).
     pub fn transfer_duration(
         &mut self,
         rng: &mut SimRng,
@@ -225,6 +267,197 @@ impl Network {
         let bw = self.bandwidth(from, to);
         Some(latency + Duration::from_secs_f64(bytes as f64 / bw))
     }
+
+    // ---- flow mode (shared-bandwidth topology) ----------------------
+
+    /// True once a topology link has been declared: bulk transfers are
+    /// then scheduled by the fair-share flow model instead of
+    /// [`Network::transfer_duration`].
+    pub fn flow_enabled(&self) -> bool {
+        self.flow.is_some()
+    }
+
+    /// Number of in-flight flows (0 when flow mode is off).
+    pub fn flows_active(&self) -> usize {
+        self.flow.as_ref().map_or(0, FlowNet::active)
+    }
+
+    /// Declare (or re-declare) a capacitated topology link, enabling flow
+    /// mode. `latency_secs` is the link's propagation delay, paid once per
+    /// flow on top of the sampled end-to-end latency.
+    pub fn add_flow_link(&mut self, name: &str, capacity: f64, latency_secs: f64) -> LinkId {
+        self.flow
+            .get_or_insert_with(FlowNet::default)
+            .add_link(name, capacity, latency_secs)
+    }
+
+    /// Route every bulk transfer between `a` and `b` (both directions)
+    /// over `links`. Pairs without a route use an empty route: scheduled
+    /// as flows (per-pair cap, per-volume loss) but link-unconstrained.
+    pub fn set_flow_route(&mut self, a: NodeId, b: NodeId, links: &[LinkId]) {
+        self.flow
+            .get_or_insert_with(FlowNet::default)
+            .set_route(a, b, links);
+    }
+
+    /// Mark a link up/down without touching in-flight flows (static setup;
+    /// fault-driven changes go through the kernel's `LinkDown`/`LinkUp`
+    /// events so crossing flows abort/rescale). False for unknown names.
+    pub fn set_flow_link_up(&mut self, name: &str, up: bool) -> bool {
+        self.flow.as_mut().is_some_and(|f| f.set_link_up(name, up))
+    }
+
+    /// Set (or with `None`, clear) a link's capacity override. False for
+    /// unknown names.
+    pub fn set_flow_link_capacity(&mut self, name: &str, cap: Option<f64>) -> bool {
+        self.flow
+            .as_mut()
+            .is_some_and(|f| f.set_link_override(name, cap))
+    }
+
+    /// Decide the fate of a bulk transfer in flow mode and, if it goes
+    /// through, register the flow. Returns `None` (payload dropped, after
+    /// `dropped` is bumped) on partition, a down link on the route, or a
+    /// per-volume loss draw; otherwise the updated completion schedule to
+    /// install ([`flow::FlowNet::refresh`]).
+    ///
+    /// Unlike the legacy model, loss here compounds per MB of payload: a
+    /// transfer of `n` chunks survives with probability `(1 - p)^n` (still
+    /// a single RNG draw, so the draw count per transfer is fixed).
+    pub(crate) fn flow_start(
+        &mut self,
+        rng: &mut SimRng,
+        from: Addr,
+        to: Addr,
+        bytes: u64,
+        msg: AnyMsg,
+        now: SimTime,
+    ) -> Option<Vec<(u64, SimTime)>> {
+        debug_assert!(from.node != to.node, "loopback stays on the legacy path");
+        if !self.reachable(from.node, to.node) {
+            self.dropped += 1;
+            return None;
+        }
+        let p = volume_loss(self.loss_for(from.node, to.node), bytes);
+        if rng.chance(p) {
+            self.dropped += 1;
+            return None;
+        }
+        let dist = self
+            .overrides
+            .get(&(from.node, to.node))
+            .and_then(|l| l.latency)
+            .unwrap_or(self.config.default_latency);
+        let mut latency = rng.duration(&dist);
+        let cap = self.bandwidth(from.node, to.node);
+        let flow = self.flow.as_mut().expect("flow_start requires flow mode");
+        let route = flow.route_for(from.node, to.node);
+        if route.iter().any(|&l| !flow.link_is_up(l)) {
+            self.dropped += 1;
+            return None;
+        }
+        for &l in &route {
+            latency += Duration::from_secs_f64(flow.link_latency(l));
+        }
+        flow.start(from, to, bytes, route, latency, cap, now, msg);
+        Some(flow.refresh(now))
+    }
+
+    /// Complete flow `id` if `now` matches its current deadline (stale
+    /// events return `None`). On success: `(from, to, payload, updated
+    /// completion schedule)`.
+    pub(crate) fn flow_complete(&mut self, id: u64, now: SimTime) -> Option<FlowDelivery> {
+        let flow = self.flow.as_mut()?;
+        let (from, to, msg) = flow.complete(id, now)?;
+        let resched = flow.refresh(now);
+        Some((from, to, msg, resched))
+    }
+
+    /// Abort every flow whose endpoints are no longer mutually reachable
+    /// (call after installing a partition). Returns the aborted flows and
+    /// the survivors' updated completion schedule.
+    pub(crate) fn flow_abort_unreachable(
+        &mut self,
+        now: SimTime,
+    ) -> (Vec<AbortedFlow>, Vec<(u64, SimTime)>) {
+        let Some(flow) = self.flow.as_mut() else {
+            return (Vec::new(), Vec::new());
+        };
+        let partitioned = &self.partitioned;
+        let aborted = flow.abort_where(|a, b, _| a != b && partitioned.contains(&pair_key(a, b)));
+        let resched = flow.refresh(now);
+        (aborted, resched)
+    }
+
+    /// Abort every flow with an endpoint on `node` (call on node crash).
+    pub(crate) fn flow_abort_node(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+    ) -> (Vec<AbortedFlow>, Vec<(u64, SimTime)>) {
+        let Some(flow) = self.flow.as_mut() else {
+            return (Vec::new(), Vec::new());
+        };
+        let aborted = flow.abort_where(|a, b, _| a == node || b == node);
+        let resched = flow.refresh(now);
+        (aborted, resched)
+    }
+
+    /// Take link `name` down: crossing flows abort, the rest rescale.
+    /// `None` for unknown names or flow mode off.
+    pub(crate) fn flow_link_down(
+        &mut self,
+        name: &str,
+        now: SimTime,
+    ) -> Option<(Vec<AbortedFlow>, FlowResched)> {
+        let flow = self.flow.as_mut()?;
+        let id = flow.link_id(name)?;
+        flow.set_link_up(name, false);
+        let aborted = flow.abort_where(|_, _, route| route.contains(&id));
+        let resched = flow.refresh(now);
+        Some((aborted, resched))
+    }
+
+    /// Bring link `name` back up and rescale active flows.
+    pub(crate) fn flow_link_up(&mut self, name: &str, now: SimTime) -> Option<Vec<(u64, SimTime)>> {
+        let flow = self.flow.as_mut()?;
+        flow.link_id(name)?;
+        flow.set_link_up(name, true);
+        Some(flow.refresh(now))
+    }
+
+    /// Apply (or with `None`, clear) a capacity override on link `name`
+    /// and rescale active flows — an override of `0.0` stalls them
+    /// without aborting.
+    pub(crate) fn flow_link_bandwidth(
+        &mut self,
+        name: &str,
+        cap: Option<f64>,
+        now: SimTime,
+    ) -> Option<Vec<(u64, SimTime)>> {
+        let flow = self.flow.as_mut()?;
+        flow.link_id(name)?;
+        flow.set_link_override(name, cap);
+        Some(flow.refresh(now))
+    }
+}
+
+/// Per-volume loss: the probability that a transfer of `bytes` survives
+/// compounds per 1 MB chunk, `1 - (1 - p)^ceil(bytes / 1 MB)`.
+fn volume_loss(p: f64, bytes: u64) -> f64 {
+    if p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    const CHUNK: u64 = 1_000_000;
+    let chunks = (bytes.div_ceil(CHUNK)).max(1).min(i32::MAX as u64);
+    if chunks == 1 {
+        // Single chunk: exactly the configured rate (matches legacy).
+        return p;
+    }
+    1.0 - (1.0 - p).powi(chunks as i32)
 }
 
 #[cfg(test)]
@@ -316,5 +549,96 @@ mod tests {
         assert!(net.route(&mut r, NodeId(0), NodeId(1)).is_none());
         net.set_global_loss(None);
         assert!(net.route(&mut r, NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn dynamic_loss_is_not_shadowed_by_link_override() {
+        // Regression: a perfect per-link override used to swallow a
+        // fault-plan loss of 1.0 — the two must combine as the max.
+        let mut net = Network::new(NetConfig::default());
+        let mut r = rng();
+        net.set_link_loss(NodeId(0), NodeId(1), 0.0);
+        net.set_global_loss(Some(1.0));
+        assert!(net.route(&mut r, NodeId(0), NodeId(1)).is_none());
+        // And the max cuts the other way too: a lossy link stays lossy
+        // when the dynamic rate is lower.
+        net.set_link_loss(NodeId(2), NodeId(3), 1.0);
+        net.set_global_loss(Some(0.0));
+        assert!(net.route(&mut r, NodeId(2), NodeId(3)).is_none());
+        net.set_global_loss(None);
+        assert!(net.route(&mut r, NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn heal_of_never_installed_partition_is_a_noop() {
+        let mut net = Network::new(NetConfig::default());
+        let mut r = rng();
+        net.partition(&[NodeId(1)], &[NodeId(2)]);
+        // Healing a pair that was never partitioned must not disturb the
+        // real partition or the healthy pairs.
+        net.heal(&[NodeId(3)], &[NodeId(4)]);
+        assert!(net.route(&mut r, NodeId(3), NodeId(4)).is_some());
+        assert!(net.route(&mut r, NodeId(1), NodeId(2)).is_none());
+        net.heal(&[NodeId(1)], &[NodeId(2)]);
+        net.heal(&[NodeId(1)], &[NodeId(2)]); // double-heal: still a no-op
+        assert!(net.route(&mut r, NodeId(1), NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn lookahead_includes_loopback_floor_and_flow_links() {
+        let mut net = Network::new(NetConfig::default());
+        // Default latency floor is 20 ms but loopback messages arrive in
+        // 0.1 ms — the conservative bound must honour the smaller.
+        assert_eq!(net.lookahead(), Duration::from_micros(100));
+        // A flow link faster than the loopback floor lowers it further.
+        net.add_flow_link("lan", 1e9, 0.000_05);
+        assert_eq!(net.lookahead(), Duration::from_micros(50));
+        // Slower flow links don't raise it back.
+        net.add_flow_link("wan", 1e6, 0.030);
+        assert_eq!(net.lookahead(), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn volume_loss_compounds_per_chunk() {
+        assert_eq!(volume_loss(0.0, u64::MAX), 0.0);
+        assert_eq!(volume_loss(1.0, 1), 1.0);
+        // One chunk: unchanged.
+        assert_eq!(volume_loss(0.1, 200), 0.1);
+        // Ten chunks: 1 - 0.9^10.
+        let p = volume_loss(0.1, 10_000_000);
+        assert!((p - (1.0 - 0.9f64.powi(10))).abs() < 1e-12);
+        // Monotone in volume.
+        assert!(volume_loss(0.01, 100_000_000) > volume_loss(0.01, 1_000_000));
+    }
+
+    #[test]
+    fn flow_start_respects_partitions_and_down_links() {
+        let mut net = Network::new(NetConfig::default());
+        let mut r = rng();
+        let wan = net.add_flow_link("wan", 1e6, 0.0);
+        net.set_flow_route(NodeId(1), NodeId(2), &[wan]);
+        let from = Addr {
+            node: NodeId(1),
+            comp: crate::component::CompId(0),
+        };
+        let to = Addr {
+            node: NodeId(2),
+            comp: crate::component::CompId(0),
+        };
+        net.partition(&[NodeId(1)], &[NodeId(2)]);
+        assert!(net
+            .flow_start(&mut r, from, to, 1_000, Box::new(1u8), SimTime::ZERO)
+            .is_none());
+        net.heal(&[NodeId(1)], &[NodeId(2)]);
+        assert!(net.set_flow_link_up("wan", false));
+        assert!(net
+            .flow_start(&mut r, from, to, 1_000, Box::new(1u8), SimTime::ZERO)
+            .is_none());
+        assert_eq!(net.dropped, 2);
+        assert!(net.set_flow_link_up("wan", true));
+        assert!(net
+            .flow_start(&mut r, from, to, 1_000, Box::new(1u8), SimTime::ZERO)
+            .is_some());
+        assert_eq!(net.flows_active(), 1);
     }
 }

@@ -6,6 +6,7 @@ use crate::component::{Addr, CompId, Component, Ctx, Effect, Message, NodeId, Sh
 use crate::event::{EventKind, NO_CAUSE};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::metrics::Metrics;
+use crate::network::flow::{AbortedFlow, BulkAborted};
 use crate::network::{NetConfig, Network};
 use crate::obs::Profiler;
 use crate::rng::SimRng;
@@ -240,6 +241,10 @@ fn event_kind_name(kind: &EventKind) -> &'static str {
         EventKind::PartitionStart { .. } => "partition_start",
         EventKind::PartitionEnd { .. } => "partition_end",
         EventKind::SetLossRate { .. } => "set_loss_rate",
+        EventKind::FlowDone { .. } => "flow_done",
+        EventKind::LinkDown { .. } => "link_down",
+        EventKind::LinkUp { .. } => "link_up",
+        EventKind::LinkBandwidth { .. } => "link_bandwidth",
     }
 }
 
@@ -351,7 +356,11 @@ impl World {
             EventKind::NodeCrash { node } | EventKind::NodeRestart { node } => *node,
             EventKind::PartitionStart { .. }
             | EventKind::PartitionEnd { .. }
-            | EventKind::SetLossRate { .. } => return 0,
+            | EventKind::SetLossRate { .. }
+            | EventKind::FlowDone { .. }
+            | EventKind::LinkDown { .. }
+            | EventKind::LinkUp { .. }
+            | EventKind::LinkBandwidth { .. } => return 0,
         };
         self.node_shard.get(node.0 as usize).copied().unwrap_or(0) as usize
     }
@@ -484,6 +493,12 @@ impl World {
                 },
                 FaultAction::SetLoss(rate) => EventKind::SetLossRate {
                     rate: rate.unwrap_or(f64::NAN),
+                },
+                FaultAction::LinkDown(link) => EventKind::LinkDown { link },
+                FaultAction::LinkUp(link) => EventKind::LinkUp { link },
+                FaultAction::LinkBandwidth(link, capacity) => EventKind::LinkBandwidth {
+                    link,
+                    capacity: capacity.unwrap_or(f64::NAN),
                 },
             };
             // Fault injections are roots of the happens-before DAG.
@@ -769,6 +784,10 @@ impl World {
                 // (boot chains, retries) links back to this record.
                 self.trace_fault("fault.crash", |w| format!("node={}", w.node_name(node)));
                 self.do_crash(node);
+                if self.network.flow_enabled() {
+                    let (aborted, resched) = self.network.flow_abort_node(node, self.now);
+                    self.finish_flow_aborts(aborted, resched);
+                }
             }
             EventKind::NodeRestart { node } => {
                 self.trace_fault("fault.restart", |w| format!("node={}", w.node_name(node)));
@@ -784,6 +803,10 @@ impl World {
                 });
                 self.network.partition(&group_a, &group_b);
                 self.metrics.incr("net.partitions", 1);
+                if self.network.flow_enabled() {
+                    let (aborted, resched) = self.network.flow_abort_unreachable(self.now);
+                    self.finish_flow_aborts(aborted, resched);
+                }
             }
             EventKind::PartitionEnd { group_a, group_b } => {
                 self.trace_fault("fault.heal", |w| {
@@ -800,7 +823,78 @@ impl World {
                 self.network
                     .set_global_loss(if rate.is_nan() { None } else { Some(rate) });
             }
+            EventKind::FlowDone { flow } => {
+                // Stale deadlines (rescheduled flows) return None: ignore.
+                if let Some((from, to, msg, resched)) = self.network.flow_complete(flow, self.now) {
+                    self.metrics.incr("net.flows_done", 1);
+                    let cause = self.cause_now();
+                    self.push_event(self.now, EventKind::Deliver { from, to, msg }, cause);
+                    self.push_flow_deadlines(resched, cause);
+                }
+            }
+            EventKind::LinkDown { link } => {
+                self.trace_fault("fault.link_down", |_| format!("link={link}"));
+                if let Some((aborted, resched)) = self.network.flow_link_down(&link, self.now) {
+                    self.metrics.incr("net.link_downs", 1);
+                    self.finish_flow_aborts(aborted, resched);
+                }
+            }
+            EventKind::LinkUp { link } => {
+                self.trace_fault("fault.link_up", |_| format!("link={link}"));
+                if let Some(resched) = self.network.flow_link_up(&link, self.now) {
+                    let cause = self.cause_now();
+                    self.push_flow_deadlines(resched, cause);
+                }
+            }
+            EventKind::LinkBandwidth { link, capacity } => {
+                self.trace_fault("fault.link_bandwidth", |_| {
+                    format!("link={link} capacity={capacity}")
+                });
+                let cap = if capacity.is_nan() {
+                    None
+                } else {
+                    Some(capacity)
+                };
+                if let Some(resched) = self.network.flow_link_bandwidth(&link, cap, self.now) {
+                    self.metrics.incr("net.link_rescales", 1);
+                    let cause = self.cause_now();
+                    self.push_flow_deadlines(resched, cause);
+                }
+            }
         }
+    }
+
+    /// Schedule a `FlowDone` check for every flow whose completion
+    /// deadline just changed.
+    fn push_flow_deadlines(&mut self, resched: Vec<(u64, SimTime)>, cause: u64) {
+        for (flow, at) in resched {
+            self.push_event(at, EventKind::FlowDone { flow }, cause);
+        }
+    }
+
+    /// Deliver a [`BulkAborted`] notice to the sender of every aborted
+    /// flow (at the current instant — the sender-side stack observes the
+    /// break immediately, like a TCP reset) and install the survivors'
+    /// updated completion schedule.
+    fn finish_flow_aborts(&mut self, aborted: Vec<AbortedFlow>, resched: Vec<(u64, SimTime)>) {
+        let cause = self.cause_now();
+        for a in aborted {
+            self.metrics.incr("net.flows_aborted", 1);
+            self.push_event(
+                self.now,
+                EventKind::Deliver {
+                    from: a.to,
+                    to: a.from,
+                    msg: Box::new(BulkAborted {
+                        to: a.to,
+                        bytes: a.bytes,
+                        msg: a.msg,
+                    }),
+                },
+                cause,
+            );
+        }
+        self.push_flow_deadlines(resched, cause);
     }
 
     /// Record a kernel-injected fault in the trace (roots of the causal
@@ -918,6 +1012,26 @@ impl World {
                 Effect::SendBulk { to, bytes, msg } => {
                     self.metrics.incr("net.bulk_transfers", 1);
                     self.metrics.incr("net.bulk_bytes", bytes);
+                    if self.network.flow_enabled() && from.node != to.node {
+                        // Flow mode: the transfer contends with every other
+                        // flow on its route; completion is a rescheduled
+                        // kernel event, not a duration fixed at start.
+                        let now = self.now;
+                        match self
+                            .network
+                            .flow_start(&mut self.rng, from, to, bytes, msg, now)
+                        {
+                            Some(resched) => {
+                                self.metrics.incr("net.flows_started", 1);
+                                let cause = self.cause_now();
+                                self.push_flow_deadlines(resched, cause);
+                            }
+                            None => {
+                                self.metrics.incr("net.lost", 1);
+                            }
+                        }
+                        continue;
+                    }
                     match self
                         .network
                         .transfer_duration(&mut self.rng, from.node, to.node, bytes)

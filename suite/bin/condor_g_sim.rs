@@ -20,8 +20,19 @@
 //! adaptive on                         # weather-driven site quarantine
 //! crash site 0 at 1h for 30m          # crash a site's gatekeeper machine
 //! partition at 2h for 20m             # submit machine vs everything
+//! image 16M                           # staged executable size
+//! link wan 2.5M 30ms                  # shared WAN link: capacity, latency
+//! route site 0 via wan                # site 0's transfers traverse "wan"
+//! linkdown wan at 2h for 10m          # cut the link; aborts in-flight flows
+//! linkbw wan 1M at 4h for 1h          # temporary capacity override
 //! run 24h
 //! ```
+//!
+//! Declaring any `link` switches inter-node bulk transfers onto the
+//! shared-bandwidth flow model: concurrent stage-ins routed over the same
+//! link divide its capacity max-min fairly, and `linkdown`/`partition`
+//! windows abort transfers in flight (the JobManager retries them with
+//! backed-off timers).
 
 use condor_g_suite::condor_g::api::{GridJobSpec, Universe};
 use condor_g_suite::gridsim::obs::{
@@ -29,7 +40,9 @@ use condor_g_suite::gridsim::obs::{
     TelemetrySample, TelemetryWriter,
 };
 use condor_g_suite::gridsim::prelude::*;
-use condor_g_suite::harness::{build, SiteSpec, Testbed, TestbedConfig, UserConsole};
+use condor_g_suite::harness::{
+    build, SiteSpec, Testbed, TestbedConfig, UserConsole, WanLinkSpec, WanTopology,
+};
 use condor_g_suite::workloads::stats::Table;
 use std::fmt;
 use std::io::BufWriter;
@@ -48,6 +61,11 @@ pub struct Scenario {
     jobs: Vec<GridJobSpec>,
     crashes: Vec<(usize, Duration, Duration)>,
     partition: Option<(Duration, Duration)>,
+    image: u64,
+    links: Vec<WanLinkSpec>,
+    routes: Vec<(usize, Vec<String>)>,
+    linkdowns: Vec<(String, Duration, Duration)>,
+    linkbws: Vec<(String, u64, Duration, Duration)>,
     run_for: Duration,
 }
 
@@ -61,8 +79,11 @@ impl fmt::Display for ScnError {
     }
 }
 
-/// Parse `90s` / `30m` / `2h` / `1d` into a duration.
+/// Parse `100ms` / `90s` / `30m` / `2h` / `1d` into a duration.
 fn parse_duration(s: &str) -> Option<Duration> {
+    if let Some(num) = s.strip_suffix("ms") {
+        return num.parse().ok().map(Duration::from_millis);
+    }
     let (num, unit) = s.split_at(s.len().checked_sub(1)?);
     let n: u64 = num.parse().ok()?;
     Some(match unit {
@@ -74,19 +95,23 @@ fn parse_duration(s: &str) -> Option<Duration> {
     })
 }
 
-/// Parse `64K` / `1M` / `2G` / plain bytes.
+/// Parse `64K` / `1M` / `2.5M` / `2G` / plain bytes.
 fn parse_size(s: &str) -> Option<u64> {
     if let Ok(n) = s.parse() {
         return Some(n);
     }
-    let (num, unit) = s.split_at(s.len() - 1);
-    let n: u64 = num.parse().ok()?;
-    Some(match unit {
-        "K" => n * 1_000,
-        "M" => n * 1_000_000,
-        "G" => n * 1_000_000_000,
+    let (num, unit) = s.split_at(s.len().checked_sub(1)?);
+    let mult = match unit {
+        "K" => 1e3,
+        "M" => 1e6,
+        "G" => 1e9,
         _ => return None,
-    })
+    };
+    let n: f64 = num.parse().ok()?;
+    if !n.is_finite() || n < 0.0 {
+        return None;
+    }
+    Some((n * mult) as u64)
 }
 
 /// Parse a scenario file's text.
@@ -209,6 +234,58 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ScnError> {
                 let dur = parse_duration(d).ok_or_else(|| err("bad duration".into()))?;
                 scn.partition = Some((at, dur));
             }
+            "image" => {
+                scn.image = words
+                    .get(1)
+                    .and_then(|w| parse_size(w))
+                    .ok_or_else(|| err("image <size>".into()))?;
+            }
+            "link" => {
+                // link <name> <bytes/sec> [<latency>]
+                let name = *words
+                    .get(1)
+                    .ok_or_else(|| err("link <name> <bytes/sec> [<latency>]".into()))?;
+                let capacity = words
+                    .get(2)
+                    .and_then(|w| parse_size(w))
+                    .ok_or_else(|| err("bad link capacity".into()))?;
+                let latency = match words.get(3) {
+                    Some(w) => parse_duration(w).ok_or_else(|| err("bad link latency".into()))?,
+                    None => Duration::ZERO,
+                };
+                scn.links.push(WanLinkSpec {
+                    name: name.to_string(),
+                    capacity: capacity as f64,
+                    latency: latency.as_secs_f64(),
+                });
+            }
+            "route" => {
+                // route site <idx> via <link> [<link>...]
+                if words.get(1) != Some(&"site") || words.get(3) != Some(&"via") || words.len() < 5
+                {
+                    return Err(err("route site <idx> via <link>...".into()));
+                }
+                let idx: usize = words[2].parse().map_err(|_| err("bad site index".into()))?;
+                scn.routes
+                    .push((idx, words[4..].iter().map(|w| w.to_string()).collect()));
+            }
+            "linkdown" => {
+                let [_, name, "at", t, "for", d] = words[..] else {
+                    return Err(err("linkdown <name> at <t> for <d>".into()));
+                };
+                let at = parse_duration(t).ok_or_else(|| err("bad time".into()))?;
+                let dur = parse_duration(d).ok_or_else(|| err("bad duration".into()))?;
+                scn.linkdowns.push((name.to_string(), at, dur));
+            }
+            "linkbw" => {
+                let [_, name, cap, "at", t, "for", d] = words[..] else {
+                    return Err(err("linkbw <name> <bytes/sec> at <t> for <d>".into()));
+                };
+                let cap = parse_size(cap).ok_or_else(|| err("bad link capacity".into()))?;
+                let at = parse_duration(t).ok_or_else(|| err("bad time".into()))?;
+                let dur = parse_duration(d).ok_or_else(|| err("bad duration".into()))?;
+                scn.linkbws.push((name.to_string(), cap, at, dur));
+            }
             "run" => {
                 scn.run_for = words
                     .get(1)
@@ -220,6 +297,33 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ScnError> {
     }
     if scn.sites.is_empty() {
         return Err(ScnError(0, "scenario declares no sites".into()));
+    }
+    // Cross-references: routes and link fault windows must name declared
+    // links, routes must name declared sites.
+    let declared: std::collections::HashSet<&str> =
+        scn.links.iter().map(|l| l.name.as_str()).collect();
+    for (idx, names) in &scn.routes {
+        if *idx >= scn.sites.len() {
+            return Err(ScnError(0, format!("route site {idx} out of range")));
+        }
+        for n in names {
+            if !declared.contains(n.as_str()) {
+                return Err(ScnError(0, format!("route references undeclared link {n}")));
+            }
+        }
+    }
+    for name in scn
+        .linkdowns
+        .iter()
+        .map(|(n, ..)| n)
+        .chain(scn.linkbws.iter().map(|(n, ..)| n))
+    {
+        if !declared.contains(name.as_str()) {
+            return Err(ScnError(
+                0,
+                format!("fault window references undeclared link {name}"),
+            ));
+        }
     }
     Ok(scn)
 }
@@ -260,6 +364,15 @@ pub fn run_scenario(scn: Scenario, obs: ObsOptions) {
         with_personal_pool: scn.personal_pool,
         adaptive: scn.adaptive,
         proxy_lifetime: scn.proxy.unwrap_or(Duration::from_hours(24)),
+        exe_size: scn.image,
+        wan: if scn.links.is_empty() {
+            None
+        } else {
+            Some(WanTopology {
+                links: scn.links.clone(),
+                site_routes: scn.routes.clone(),
+            })
+        },
         // The span reconstructor and JSONL exporter both read the trace
         // stream, so scenario runs always collect it.
         trace: true,
@@ -313,6 +426,12 @@ pub fn run_scenario(scn: Scenario, obs: ObsOptions) {
             .flat_map(|s| [s.interface, s.cluster])
             .collect();
         plan = plan.partition_window(vec![tb.submit], others, SimTime::ZERO + at, dur);
+    }
+    for (name, at, dur) in &scn.linkdowns {
+        plan = plan.link_down_window(name, SimTime::ZERO + *at, *dur);
+    }
+    for (name, cap, at, dur) in &scn.linkbws {
+        plan = plan.link_bandwidth_window(name, *cap as f64, SimTime::ZERO + *at, *dur);
     }
     let plan = plan.sorted();
     tb.world.apply_fault_plan(&plan);
@@ -422,6 +541,20 @@ pub fn run_scenario(scn: Scenario, obs: ObsOptions) {
         "WAN bulk GB".into(),
         format!("{:.2}", m.counter("net.bulk_bytes") as f64 / 1e9),
     ]);
+    if !scn.links.is_empty() {
+        t.row(&[
+            "contended flows".into(),
+            format!("{}", m.counter("net.flows_started")),
+        ]);
+        t.row(&[
+            "flows aborted".into(),
+            format!("{}", m.counter("net.flows_aborted")),
+        ]);
+        t.row(&[
+            "link rescales".into(),
+            format!("{}", m.counter("net.link_rescales")),
+        ]);
+    }
     t.row(&[
         "events simulated".into(),
         format!("{}", tb.world.events_processed()),
@@ -607,6 +740,7 @@ mod tests {
 
     #[test]
     fn durations_and_sizes() {
+        assert_eq!(parse_duration("100ms"), Some(Duration::from_millis(100)));
         assert_eq!(parse_duration("90s"), Some(Duration::from_secs(90)));
         assert_eq!(parse_duration("30m"), Some(Duration::from_mins(30)));
         assert_eq!(parse_duration("2h"), Some(Duration::from_hours(2)));
@@ -614,7 +748,9 @@ mod tests {
         assert_eq!(parse_duration("xx"), None);
         assert_eq!(parse_size("64K"), Some(64_000));
         assert_eq!(parse_size("1M"), Some(1_000_000));
+        assert_eq!(parse_size("2.5M"), Some(2_500_000));
         assert_eq!(parse_size("512"), Some(512));
+        assert_eq!(parse_size("xM"), None);
     }
 
     #[test]
@@ -649,6 +785,66 @@ mod tests {
             vec![(0, Duration::from_hours(1), Duration::from_mins(30))]
         );
         assert_eq!(scn.run_for, Duration::from_hours(24));
+    }
+
+    #[test]
+    fn wan_directives_parse() {
+        let scn = parse_scenario(
+            "seed 13\n\
+             site pbs east 16\n\
+             site lsf west 16\n\
+             image 16M\n\
+             link wan 2.5M 30ms\n\
+             route site 0 via wan\n\
+             route site 1 via wan\n\
+             job grid app.exe 20m x4 stdout=1M\n\
+             linkdown wan at 2h for 10m\n\
+             linkbw wan 1M at 20m for 20m\n\
+             run 12h\n",
+        )
+        .unwrap();
+        assert_eq!(scn.image, 16_000_000);
+        assert_eq!(scn.links.len(), 1);
+        assert_eq!(scn.links[0].name, "wan");
+        assert_eq!(scn.links[0].capacity, 2_500_000.0);
+        assert!((scn.links[0].latency - 0.030).abs() < 1e-12);
+        assert_eq!(
+            scn.routes,
+            vec![(0, vec!["wan".to_string()]), (1, vec!["wan".to_string()])]
+        );
+        assert_eq!(
+            scn.linkdowns,
+            vec![(
+                "wan".to_string(),
+                Duration::from_hours(2),
+                Duration::from_mins(10)
+            )]
+        );
+        assert_eq!(
+            scn.linkbws,
+            vec![(
+                "wan".to_string(),
+                1_000_000,
+                Duration::from_mins(20),
+                Duration::from_mins(20)
+            )]
+        );
+    }
+
+    #[test]
+    fn wan_cross_references_are_checked() {
+        assert!(
+            parse_scenario("site pbs a 4\nroute site 0 via wan\n").is_err(),
+            "undeclared link in route"
+        );
+        assert!(
+            parse_scenario("site pbs a 4\nlink wan 1M\nroute site 5 via wan\n").is_err(),
+            "site index out of range"
+        );
+        assert!(
+            parse_scenario("site pbs a 4\nlinkdown wan at 1h for 5m\n").is_err(),
+            "undeclared link in fault window"
+        );
     }
 
     #[test]

@@ -156,6 +156,33 @@ pub struct SiteHandles {
     pub arch: String,
 }
 
+/// One shared WAN link in a [`WanTopology`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WanLinkSpec {
+    /// Link name (referenced by routes and fault windows).
+    pub name: String,
+    /// Capacity in bytes/sec, shared max-min fairly by concurrent flows.
+    pub capacity: f64,
+    /// One-way propagation latency in seconds.
+    pub latency: f64,
+}
+
+/// A shared-bandwidth WAN between the submit machine and the sites.
+///
+/// Declaring any link switches inter-node bulk transfers onto the
+/// fair-share flow model (`gridsim::network::flow`): concurrent stage-ins
+/// crossing the same link slow each other down, and link failures abort
+/// in-flight transfers. Sites without a route keep dedicated (legacy)
+/// bandwidth.
+#[derive(Clone, Debug, Default)]
+pub struct WanTopology {
+    /// The shared links.
+    pub links: Vec<WanLinkSpec>,
+    /// `(site index, link names)`: transfers between the submit machine
+    /// and that site's gatekeeper/cluster nodes traverse the named links.
+    pub site_routes: Vec<(usize, Vec<String>)>,
+}
+
 /// Options for building the testbed.
 pub struct TestbedConfig {
     /// RNG seed.
@@ -191,6 +218,13 @@ pub struct TestbedConfig {
     /// million-job campaigns run in flat RSS. Off by default (trace output
     /// is not byte-identical to non-lean runs: component ids differ).
     pub lean: bool,
+    /// Shared-bandwidth WAN topology (flow mode). `None` keeps the legacy
+    /// uncontended network model.
+    pub wan: Option<WanTopology>,
+    /// Size in bytes of the staged executable images (`app.exe` and
+    /// `worker.exe`) preloaded on the submit GASS server. `0` keeps the
+    /// legacy tiny inline images.
+    pub exe_size: u64,
     /// Kernel shard count. Shard 0 is the *home* shard (submit machine,
     /// GIIS, MyProxy); each site's node pair (`gk.*` + `cluster.*`) is
     /// assigned as a group, round-robin over shards `1..N`. With 1 shard
@@ -215,6 +249,8 @@ impl Default for TestbedConfig {
             adaptive: false,
             max_time: None,
             lean: false,
+            wan: None,
+            exe_size: 0,
             shards: 1,
         }
     }
@@ -308,15 +344,23 @@ pub fn build(config: TestbedConfig) -> Testbed {
 
     // Submit machine.
     let submit = world.add_node("submit.wisc.edu");
+    let (app_image, worker_image) = if config.exe_size > 0 {
+        (
+            gass::FileData::bulk(config.exe_size, 1),
+            gass::FileData::bulk(config.exe_size, 2),
+        )
+    } else {
+        (
+            gass::FileData::inline("ELF app"),
+            gass::FileData::inline("ELF worker"),
+        )
+    };
     let gass = world.add_component(
         submit,
         "gass",
         GassServer::new(trust.clone())
-            .preload("/home/jane/app.exe", gass::FileData::inline("ELF app"))
-            .preload(
-                "/home/jane/worker.exe",
-                gass::FileData::inline("ELF worker"),
-            ),
+            .preload("/home/jane/app.exe", app_image)
+            .preload("/home/jane/worker.exe", worker_image),
     );
     let mailer = world.add_component(submit, "mailer", Mailer::new());
 
@@ -408,6 +452,34 @@ pub fn build(config: TestbedConfig) -> Testbed {
             lrm,
             arch: spec.arch.clone(),
         });
+    }
+
+    // Shared-bandwidth WAN: declare the links, then route each listed
+    // site's submit↔gatekeeper and submit↔cluster paths over them so
+    // staging traffic to that site contends for the shared capacity.
+    if let Some(wan) = &config.wan {
+        let net = world.network_mut();
+        let mut ids: BTreeMap<&str, LinkId> = BTreeMap::new();
+        for link in &wan.links {
+            ids.insert(
+                link.name.as_str(),
+                net.add_flow_link(&link.name, link.capacity, link.latency),
+            );
+        }
+        for (site_idx, names) in &wan.site_routes {
+            let site = sites
+                .get(*site_idx)
+                .unwrap_or_else(|| panic!("wan route for unknown site index {site_idx}"));
+            let route: Vec<LinkId> = names
+                .iter()
+                .map(|n| {
+                    *ids.get(n.as_str())
+                        .unwrap_or_else(|| panic!("wan route references undeclared link {n}"))
+                })
+                .collect();
+            net.set_flow_route(submit, site.interface, &route);
+            net.set_flow_route(submit, site.cluster, &route);
+        }
     }
 
     // Personal pool (with a checkpoint server, per §5: jobs checkpoint to
